@@ -1,0 +1,98 @@
+"""E10 (Figure 5) — estimated vs. actual query cardinality.
+
+The path summary estimates every structure-only query *exactly*; value
+predicates carry model error.  Reported per query: actual count,
+estimate, and the q-error max(est/act, act/est).  Expected shape:
+q-error 1.0 on the structural class, bounded (single digits) on the
+uniform-value predicates, worst on string matching (the 10 % guess).
+"""
+
+import pytest
+
+from repro.bench import ExperimentResult, write_report
+from repro.stats import build_summary, estimate_cardinality
+from repro.xpath import evaluate_nodes
+
+STRUCTURAL = [
+    "/site/people/person",
+    "/site/people/person/name",
+    "//bidder",
+    "//item/name",
+    "/site/regions/africa/item",
+    "//increase",
+]
+
+PREDICATED = [
+    "/site/open_auctions/open_auction[initial > 100]",
+    "/site/open_auctions/open_auction[initial > 180]",
+    "/site/people/person[address]",
+    "/site/people/person[not(phone)]",
+    "/site/people/person[address/city = 'Berlin']",
+]
+
+STRING_MATCH = [
+    "//item[contains(description, 'vintage')]",
+]
+
+
+def q_error(actual: float, estimate: float) -> float:
+    if actual == 0 and estimate == 0:
+        return 1.0
+    if actual == 0 or estimate == 0:
+        return float("inf")
+    return max(actual / estimate, estimate / actual)
+
+
+@pytest.fixture(scope="module")
+def summary(auction_document):
+    return build_summary(auction_document)
+
+
+def test_e10_report(benchmark, auction_document, summary):
+    def measure():
+        rows = []
+        for group, queries in (
+            ("structural", STRUCTURAL),
+            ("predicate", PREDICATED),
+            ("string", STRING_MATCH),
+        ):
+            for query in queries:
+                actual = len(evaluate_nodes(auction_document, query))
+                estimate = estimate_cardinality(summary, query)
+                rows.append((group, query, actual, estimate))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    result = ExperimentResult(
+        experiment="E10",
+        title="Estimated vs actual cardinality (path summary)",
+        workload="auction sf=0.1",
+        expectation=(
+            "structural queries exact (q-error 1); uniform-value "
+            "predicates within small q-error; contains() is a guess"
+        ),
+    )
+    for group, query, actual, estimate in rows:
+        result.add_row(query).set("class", group).set(
+            "actual", actual
+        ).set("estimate", round(estimate, 1)).set(
+            "q-error", round(q_error(actual, estimate), 2)
+        )
+    write_report(result)
+
+    for group, query, actual, estimate in rows:
+        error = q_error(actual, estimate)
+        if group == "structural":
+            assert error == 1.0, query
+        elif group == "predicate":
+            assert error < 5.0, (query, error)
+
+
+def test_e10_summary_size(benchmark, auction_document, summary):
+    """The summary is tiny relative to the data (why optimizers can
+    afford exhaustive path statistics on regular documents)."""
+    def measure():
+        return summary.path_count, summary.total_nodes
+
+    paths, nodes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert paths < nodes / 10

@@ -1,0 +1,112 @@
+"""E11 (Figure 6) — point lookup vs. full scan as the database grows.
+
+On bibliographies of growing size, two queries per scheme:
+
+* point — ``/dblp/article[@key = 'article/8']/title`` (value-index
+  driven: one record),
+* scan  — ``//author`` (touches every record).
+
+Expected shape: point-lookup latency stays near-flat as the document
+grows (B-tree probes), scan latency grows linearly; the ratio scan/point
+therefore widens with size — the classic index-crossover picture.
+"""
+
+import pytest
+
+from repro.bench import ExperimentResult, time_call, write_report
+from repro.core.registry import create_scheme
+from repro.relational.database import Database
+from repro.workloads import dblp_dtd, generate_dblp
+
+from benchmarks.conftest import SCHEMES, scheme_kwargs
+
+SIZES = (500, 2000, 8000)
+POINT_QUERY = "/dblp/article[@key = 'article/8']/title"
+SCAN_QUERY = "//author"
+
+
+@pytest.fixture(scope="module")
+def dblp_sized_stores():
+    stores = {}
+    databases = []
+    documents = {n: generate_dblp(n, seed=7) for n in SIZES}
+    for name in SCHEMES:
+        per_size = {}
+        for n in SIZES:
+            db = Database()
+            databases.append(db)
+            scheme = create_scheme(
+                name, db, **scheme_kwargs(name, dtd_factory=dblp_dtd)
+            )
+            result = scheme.store(documents[n], f"dblp-{n}")
+            db.analyze()
+            per_size[n] = (scheme, result.doc_id)
+        stores[name] = per_size
+    yield stores
+    for db in databases:
+        db.close()
+
+
+@pytest.mark.benchmark(group="e11-point", max_time=0.5, min_rounds=3)
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+def test_e11_point_lookup(benchmark, dblp_sized_stores, scheme_name):
+    scheme, doc_id = dblp_sized_stores[scheme_name][SIZES[-1]]
+    result = benchmark(scheme.query_pres, doc_id, POINT_QUERY)
+    assert len(result) == 1
+
+
+def test_e11_report(benchmark, dblp_sized_stores):
+    result = ExperimentResult(
+        experiment="E11",
+        title="Point lookup vs full scan (ms)",
+        workload=f"dblp with {list(SIZES)} records",
+        expectation=(
+            "point lookups near-flat in document size; scans linear; "
+            "the gap widens with size"
+        ),
+    )
+    measured = {}
+    for scheme_name in SCHEMES:
+        row = result.add_row(scheme_name)
+        for n in SIZES:
+            scheme, doc_id = dblp_sized_stores[scheme_name][n]
+            point = time_call(
+                lambda s=scheme, d=doc_id: s.query_pres(d, POINT_QUERY),
+                repetitions=9,
+            )
+            scan = time_call(
+                lambda s=scheme, d=doc_id: s.query_pres(d, SCAN_QUERY),
+                repetitions=5,
+            )
+            measured[(scheme_name, n, "point")] = point
+            measured[(scheme_name, n, "scan")] = scan
+            row.set(f"point n={n}", point * 1000)
+            row.set(f"scan n={n}", scan * 1000)
+    write_report(result)
+    benchmark(lambda: None)
+
+    small, large = SIZES[0], SIZES[-1]
+    growth = large / small  # 16x more data
+    for scheme_name in ("edge", "binary", "interval", "dewey", "inlining"):
+        point_growth = (
+            measured[(scheme_name, large, "point")]
+            / measured[(scheme_name, small, "point")]
+        )
+        scan_growth = (
+            measured[(scheme_name, large, "scan")]
+            / measured[(scheme_name, small, "scan")]
+        )
+        # Scans scale with the data; point lookups scale sublinearly
+        # (value indexes), so the gap widens with document size.  Bounds
+        # are generous: these are wall-clock measurements that also run
+        # inside the full suite on a busy machine.
+        assert scan_growth > growth / 5, scheme_name
+        assert point_growth < scan_growth, scheme_name
+        assert point_growth < growth * 1.25, scheme_name
+    # The schema-aware mappings achieve near-flat point lookups here.
+    for scheme_name in ("binary", "inlining"):
+        point_growth = (
+            measured[(scheme_name, large, "point")]
+            / measured[(scheme_name, small, "point")]
+        )
+        assert point_growth < 6, scheme_name

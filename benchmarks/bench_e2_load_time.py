@@ -1,0 +1,57 @@
+"""E2 (Table 2) — document shredding (load) time per scheme.
+
+Expected shape: the single-table mappings (edge, interval, dewey) load
+fastest; binary pays per-label partition dispatch; universal pays
+row-materialization of every leaf path; xrel pays the path table;
+inlining is competitive (fewer, wider rows) after the one-off DTD
+analysis.
+"""
+
+import pytest
+
+from repro.bench import ExperimentResult, time_call, write_report
+from repro.core.registry import create_scheme
+from repro.relational.database import Database
+
+from benchmarks.conftest import SCHEMES, scheme_kwargs
+
+
+def _store_once(name, document):
+    with Database() as db:
+        scheme = create_scheme(name, db, **scheme_kwargs(name))
+        scheme.store(document, "auction")
+
+
+@pytest.mark.benchmark(group="e2-load-time", max_time=1.0, min_rounds=3)
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+def test_e2_shred_time(benchmark, auction_documents, scheme_name):
+    document = auction_documents[0.2]
+    benchmark(_store_once, scheme_name, document)
+
+
+def test_e2_report(benchmark, auction_documents):
+    result = ExperimentResult(
+        experiment="E2",
+        title="Shredding (load) time per scheme (ms)",
+        workload="auction documents, scale factors 0.05 / 0.2",
+        expectation=(
+            "single-table mappings fastest; binary pays partition "
+            "dispatch; universal pays leaf-path materialization"
+        ),
+    )
+    measured = {}
+    for scheme_name in SCHEMES:
+        row = result.add_row(scheme_name)
+        for sf in (0.05, 0.2):
+            document = auction_documents[sf]
+            seconds = time_call(
+                lambda d=document, n=scheme_name: _store_once(n, d)
+            )
+            measured[(scheme_name, sf)] = seconds
+            row.set(f"sf={sf}", seconds * 1000)
+    write_report(result)
+    benchmark(lambda: None)
+
+    # Loose shape assertions (wall-clock, so generous factors).
+    assert measured[("universal", 0.2)] > measured[("interval", 0.2)]
+    assert measured[("binary", 0.2)] > measured[("edge", 0.2)]

@@ -1,0 +1,66 @@
+"""E3 (Figure 1) — simple path query latency vs. path depth.
+
+The query set walks one spine of the auction document at depths 2–5.
+Expected shape: the edge/binary/interval mappings pay one join per step
+(latency grows with depth); the universal table answers every linear
+path with zero joins (flat); inlining flattens the inlined hops.
+"""
+
+import pytest
+
+from repro.bench import ExperimentResult, time_call, write_report
+
+from benchmarks.conftest import SCHEMES
+
+DEPTH_QUERIES = {
+    2: "/site/open_auctions",
+    3: "/site/open_auctions/open_auction",
+    4: "/site/open_auctions/open_auction/bidder",
+    5: "/site/open_auctions/open_auction/bidder/increase",
+}
+
+
+@pytest.mark.benchmark(group="e3-path-depth", max_time=0.5, min_rounds=3)
+@pytest.mark.parametrize("depth", sorted(DEPTH_QUERIES))
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+def test_e3_depth_latency(benchmark, auction_stores, scheme_name, depth):
+    scheme, doc_id = auction_stores[scheme_name]
+    query = DEPTH_QUERIES[depth]
+    result = benchmark(scheme.query_pres, doc_id, query)
+    assert isinstance(result, list)
+
+
+def test_e3_report(benchmark, auction_stores):
+    result = ExperimentResult(
+        experiment="E3",
+        title="Path query latency vs depth (ms)",
+        workload="auction sf=0.1, one spine at depths 2-5",
+        expectation=(
+            "join-per-step mappings grow with depth; universal stays "
+            "flat (zero joins for linear paths)"
+        ),
+    )
+    answers = {}
+    for scheme_name in SCHEMES:
+        scheme, doc_id = auction_stores[scheme_name]
+        row = result.add_row(scheme_name)
+        for depth, query in DEPTH_QUERIES.items():
+            seconds = time_call(
+                lambda s=scheme, q=query, d=doc_id: s.query_pres(d, q),
+                repetitions=5,
+            )
+            row.set(f"depth={depth}", seconds * 1000)
+            answers.setdefault((depth, "count"), len(
+                scheme.query_pres(doc_id, query)
+            ))
+    write_report(result)
+    benchmark(lambda: None)
+
+    # Correctness side-check: all schemes agreed on result sizes per
+    # depth (full agreement is covered by the test suite).
+    for scheme_name in SCHEMES:
+        scheme, doc_id = auction_stores[scheme_name]
+        for depth, query in DEPTH_QUERIES.items():
+            assert len(scheme.query_pres(doc_id, query)) == answers[
+                (depth, "count")
+            ]

@@ -1,0 +1,86 @@
+"""E4 (Figure 2) — descendant (``//``) query latency vs. document size.
+
+Query: ``//increase`` (every bid increase, anywhere).  Expected shape:
+the interval mapping answers with one index-range predicate and the
+dewey mapping with one label-prefix scan — both flat-ish in document
+size for the *navigation* part — while the edge/binary mappings compute
+a recursive transitive closure over the whole edge set, growing visibly
+faster.  This is the tutorial's core argument for order encodings.
+"""
+
+import pytest
+
+from repro.bench import ExperimentResult, time_call, write_report
+from repro.core.registry import create_scheme
+from repro.relational.database import Database
+
+from benchmarks.conftest import SCALE_SWEEP, SCHEMES, scheme_kwargs
+
+# Mid-path descendant: the closure cannot be avoided by label
+# partitioning (a first-step //x could be answered from one
+# partition without recursion).
+QUERY = "/site/open_auctions//date"
+
+
+@pytest.fixture(scope="module")
+def sized_stores(auction_documents):
+    """scheme -> {sf -> (scheme, doc_id)} across the scale sweep."""
+    stores = {}
+    databases = []
+    for name in SCHEMES:
+        per_scale = {}
+        for sf in SCALE_SWEEP:
+            db = Database()
+            databases.append(db)
+            scheme = create_scheme(name, db, **scheme_kwargs(name))
+            result = scheme.store(auction_documents[sf], f"auction-{sf}")
+            per_scale[sf] = (scheme, result.doc_id)
+        stores[name] = per_scale
+    yield stores
+    for db in databases:
+        db.close()
+
+
+@pytest.mark.benchmark(group="e4-descendant", max_time=0.5, min_rounds=3)
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+def test_e4_descendant_latency(benchmark, sized_stores, scheme_name):
+    scheme, doc_id = sized_stores[scheme_name][SCALE_SWEEP[-1]]
+    result = benchmark(scheme.query_pres, doc_id, QUERY)
+    assert result
+
+
+def test_e4_report(benchmark, sized_stores):
+    result = ExperimentResult(
+        experiment="E4",
+        title=f"Descendant query latency vs document size ({QUERY}, ms)",
+        workload=f"auction documents at scale factors {list(SCALE_SWEEP)}",
+        expectation=(
+            "edge/binary recursive closure grows fastest; interval "
+            "(region) and dewey (prefix) stay near-flat"
+        ),
+    )
+    measured = {}
+    expected_counts = {}
+    for scheme_name in SCHEMES:
+        row = result.add_row(scheme_name)
+        for sf in SCALE_SWEEP:
+            scheme, doc_id = sized_stores[scheme_name][sf]
+            seconds = time_call(
+                lambda s=scheme, d=doc_id: s.query_pres(d, QUERY),
+                repetitions=5,
+            )
+            measured[(scheme_name, sf)] = seconds
+            row.set(f"sf={sf}", seconds * 1000)
+            count = len(scheme.query_pres(doc_id, QUERY))
+            assert expected_counts.setdefault(sf, count) == count
+    write_report(result)
+    benchmark(lambda: None)
+
+    # Shape: at the largest size, the recursive-closure mappings lose to
+    # the order-encoding mappings by a clear factor.
+    largest = SCALE_SWEEP[-1]
+    assert measured[("edge", largest)] > 2 * measured[("interval", largest)]
+    assert measured[("binary", largest)] > 2 * measured[
+        ("interval", largest)
+    ]
+    assert measured[("edge", largest)] > 2 * measured[("dewey", largest)]

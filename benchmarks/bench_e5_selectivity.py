@@ -1,0 +1,69 @@
+"""E5 (Figure 3) — value-predicate latency vs. selectivity.
+
+Query family: ``/site/open_auctions/open_auction[initial > X]/current``
+with the threshold X swept so the predicate keeps from ~100 % down to a
+few percent of the auctions (``initial`` is drawn uniformly from
+[1, 200]).  Expected shape: every scheme gets cheaper as the predicate
+gets more selective (fewer rows survive into the final join/fetch), and
+the schemes converge at high selectivity — the tutorial's point that
+value-selective workloads blur the differences between the mappings.
+"""
+
+import pytest
+
+from repro.bench import ExperimentResult, time_call, write_report
+
+from benchmarks.conftest import SCHEMES
+
+THRESHOLDS = (1, 100, 150, 190)
+
+
+def query_for(threshold: int) -> str:
+    return (
+        f"/site/open_auctions/open_auction[initial > {threshold}]/current"
+    )
+
+
+@pytest.mark.benchmark(group="e5-selectivity", max_time=0.5, min_rounds=3)
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+def test_e5_latency(benchmark, auction_stores, scheme_name, threshold):
+    scheme, doc_id = auction_stores[scheme_name]
+    result = benchmark(scheme.query_pres, doc_id, query_for(threshold))
+    assert isinstance(result, list)
+
+
+def test_e5_report(benchmark, auction_stores):
+    result = ExperimentResult(
+        experiment="E5",
+        title="Value predicate latency vs selectivity (ms)",
+        workload=(
+            "auction sf=0.1, initial > X for X in "
+            f"{list(THRESHOLDS)} (uniform prices in [1, 200])"
+        ),
+        expectation=(
+            "all schemes get cheaper as selectivity rises; differences "
+            "shrink at the selective end"
+        ),
+    )
+    counts = {}
+    for scheme_name in SCHEMES:
+        scheme, doc_id = auction_stores[scheme_name]
+        row = result.add_row(scheme_name)
+        for threshold in THRESHOLDS:
+            query = query_for(threshold)
+            seconds = time_call(
+                lambda s=scheme, q=query, d=doc_id: s.query_pres(d, q),
+                repetitions=5,
+            )
+            row.set(f"X={threshold}", seconds * 1000)
+            count = len(scheme.query_pres(doc_id, query))
+            assert counts.setdefault((threshold,), count) == count
+    write_report(result)
+    benchmark(lambda: None)
+
+    # Monotonic result sizes: higher threshold, fewer matches.
+    sizes = [counts[(t,)] for t in THRESHOLDS]
+    assert sizes == sorted(sizes, reverse=True)
+    assert sizes[0] > 0
+    assert sizes[-1] < sizes[0] / 5  # the sweep really spans selectivity

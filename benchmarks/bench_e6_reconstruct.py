@@ -1,0 +1,78 @@
+"""E6 (Table 3) — subtree reconstruction (publishing) time vs size.
+
+Reconstruction targets of increasing size: one person, one open auction,
+the regions subtree, and the whole document.  Expected shape: the
+interval and dewey mappings fetch a subtree with one index range scan
+(pre window / label prefix), while edge and binary must chase parent
+pointers through a recursive query — the gap widens with subtree size.
+"""
+
+import pytest
+
+from repro.bench import ExperimentResult, time_call, write_report
+from repro.xpath import evaluate_nodes
+
+from benchmarks.conftest import SCHEMES
+
+TARGETS = [
+    ("person", "/site/people/person[1]"),
+    ("auction", "/site/open_auctions/open_auction[1]"),
+    ("regions", "/site/regions"),
+    ("document", "/site"),
+]
+
+
+@pytest.fixture(scope="module")
+def target_pres(auction_document):
+    auction_document.assign_order()
+    return {
+        label: evaluate_nodes(auction_document, query)[0].order_key
+        for label, query in TARGETS
+    }
+
+
+@pytest.mark.benchmark(group="e6-reconstruct", max_time=0.5, min_rounds=3)
+@pytest.mark.parametrize("target", [label for label, __ in TARGETS])
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+def test_e6_reconstruct(
+    benchmark, auction_stores, target_pres, scheme_name, target
+):
+    scheme, doc_id = auction_stores[scheme_name]
+    node = benchmark(
+        scheme.reconstruct_subtree, doc_id, target_pres[target]
+    )
+    assert node is not None
+
+
+def test_e6_report(benchmark, auction_stores, target_pres):
+    result = ExperimentResult(
+        experiment="E6",
+        title="Subtree reconstruction time (ms)",
+        workload="auction sf=0.1; person < auction < regions < document",
+        expectation=(
+            "interval/dewey: one range scan, flat-ish; edge/binary: "
+            "recursive parent chasing, growing with subtree size"
+        ),
+    )
+    measured = {}
+    for scheme_name in SCHEMES:
+        scheme, doc_id = auction_stores[scheme_name]
+        row = result.add_row(scheme_name)
+        for label, __ in TARGETS:
+            seconds = time_call(
+                lambda s=scheme, d=doc_id, p=target_pres[label]:
+                s.reconstruct_subtree(d, p),
+                repetitions=3,
+            )
+            measured[(scheme_name, label)] = seconds
+            row.set(label, seconds * 1000)
+    write_report(result)
+    benchmark(lambda: None)
+
+    # On the big subtree, recursive chasing loses to the range scan.
+    assert measured[("edge", "regions")] > measured[
+        ("interval", "regions")
+    ]
+    assert measured[("binary", "regions")] > measured[
+        ("interval", "regions")
+    ]

@@ -1,0 +1,56 @@
+"""Quickstart: store an XML document in a relational database, query it
+with XPath, inspect the generated SQL, and get your document back.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import XmlRelStore
+
+BIB = """\
+<bib>
+  <book year="1994" id="b1">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000" id="b2">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <publisher>Morgan Kaufmann</publisher>
+    <price>39.95</price>
+  </book>
+</bib>
+"""
+
+
+def main() -> None:
+    # Open an in-memory store using the interval (pre/post) mapping —
+    # the all-round default.  Other schemes: edge, binary, universal,
+    # dewey, xrel, inlining.
+    with XmlRelStore.open(scheme="interval") as store:
+        doc_id = store.store_text(BIB, name="bibliography")
+        print(f"stored document #{doc_id} "
+              f"({store.documents()[0].node_count} nodes) "
+              f"in tables: {store.table_names()}")
+
+        print("\n-- titles of books over $50 --")
+        for xml in store.query_xml(doc_id, "/bib/book[price > 50]/title"):
+            print("  ", xml)
+
+        print("\n-- authors anywhere (descendant axis) --")
+        for node in store.query(doc_id, "//author/last"):
+            print("  ", node.string_value)
+
+        print("\n-- the SQL behind the predicate query --")
+        sql, params = store.sql_for(doc_id, "/bib/book[price > 50]/title")
+        print(sql)
+        print("parameters:", params)
+
+        print("\n-- full document reconstructed from rows --")
+        print(store.reconstruct_xml(doc_id)[:120] + "...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Optimizer statistics: build a path summary, estimate query
+cardinalities, and check the estimates against real result sizes.
+
+Run:  python examples/selectivity_stats.py
+"""
+
+from repro.stats import build_summary, estimate_cardinality
+from repro.workloads import generate_auction
+from repro.xpath import evaluate_nodes
+
+
+QUERIES = [
+    "/site/people/person",
+    "//bidder",
+    "//item/name",
+    "/site/regions/africa/item/description",
+    "/site/open_auctions/open_auction[initial > 50]",
+    "/site/open_auctions/open_auction[initial > 150]",
+    "/site/people/person[address]",
+    "/site/people/person[address/city = 'Berlin']/name",
+    "//item[contains(description, 'vintage')]",
+]
+
+
+def main() -> None:
+    document = generate_auction(scale_factor=0.2, seed=11)
+    summary = build_summary(document)
+    print(
+        f"path summary: {summary.path_count} distinct paths over "
+        f"{summary.total_nodes} nodes "
+        f"({100 * summary.path_count / summary.total_nodes:.1f}% of the "
+        "data — why exhaustive path statistics are affordable)"
+    )
+
+    print("\n-- a few per-path statistics --")
+    for path in (
+        ("site", "people", "person"),
+        ("site", "open_auctions", "open_auction", "initial"),
+    ):
+        statistics = summary.get(path)
+        print(
+            f"  /{'/'.join(path)}: count={statistics.count}, "
+            f"distinct values={statistics.distinct_values}, "
+            f"numeric range=[{statistics.numeric_min}, "
+            f"{statistics.numeric_max}]"
+        )
+
+    print(f"\n{'query':58s} {'actual':>6s} {'estimate':>9s} {'q-err':>6s}")
+    for query in QUERIES:
+        actual = len(evaluate_nodes(document, query))
+        estimate = estimate_cardinality(summary, query)
+        if actual and estimate:
+            q_error = max(actual / estimate, estimate / actual)
+        else:
+            q_error = 1.0 if actual == estimate else float("inf")
+        print(f"{query:58s} {actual:6d} {estimate:9.1f} {q_error:6.2f}")
+
+    print(
+        "\nstructure-only estimates are exact (the summary enumerates "
+        "every occurring path);\npredicates use uniform-range and "
+        "distinct-value models; contains() is the classic 10% guess."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline CI).
+
+The canonical metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path (`pip install -e .`) used by such environments.
+"""
+
+from setuptools import setup
+
+setup()

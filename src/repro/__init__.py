@@ -1,0 +1,56 @@
+"""xmlrel — storage and retrieval of XML data using relational databases.
+
+A from-scratch reproduction of the ICDE 2003 tutorial's subject matter:
+every major XML→relational mapping (edge, binary, universal, interval,
+Dewey, XRel, DTD inlining), an XPath subset translated to SQL over each,
+and the apparatus to compare them.
+
+Quickstart::
+
+    from repro import XmlRelStore
+
+    with XmlRelStore.open(scheme="interval") as store:
+        doc_id = store.store_text("<bib><book year='2000'>"
+                                  "<title>Data on the Web</title>"
+                                  "</book></bib>")
+        print(store.query_xml(doc_id, "/bib/book[@year = '2000']/title"))
+"""
+
+from repro.core.compare import compare_schemes
+from repro.core.registry import available_schemes, create_scheme
+from repro.core.store import XmlRelStore, open_store
+from repro.errors import (
+    UnsupportedQueryError,
+    XmlRelError,
+    XmlSyntaxError,
+    XPathSyntaxError,
+)
+from repro.relational.database import Database
+from repro.xml.dom import deep_equal
+from repro.xml.parser import parse_document, parse_fragment
+from repro.xml.serialize import serialize, serialize_pretty
+from repro.xpath.evaluator import evaluate, evaluate_nodes
+from repro.xpath.parser import parse_xpath
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "UnsupportedQueryError",
+    "XPathSyntaxError",
+    "XmlRelError",
+    "XmlRelStore",
+    "XmlSyntaxError",
+    "available_schemes",
+    "compare_schemes",
+    "create_scheme",
+    "deep_equal",
+    "evaluate",
+    "evaluate_nodes",
+    "open_store",
+    "parse_document",
+    "parse_fragment",
+    "parse_xpath",
+    "serialize",
+    "serialize_pretty",
+]

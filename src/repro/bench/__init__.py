@@ -1,0 +1,16 @@
+"""Benchmark harness: timing, result records, paper-style tables."""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    Row,
+    time_call,
+)
+from repro.bench.report import format_table, write_report
+
+__all__ = [
+    "ExperimentResult",
+    "Row",
+    "format_table",
+    "time_call",
+    "write_report",
+]

@@ -1,0 +1,83 @@
+"""Measurement primitives and result records for the experiment suite.
+
+Each benchmark module builds :class:`Row` objects (one per table row or
+figure series point) into an :class:`ExperimentResult` and hands it to
+:func:`repro.bench.report.write_report`, which renders the paper-style
+table under ``benchmarks/results/``.  Wall-clock timing for the
+latency-style experiments additionally goes through pytest-benchmark so
+``bench_output.txt`` carries calibrated numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Row:
+    """One table row / figure point: a label plus named measurements."""
+
+    label: str
+    values: dict[str, object] = field(default_factory=dict)
+
+    def set(self, column: str, value: object) -> "Row":
+        self.values[column] = value
+        return self
+
+
+@dataclass
+class ExperimentResult:
+    """All rows of one experiment, plus its header metadata."""
+
+    experiment: str
+    title: str
+    workload: str
+    expectation: str
+    columns: list[str] = field(default_factory=list)
+    rows: list[Row] = field(default_factory=list)
+
+    def add_row(self, label: str, **values: object) -> Row:
+        row = Row(label, dict(values))
+        self.rows.append(row)
+        return row
+
+    def all_columns(self) -> list[str]:
+        """Declared columns plus any set later via ``Row.set``, in
+        first-appearance order."""
+        columns = list(self.columns)
+        for row in self.rows:
+            for column in row.values:
+                if column not in columns:
+                    columns.append(column)
+        return columns
+
+    def column_values(self, column: str) -> list[object]:
+        return [row.values.get(column) for row in self.rows]
+
+
+def time_call(callable_, repetitions: int = 3) -> float:
+    """Best-of-N wall-clock seconds of ``callable_()``."""
+    best = float("inf")
+    for __ in range(repetitions):
+        started = time.perf_counter()
+        callable_()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return best
+
+
+def format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value is None:
+        return "—"
+    return str(value)

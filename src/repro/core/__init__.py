@@ -1,0 +1,13 @@
+"""The headline public API: open a store, pick a mapping, query it."""
+
+from repro.core.registry import available_schemes, create_scheme
+from repro.core.store import XmlRelStore
+from repro.core.compare import SchemeComparison, compare_schemes
+
+__all__ = [
+    "SchemeComparison",
+    "XmlRelStore",
+    "available_schemes",
+    "compare_schemes",
+    "create_scheme",
+]

@@ -1,0 +1,110 @@
+"""Multi-scheme comparison driver (used by examples and benchmarks).
+
+Runs the same document + query workload through several schemes side by
+side, timing store/query/reconstruct and checking that every scheme's
+answers agree — the end-to-end apparatus behind experiment E12.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.registry import available_schemes, create_scheme
+from repro.errors import UnsupportedQueryError, XmlRelError
+from repro.relational.database import Database
+from repro.xml.dom import Document
+
+
+@dataclass
+class QueryOutcome:
+    """One scheme's result for one query."""
+
+    supported: bool
+    seconds: float = 0.0
+    result_count: int = 0
+    pres: tuple[int, ...] = ()
+    reason: str = ""
+
+
+@dataclass
+class SchemeComparison:
+    """All measurements for one scheme over one workload."""
+
+    scheme: str
+    store_seconds: float
+    storage_bytes: int
+    table_count: int
+    total_rows: int
+    outcomes: dict[str, QueryOutcome] = field(default_factory=dict)
+
+    def supported_queries(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.supported)
+
+
+def compare_schemes(
+    document: Document,
+    queries: list[str],
+    schemes: list[str] | None = None,
+    scheme_kwargs: dict[str, dict] | None = None,
+    repetitions: int = 1,
+) -> dict[str, SchemeComparison]:
+    """Run *document* and *queries* through each scheme; verify agreement.
+
+    Returns per-scheme measurements.  Schemes that cannot translate a
+    query record an unsupported outcome instead of failing the run.
+    Raises :class:`XmlRelError` if two schemes that both support a query
+    disagree on its answer — the comparison is also a correctness check.
+    """
+    names = schemes or available_schemes()
+    scheme_kwargs = scheme_kwargs or {}
+    results: dict[str, SchemeComparison] = {}
+    answers: dict[str, tuple[int, ...]] = {}
+    for name in names:
+        db = Database()
+        scheme = create_scheme(name, db, **scheme_kwargs.get(name, {}))
+        started = time.perf_counter()
+        shred = scheme.store(document, "compare")
+        store_seconds = time.perf_counter() - started
+        comparison = SchemeComparison(
+            scheme=name,
+            store_seconds=store_seconds,
+            storage_bytes=scheme.storage_bytes(),
+            table_count=len(scheme.table_names()),
+            total_rows=shred.total_rows,
+        )
+        for query in queries:
+            comparison.outcomes[query] = _run_query(
+                scheme, shred.doc_id, query, repetitions
+            )
+        db.close()
+        results[name] = comparison
+        for query, outcome in comparison.outcomes.items():
+            if not outcome.supported:
+                continue
+            if query in answers and answers[query] != outcome.pres:
+                raise XmlRelError(
+                    f"schemes disagree on {query!r}: "
+                    f"{outcome.pres} vs {answers[query]}"
+                )
+            answers.setdefault(query, outcome.pres)
+    return results
+
+
+def _run_query(
+    scheme, doc_id: int, query: str, repetitions: int
+) -> QueryOutcome:
+    try:
+        pres = scheme.query_pres(doc_id, query)  # warm-up: plan + caches
+        started = time.perf_counter()
+        for _ in range(repetitions):
+            pres = scheme.query_pres(doc_id, query)
+        seconds = (time.perf_counter() - started) / repetitions
+    except UnsupportedQueryError as error:
+        return QueryOutcome(supported=False, reason=str(error))
+    return QueryOutcome(
+        supported=True,
+        seconds=seconds,
+        result_count=len(pres),
+        pres=tuple(pres),
+    )

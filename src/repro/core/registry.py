@@ -1,0 +1,52 @@
+"""Registry of storage schemes by name."""
+
+from __future__ import annotations
+
+from repro.errors import XmlRelError
+from repro.relational.database import Database
+from repro.storage.base import MappingScheme
+from repro.storage.binary import BinaryScheme
+from repro.storage.dewey import DeweyScheme
+from repro.storage.edge import EdgeScheme
+from repro.storage.inlining import InliningScheme
+from repro.storage.interval import IntervalScheme
+from repro.storage.universal import UniversalScheme
+from repro.storage.xrel import XRelScheme
+
+_SCHEMES: dict[str, type[MappingScheme]] = {
+    cls.name: cls
+    for cls in (
+        EdgeScheme,
+        BinaryScheme,
+        UniversalScheme,
+        IntervalScheme,
+        DeweyScheme,
+        XRelScheme,
+        InliningScheme,
+    )
+}
+
+
+def available_schemes() -> list[str]:
+    """Names of all registered storage schemes."""
+    return list(_SCHEMES)
+
+
+def scheme_class(name: str) -> type[MappingScheme]:
+    """The scheme class registered under *name*."""
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise XmlRelError(
+            f"unknown scheme {name!r}; available: "
+            + ", ".join(available_schemes())
+        ) from None
+
+
+def create_scheme(name: str, db: Database, **kwargs) -> MappingScheme:
+    """Instantiate scheme *name* over *db*.
+
+    ``kwargs`` are scheme-specific (the inlining scheme takes ``dtd`` and
+    ``strategy``).
+    """
+    return scheme_class(name)(db, **kwargs)

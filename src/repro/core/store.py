@@ -1,0 +1,153 @@
+"""``XmlRelStore`` — the one-stop facade.
+
+.. code-block:: python
+
+    from repro import XmlRelStore
+
+    with XmlRelStore.open("catalog.db", scheme="interval") as store:
+        doc_id = store.store_text("<bib>...</bib>")
+        for title in store.query(doc_id, "/bib/book/title"):
+            print(store.serialize_node(title))
+
+A store wraps one sqlite database and one storage scheme.  Queries go
+through the scheme's XPath→SQL translator; results come back either as
+``pre`` ids (:meth:`query_pres`), reconstructed DOM nodes
+(:meth:`query`), or serialized XML strings (:meth:`query_xml`).
+"""
+
+from __future__ import annotations
+
+from repro.core.registry import create_scheme
+from repro.errors import XmlRelError
+from repro.relational.catalog import DocumentRecord
+from repro.relational.database import Database
+from repro.storage.base import MappingScheme, ShredResult
+from repro.xml.dom import Document, Node
+from repro.xml.parser import ParseOptions, parse_document
+from repro.xml.serialize import serialize
+
+
+class XmlRelStore:
+    """An XML document store over a relational database."""
+
+    def __init__(self, db: Database, scheme: MappingScheme) -> None:
+        self.db = db
+        self.scheme = scheme
+
+    @classmethod
+    def open(
+        cls, path: str = ":memory:", scheme: str = "interval", **kwargs
+    ) -> "XmlRelStore":
+        """Open (creating if needed) a store at *path* using *scheme*.
+
+        ``kwargs`` pass through to the scheme (e.g. ``dtd=``/``strategy=``
+        for ``inlining``).
+        """
+        db = Database(path)
+        return cls(db, create_scheme(scheme, db, **kwargs))
+
+    def close(self) -> None:
+        self.db.close()
+
+    def __enter__(self) -> "XmlRelStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- storing ----------------------------------------------------------------
+
+    def store(self, document: Document, name: str = "document") -> int:
+        """Shred a parsed document; returns its doc_id."""
+        return self.scheme.store(document, name).doc_id
+
+    def store_detailed(
+        self, document: Document, name: str = "document"
+    ) -> ShredResult:
+        """Like :meth:`store` but returns full row accounting."""
+        return self.scheme.store(document, name)
+
+    def store_text(
+        self,
+        text: str,
+        name: str = "document",
+        keep_whitespace: bool = True,
+    ) -> int:
+        """Parse and store XML *text*."""
+        document = parse_document(
+            text, ParseOptions(keep_whitespace=keep_whitespace)
+        )
+        return self.store(document, name)
+
+    def store_file(self, path: str, name: str | None = None) -> int:
+        """Parse and store the XML file at *path*."""
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        return self.store_text(text, name or path)
+
+    # -- catalog ------------------------------------------------------------------
+
+    def documents(self) -> list[DocumentRecord]:
+        """Catalog rows of every stored document."""
+        return self.scheme.catalog.list(scheme=self.scheme.name)
+
+    def delete(self, doc_id: int) -> None:
+        """Remove a stored document."""
+        self.scheme.delete_document(doc_id)
+
+    # -- querying ------------------------------------------------------------------
+
+    def query_pres(self, doc_id: int, xpath: str) -> list[int]:
+        """Matching node ids (pre order positions), via SQL."""
+        return self.scheme.query_pres(doc_id, xpath)
+
+    def query(self, doc_id: int, xpath: str) -> list[Node]:
+        """Matching nodes, reconstructed from the database."""
+        return self.scheme.query_nodes(doc_id, xpath)
+
+    def query_xml(self, doc_id: int, xpath: str) -> list[str]:
+        """Matching nodes as serialized XML fragments."""
+        return [serialize(node) for node in self.query(doc_id, xpath)]
+
+    def sql_for(self, doc_id: int, xpath: str) -> tuple[str, list]:
+        """The generated SQL (and parameters) for *xpath* — inspection and
+        the plan-complexity experiment."""
+        return self.scheme.translator().sql_for(doc_id, xpath)
+
+    # -- retrieval -----------------------------------------------------------------
+
+    def reconstruct(self, doc_id: int) -> Document:
+        """Rebuild the whole document from its rows."""
+        return self.scheme.reconstruct(doc_id)
+
+    def reconstruct_xml(self, doc_id: int) -> str:
+        """Rebuild and serialize the whole document."""
+        return serialize(self.reconstruct(doc_id))
+
+    def reconstruct_subtree(self, doc_id: int, pre: int) -> Node:
+        """Rebuild one subtree by its node id."""
+        return self.scheme.reconstruct_subtree(doc_id, pre)
+
+    @staticmethod
+    def serialize_node(node: Node) -> str:
+        """Serialize one reconstructed node."""
+        return serialize(node)
+
+    # -- accounting -----------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Logical bytes used by the scheme's relations."""
+        return self.scheme.storage_bytes()
+
+    def table_names(self) -> list[str]:
+        """The scheme's relations currently present."""
+        return self.scheme.table_names()
+
+
+def open_store(
+    path: str = ":memory:", scheme: str = "interval", **kwargs
+) -> XmlRelStore:
+    """Module-level convenience alias of :meth:`XmlRelStore.open`."""
+    if not isinstance(path, str):
+        raise XmlRelError("path must be a string (use ':memory:' for RAM)")
+    return XmlRelStore.open(path, scheme, **kwargs)

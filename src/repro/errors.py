@@ -1,0 +1,86 @@
+"""Exception hierarchy for the xmlrel reproduction.
+
+Every error raised by the library derives from :class:`XmlRelError` so that
+callers can catch library failures with a single ``except`` clause while the
+concrete subclasses preserve the failing layer (parsing, shredding, query
+translation, ...).
+"""
+
+from __future__ import annotations
+
+
+class XmlRelError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XmlSyntaxError(XmlRelError):
+    """Raised when an XML document is not well formed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending position so
+    error messages can point at the exact spot in the source text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class DtdSyntaxError(XmlSyntaxError):
+    """Raised when a DTD (internal or external subset) cannot be parsed."""
+
+
+class XPathSyntaxError(XmlRelError):
+    """Raised when an XPath expression cannot be parsed.
+
+    ``position`` is the 0-based character offset within the expression.
+    """
+
+    def __init__(self, message: str, position: int = 0):
+        self.position = position
+        super().__init__(f"{message} (at offset {position})")
+
+
+class XPathEvaluationError(XmlRelError):
+    """Raised when a syntactically valid XPath cannot be evaluated."""
+
+
+class UnsupportedQueryError(XmlRelError):
+    """Raised when a query uses a feature a given translator cannot compile.
+
+    The in-memory evaluator supports the full implemented XPath subset; the
+    per-scheme SQL translators may each reject a narrower set (recorded in
+    their docstrings).  This error names the feature and the scheme.
+    """
+
+    def __init__(self, feature: str, scheme: str | None = None):
+        self.feature = feature
+        self.scheme = scheme
+        where = f" by scheme '{scheme}'" if scheme else ""
+        super().__init__(f"unsupported query feature{where}: {feature}")
+
+
+class StorageError(XmlRelError):
+    """Raised on shredding/reconstruction failures inside a storage scheme."""
+
+
+class SchemaMappingError(StorageError):
+    """Raised when a DTD cannot be mapped to a relational schema."""
+
+
+class DocumentNotFoundError(StorageError):
+    """Raised when a document id is absent from the store catalog."""
+
+    def __init__(self, doc_id: int):
+        self.doc_id = doc_id
+        super().__init__(f"no stored document with id {doc_id}")
+
+
+class UpdateError(XmlRelError):
+    """Raised when an update (insert/delete) cannot be applied."""
+
+
+class WorkloadError(XmlRelError):
+    """Raised on invalid workload-generator parameters."""

@@ -1,0 +1,26 @@
+"""XPath→SQL translation, one translator per storage scheme.
+
+:mod:`repro.query.plan` normalizes a parsed location path into the step
+plans and predicate plans all translators consume; the per-scheme modules
+turn plans into SQL over that scheme's relations.  Every translator's
+contract is the same: given a ``doc_id`` and an XPath string, return the
+matching nodes' ``pre`` ids in document order.
+"""
+
+from repro.query.plan import (
+    PathPlan,
+    PredicatePlan,
+    StepPlan,
+    ValuePath,
+    plan_path,
+)
+from repro.query.translator import BaseTranslator
+
+__all__ = [
+    "BaseTranslator",
+    "PathPlan",
+    "PredicatePlan",
+    "StepPlan",
+    "ValuePath",
+    "plan_path",
+]

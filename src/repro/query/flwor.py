@@ -1,0 +1,317 @@
+"""FLWOR-lite: a ``for/where/return`` front end over path plans.
+
+The tutorial's headline use case is FLWOR-style selection::
+
+    for $b in /bib/book
+    where $b/publisher = 'Springer' and $b/@year > 2000
+    return $b/title
+
+This module compiles that fragment by *normalization to a location path*
+(the classic first rewriting step of XQuery processors): each ``for``
+variable becomes a step chain, each ``where`` conjunct becomes a
+predicate on its variable's step, and the ``return`` expression extends
+the final variable.  The example compiles to::
+
+    /bib/book[publisher = 'Springer'][@year > 2000]/title
+
+Scope (checked, with precise errors):
+
+* one or more ``for $v in <path>`` bindings; the first is absolute, each
+  later one must start at the previously bound variable (``$v/rest``);
+* ``where`` is an ``and``-separated list; each conjunct references
+  exactly one bound variable and is otherwise a translatable predicate;
+* ``return`` is ``$v`` or ``$v/<relative path>`` over the **last**
+  variable.
+
+Results follow XPath semantics — distinct nodes in document order (a
+tuple stream with duplicates needs full FLWOR iteration, which is out of
+scope and documented as such).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.parser import parse_xpath
+
+_VARIABLE_RE = re.compile(r"\$([A-Za-z_][A-Za-z0-9_]*)")
+_FOR_RE = re.compile(r"^\s*for\s+", re.IGNORECASE | re.DOTALL)
+_CLAUSE_SPLIT_RE = re.compile(
+    r"\b(where|return)\b", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class FlworQuery:
+    """A parsed-and-compiled FLWOR-lite query."""
+
+    source: str
+    bindings: tuple[tuple[str, str], ...]   # (variable, path fragment)
+    conditions: tuple[tuple[str, str], ...]  # (variable, predicate text)
+    return_variable: str
+    return_path: str
+    xpath: str
+
+    def __str__(self) -> str:
+        return self.xpath
+
+
+def compile_flwor(source: str) -> FlworQuery:
+    """Compile FLWOR-lite *source* into an equivalent XPath query."""
+    for_part, where_part, return_part = _split_clauses(source)
+    bindings = _parse_bindings(for_part)
+    conditions = _parse_conditions(where_part, bindings)
+    return_variable, return_path = _parse_return(return_part, bindings)
+    xpath = _compose(bindings, conditions, return_variable, return_path)
+    # Validate the composition parses as XPath before handing it out.
+    parse_xpath(xpath)
+    return FlworQuery(
+        source=source,
+        bindings=tuple(bindings),
+        conditions=tuple(conditions),
+        return_variable=return_variable,
+        return_path=return_path,
+        xpath=xpath,
+    )
+
+
+def run_flwor(store, doc_id: int, source: str):
+    """Compile and execute a FLWOR-lite query against a store/scheme.
+
+    *store* needs a ``query_nodes(doc_id, xpath)`` method —
+    :class:`~repro.core.store.XmlRelStore` has ``query``;
+    :class:`~repro.storage.base.MappingScheme` has ``query_nodes``.
+    """
+    compiled = compile_flwor(source)
+    runner = getattr(store, "query_nodes", None) or store.query
+    return runner(doc_id, compiled.xpath)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def _split_clauses(source: str) -> tuple[str, str | None, str]:
+    if not _FOR_RE.match(source):
+        raise XPathSyntaxError("FLWOR query must start with 'for'", 0)
+    body = _FOR_RE.sub("", source, count=1)
+    parts = _CLAUSE_SPLIT_RE.split(body)
+    # parts = [for-body, ('where'|'return'), text, ...]
+    for_part = parts[0]
+    where_part: str | None = None
+    return_part: str | None = None
+    index = 1
+    while index < len(parts) - 1:
+        keyword = parts[index].lower()
+        text = parts[index + 1]
+        if keyword == "where":
+            if where_part is not None or return_part is not None:
+                raise XPathSyntaxError(
+                    "unexpected 'where' clause position", 0
+                )
+            where_part = text
+        else:
+            if return_part is not None:
+                raise XPathSyntaxError("duplicate 'return' clause", 0)
+            return_part = text
+        index += 2
+    if return_part is None:
+        raise XPathSyntaxError("FLWOR query needs a 'return' clause", 0)
+    return for_part, where_part, return_part
+
+
+def _parse_bindings(for_part: str) -> list[tuple[str, str]]:
+    bindings: list[tuple[str, str]] = []
+    for raw in _split_top_level_commas(for_part):
+        match = re.match(
+            r"^\s*\$([A-Za-z_][A-Za-z0-9_]*)\s+in\s+(.+?)\s*$",
+            raw,
+            re.DOTALL | re.IGNORECASE,
+        )
+        if not match:
+            raise XPathSyntaxError(
+                f"malformed for-binding: {raw.strip()!r}", 0
+            )
+        variable, path = match.group(1), match.group(2).strip()
+        if not bindings:
+            if path.startswith("$"):
+                raise XPathSyntaxError(
+                    "the first binding must be an absolute path", 0
+                )
+        else:
+            previous = bindings[-1][0]
+            prefix = f"${previous}/"
+            if not path.startswith(prefix):
+                raise XPathSyntaxError(
+                    f"binding ${variable} must start at ${previous}/", 0
+                )
+            path = path[len(prefix):]
+        if any(variable == seen for seen, __ in bindings):
+            raise XPathSyntaxError(f"duplicate variable ${variable}", 0)
+        bindings.append((variable, path))
+    if not bindings:
+        raise XPathSyntaxError("no for-bindings found", 0)
+    return bindings
+
+
+def _split_top_level_commas(text: str) -> list[str]:
+    """Split on commas outside brackets/quotes."""
+    parts: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current: list[str] = []
+    for ch in text:
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _parse_conditions(
+    where_part: str | None, bindings: list[tuple[str, str]]
+) -> list[tuple[str, str]]:
+    if where_part is None or not where_part.strip():
+        return []
+    known = {variable for variable, __ in bindings}
+    conditions: list[tuple[str, str]] = []
+    for conjunct in _split_top_level_and(where_part):
+        used = set(_VARIABLE_RE.findall(conjunct))
+        if not used:
+            raise XPathSyntaxError(
+                f"condition references no variable: {conjunct.strip()!r}", 0
+            )
+        if len(used) > 1:
+            raise XPathSyntaxError(
+                "conditions joining two variables are not supported "
+                f"in FLWOR-lite: {conjunct.strip()!r}", 0
+            )
+        variable = used.pop()
+        if variable not in known:
+            raise XPathSyntaxError(f"unbound variable ${variable}", 0)
+        predicate = _strip_variable(conjunct.strip(), variable)
+        conditions.append((variable, predicate))
+    return conditions
+
+
+def _split_top_level_and(text: str) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if quote:
+            if ch == quote:
+                quote = None
+            current.append(ch)
+            i += 1
+            continue
+        if ch in "'\"":
+            quote = ch
+        elif ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        elif depth == 0 and re.match(
+            r"\band\b", text[i:i + 4], re.IGNORECASE
+        ):
+            parts.append("".join(current))
+            current = []
+            i += 3
+            continue
+        current.append(ch)
+        i += 1
+    parts.append("".join(current))
+    return [p for p in parts if p.strip()]
+
+
+def _strip_variable(condition: str, variable: str) -> str:
+    """Rewrite ``$v/path op lit`` to the predicate text ``path op lit``
+    (and bare ``$v`` references to ``.``)."""
+
+    def replace(match: re.Match) -> str:
+        rest_start = match.end()
+        if rest_start < len(condition) and condition[rest_start] == "/":
+            return ""  # "$v/path" -> "path" (consume the slash below)
+        return "."
+
+    out = []
+    index = 0
+    for match in re.finditer(rf"\${variable}\b", condition):
+        out.append(condition[index:match.start()])
+        follows_slash = (
+            match.end() < len(condition) and condition[match.end()] == "/"
+        )
+        if follows_slash:
+            index = match.end() + 1  # drop "$v/"
+        else:
+            out.append(".")
+            index = match.end()
+    out.append(condition[index:])
+    return "".join(out).strip()
+
+
+def _parse_return(
+    return_part: str, bindings: list[tuple[str, str]]
+) -> tuple[str, str]:
+    text = return_part.strip()
+    match = re.match(
+        r"^\$([A-Za-z_][A-Za-z0-9_]*)(/.*)?$", text, re.DOTALL
+    )
+    if not match:
+        raise XPathSyntaxError(
+            f"return must be $var or $var/path, got {text!r}", 0
+        )
+    variable = match.group(1)
+    last_variable = bindings[-1][0]
+    if variable != last_variable:
+        raise XPathSyntaxError(
+            f"return must use the last bound variable ${last_variable}", 0
+        )
+    relative = (match.group(2) or "").lstrip("/")
+    return variable, relative
+
+
+# ---------------------------------------------------------------------------
+# Composition
+# ---------------------------------------------------------------------------
+
+
+def _compose(
+    bindings: list[tuple[str, str]],
+    conditions: list[tuple[str, str]],
+    return_variable: str,
+    return_path: str,
+) -> str:
+    predicates_of: dict[str, list[str]] = {}
+    for variable, predicate in conditions:
+        predicates_of.setdefault(variable, []).append(predicate)
+    parts: list[str] = []
+    for variable, fragment in bindings:
+        part = fragment
+        for predicate in predicates_of.get(variable, []):
+            part += f"[{predicate}]"
+        parts.append(part)
+    xpath = parts[0]
+    for part in parts[1:]:
+        xpath = f"{xpath}/{part}"
+    if return_path:
+        xpath = f"{xpath}/{return_path}"
+    return xpath

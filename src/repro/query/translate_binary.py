@@ -1,0 +1,56 @@
+"""XPath→SQL for the binary (label-partitioned) mapping.
+
+Inherits the edge translator's CTE pipeline and simply routes each scan to
+the narrowest relation:
+
+* a step/hop with a *named* test touches only that label's partition —
+  the mapping's published advantage on label-selective queries;
+* wildcards, kind tests and descendant closures must use the
+  ``binary_edges`` view (the UNION ALL of every partition) — its published
+  weakness.
+
+A label that was never stored has no partition; scans fall back to the
+view, which simply finds nothing.
+"""
+
+from __future__ import annotations
+
+from repro.query.plan import AXIS_ATTRIBUTE, AXIS_CHILD, StepPlan
+from repro.query.translate_edge import EdgeTranslator
+from repro.storage.binary import EDGES_VIEW
+from repro.xpath.ast import NameTest
+
+
+class BinaryTranslator(EdgeTranslator):
+    """Partition-pruning translator for the binary mapping."""
+
+    table = EDGES_VIEW
+
+    def _partition_or_view(self, label: str) -> str:
+        return self.scheme.partition_for(label) or EDGES_VIEW
+
+    def step_table(self, step: StepPlan) -> str:
+        if (
+            step.axis in (AXIS_CHILD, AXIS_ATTRIBUTE)
+            and isinstance(step.test, NameTest)
+            and not step.test.is_wildcard
+        ):
+            return self._partition_or_view(step.test.name)
+        return EDGES_VIEW
+
+    def closure_table(self) -> str:
+        return EDGES_VIEW
+
+    def element_table(self, name: str) -> str:
+        return self._partition_or_view(name)
+
+    def attribute_table(self, name: str) -> str:
+        return self._partition_or_view(name)
+
+    def text_table(self) -> str:
+        from repro.storage.edge import TEXT_LABEL
+
+        return self._partition_or_view(TEXT_LABEL)
+
+    def position_table(self, step: StepPlan) -> str:
+        return self.step_table(step)

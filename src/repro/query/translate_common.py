@@ -1,0 +1,500 @@
+"""Shared translator machinery for single-node-table mappings.
+
+The interval and Dewey mappings both store every node in one relation with
+``doc_id/kind/name/value/content/ordinal`` columns plus their respective
+order encodings.  :class:`TableTranslator` implements everything that does
+not depend on the encoding — test conditions, predicate compilation, value
+chains, sibling-position counting — through two hooks the concrete
+translators provide:
+
+* :meth:`axis_conditions` — how one location step constrains the new
+  table alias relative to the previous one, and
+* :meth:`child_link` — the parent→child join used inside value chains.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.query.plan import (
+    AXIS_ATTRIBUTE,
+    BooleanPredicate,
+    ComparisonPredicate,
+    ConstantPredicate,
+    CountPredicate,
+    ExistsPredicate,
+    LastPredicate,
+    NotPredicate,
+    PositionPredicate,
+    PredicatePlan,
+    StepPlan,
+    StringMatchPredicate,
+    ValuePath,
+)
+from repro.query.translator import BaseTranslator
+from repro.relational.sql import (
+    And,
+    Col,
+    Comparison,
+    Exists,
+    Func,
+    Like,
+    Not,
+    Or,
+    Param,
+    Raw,
+    ScalarSubquery,
+    Select,
+    SqlExpr,
+    like_escape,
+)
+from repro.xml.dom import NodeKind
+from repro.xpath.ast import AnyKindTest, NameTest, NodeTest, KindTest
+
+ELEMENT = int(NodeKind.ELEMENT)
+ATTRIBUTE = int(NodeKind.ATTRIBUTE)
+TEXT = int(NodeKind.TEXT)
+
+_KIND_OF_TEST = {
+    "text": int(NodeKind.TEXT),
+    "comment": int(NodeKind.COMMENT),
+    "processing-instruction": int(NodeKind.PROCESSING_INSTRUCTION),
+}
+
+
+def compare_value(
+    operand: SqlExpr,
+    op: str | None,
+    literal: str | None,
+    numeric: bool,
+    like_pattern: str | None,
+) -> SqlExpr | None:
+    """The final comparison on a value column (None = pure existence).
+
+    Numeric comparisons go through the ``xpath_num`` UDF so non-numeric
+    text behaves like NaN (never matches), exactly as in XPath.
+    """
+    if like_pattern is not None:
+        return Like(operand, like_pattern)
+    if op is None:
+        return None
+    sql_op = "<>" if op == "!=" else op
+    if numeric:
+        assert literal is not None
+        return Comparison(
+            sql_op, Func("xpath_num", (operand,)), Param(float(literal))
+        )
+    return Comparison(sql_op, operand, Param(literal or ""))
+
+
+def _static_compare(left: float, op: str, right: float) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def match_pattern(function: str, literal: str) -> str:
+    """LIKE pattern for contains()/starts-with()."""
+    escaped = like_escape(literal)
+    return f"%{escaped}%" if function == "contains" else f"{escaped}%"
+
+
+class TableTranslator(BaseTranslator):
+    """Base translator for mappings with one all-nodes relation."""
+
+    #: The node relation's name.
+    table: str = ""
+    #: Column holding the scheme-independent pre id.
+    pre_column: str = "pre"
+    #: Column holding node names (the edge mapping calls it ``label``).
+    name_column: str = "name"
+
+    # -- hooks ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def axis_conditions(
+        self, step: StepPlan, alias: str, prev: str | None
+    ) -> list[SqlExpr]:
+        """Structural conditions tying *alias* to *prev* for *step*.
+
+        ``prev`` is None for the first step (context = document node).
+        """
+
+    @abc.abstractmethod
+    def child_link(self, parent_alias: str, child_alias: str) -> SqlExpr:
+        """Join condition making *child_alias* a child of *parent_alias*."""
+
+    @abc.abstractmethod
+    def same_parent(self, alias_a: str, alias_b: str) -> SqlExpr:
+        """Condition that two aliases denote siblings."""
+
+    # Table-selection hooks: single-table mappings use self.table for
+    # everything; the binary mapping overrides these to prune value chains
+    # and sibling counts to the relevant label partition.
+
+    def element_table(self, name: str) -> str:
+        """Relation to scan for an element hop named *name*."""
+        return self.table
+
+    def attribute_table(self, name: str) -> str:
+        """Relation to scan for an attribute hop named *name*."""
+        return self.table
+
+    def text_table(self) -> str:
+        """Relation holding text nodes."""
+        return self.table
+
+    def position_table(self, step: StepPlan) -> str:
+        """Relation to count preceding siblings in."""
+        return self.table
+
+    def link_columns(self) -> tuple[str, str]:
+        """(child-side parent column, parent-side key column).
+
+        Used by the semi-join rewrite of single-hop equality predicates:
+        ``alias.<key> IN (SELECT <parent> FROM ... WHERE value = ?)`` —
+        an uncorrelated subquery the optimizer can drive from the value
+        index, turning point lookups O(log n) (experiment E11).
+        """
+        return "parent_pre", "pre"
+
+    # -- main translation --------------------------------------------------------
+
+    _SIBLING_LIKE_AXES = (
+        "following-sibling", "preceding-sibling", "following", "preceding",
+    )
+
+    def translate(self, doc_id: int, xpath) -> Select:
+        plan = self.plan(xpath)
+        query = Select()
+        prev: str | None = None
+        prev_step = None
+        for i, step in enumerate(plan.steps):
+            if (
+                step.axis in self._SIBLING_LIKE_AXES
+                and prev_step is not None
+                and prev_step.axis == AXIS_ATTRIBUTE
+            ):
+                # XPath gives attributes no siblings and a peculiar
+                # following set; SQL parent-links would answer wrongly.
+                raise self.scheme.unsupported(
+                    f"{step.axis} from an attribute context"
+                )
+            alias = f"n{i}"
+            conditions = [Col("doc_id", alias).eq(Param(doc_id))]
+            conditions += self.axis_conditions(step, alias, prev)
+            conditions += self.test_conditions(step.test, step.axis, alias)
+            for predicate in step.predicates:
+                conditions.append(
+                    self.predicate_condition(predicate, alias, step, doc_id)
+                )
+            if prev is None:
+                query.from_table(self.table, alias)
+                for condition in conditions:
+                    query.where(condition)
+            else:
+                query.join(self.table, alias, And(tuple(conditions)))
+            prev = alias
+            prev_step = step
+        assert prev is not None
+        query.select(Col(self.pre_column, prev))
+        query.distinct = True
+        query.order_by(Col(self.pre_column, prev))
+        return query
+
+    # -- node tests -----------------------------------------------------------------
+
+    def test_conditions(
+        self, test: NodeTest, axis: str, alias: str
+    ) -> list[SqlExpr]:
+        kind = Col("kind", alias)
+        name = Col(self.name_column, alias)
+        if axis == AXIS_ATTRIBUTE:
+            conditions: list[SqlExpr] = [kind.eq(Raw(str(ATTRIBUTE)))]
+            if isinstance(test, NameTest) and not test.is_wildcard:
+                conditions.append(name.eq(Param(test.name)))
+            elif isinstance(test, KindTest):
+                raise self.scheme.unsupported(
+                    f"{test.kind}() on the attribute axis"
+                )
+            return conditions
+        if isinstance(test, NameTest):
+            conditions = [kind.eq(Raw(str(ELEMENT)))]
+            if not test.is_wildcard:
+                conditions.append(name.eq(Param(test.name)))
+            return conditions
+        if isinstance(test, KindTest):
+            return [kind.eq(Raw(str(_KIND_OF_TEST[test.kind])))]
+        if isinstance(test, AnyKindTest):
+            return [kind.ne(Raw(str(ATTRIBUTE)))]
+        raise self.scheme.unsupported(f"node test {test}")
+
+    # -- predicates --------------------------------------------------------------------
+
+    def predicate_condition(
+        self,
+        predicate: PredicatePlan,
+        alias: str,
+        step: StepPlan,
+        doc_id: int,
+    ) -> SqlExpr:
+        if isinstance(predicate, BooleanPredicate):
+            operands = tuple(
+                self.predicate_condition(p, alias, step, doc_id)
+                for p in predicate.operands
+            )
+            return And(operands) if predicate.op == "and" else Or(operands)
+        if isinstance(predicate, NotPredicate):
+            return Not(
+                self.predicate_condition(
+                    predicate.operand, alias, step, doc_id
+                )
+            )
+        if isinstance(predicate, ConstantPredicate):
+            return Raw("1") if predicate.value else Raw("0")
+        if isinstance(predicate, PositionPredicate):
+            return self.position_condition(predicate, alias, step, doc_id)
+        if isinstance(predicate, LastPredicate):
+            return self.last_condition(alias, step, doc_id)
+        if isinstance(predicate, CountPredicate):
+            return self.count_condition(predicate, alias, doc_id)
+        if isinstance(predicate, ComparisonPredicate):
+            return self.value_condition(
+                predicate.path, alias, doc_id,
+                op=predicate.op, literal=predicate.literal,
+                numeric=predicate.numeric,
+            )
+        if isinstance(predicate, ExistsPredicate):
+            return self.value_condition(predicate.path, alias, doc_id)
+        if isinstance(predicate, StringMatchPredicate):
+            return self.value_condition(
+                predicate.path, alias, doc_id,
+                like_pattern=match_pattern(
+                    predicate.function, predicate.literal
+                ),
+            )
+        raise self.scheme.unsupported(f"predicate {type(predicate).__name__}")
+
+    def position_condition(
+        self,
+        predicate: PositionPredicate,
+        alias: str,
+        step: StepPlan,
+        doc_id: int,
+    ) -> SqlExpr:
+        """``[n]`` as "exactly n-1 preceding siblings match the test"."""
+        sibling = f"{alias}_pos"
+        count = (
+            Select()
+            .from_table(self.position_table(step), sibling)
+            .select(Raw("COUNT(*)"))
+            .where(Col("doc_id", sibling).eq(Param(doc_id)))
+            .where(self.same_parent(sibling, alias))
+            .where(Col("ordinal", sibling).lt(Col("ordinal", alias)))
+        )
+        for condition in self.test_conditions(step.test, step.axis, sibling):
+            count.where(condition)
+        return ScalarSubquery(count).eq(Raw(str(predicate.position - 1)))
+
+    def last_condition(
+        self, alias: str, step: StepPlan, doc_id: int
+    ) -> SqlExpr:
+        """``[last()]`` — no later sibling matches the step's test."""
+        sibling = f"{alias}_last"
+        count = (
+            Select()
+            .from_table(self.position_table(step), sibling)
+            .select(Raw("COUNT(*)"))
+            .where(Col("doc_id", sibling).eq(Param(doc_id)))
+            .where(self.same_parent(sibling, alias))
+            .where(Col("ordinal", sibling).gt(Col("ordinal", alias)))
+        )
+        for condition in self.test_conditions(step.test, step.axis, sibling):
+            count.where(condition)
+        return ScalarSubquery(count).eq(Raw("0"))
+
+    def count_condition(
+        self, predicate: CountPredicate, alias: str, doc_id: int
+    ) -> SqlExpr:
+        """``[count(path) op n]`` as a scalar COUNT subquery."""
+        path = predicate.path
+        if not path.element_names and path.target == "content":
+            # count(.) is always 1 for a node context.
+            count_value = 1.0
+            matches = _static_compare(count_value, predicate.op,
+                                      predicate.value)
+            return Raw("1") if matches else Raw("0")
+        sub = Select().select(Raw("COUNT(*)"))
+        prev = alias
+        for depth, name in enumerate(path.element_names):
+            current = f"{alias}_c{depth}"
+            conditions = And((
+                Col("doc_id", current).eq(Param(doc_id)),
+                self.child_link(prev, current),
+                Col("kind", current).eq(Raw(str(ELEMENT))),
+                Col(self.name_column, current).eq(Param(name)),
+            ))
+            self._attach(sub, self.element_table(name), current, conditions)
+            prev = current
+        if path.target == "attribute":
+            final = f"{alias}_ct"
+            self._attach(
+                sub, self.attribute_table(path.target_name or ""), final,
+                And((
+                    Col("doc_id", final).eq(Param(doc_id)),
+                    self.child_link(prev, final),
+                    Col("kind", final).eq(Raw(str(ATTRIBUTE))),
+                    Col(self.name_column, final).eq(
+                        Param(path.target_name)
+                    ),
+                )),
+            )
+        elif path.target == "text":
+            final = f"{alias}_ct"
+            self._attach(
+                sub, self.text_table(), final,
+                And((
+                    Col("doc_id", final).eq(Param(doc_id)),
+                    self.child_link(prev, final),
+                    Col("kind", final).eq(Raw(str(TEXT))),
+                )),
+            )
+        sql_op = "<>" if predicate.op == "!=" else predicate.op
+        return Comparison(
+            sql_op, ScalarSubquery(sub), Param(predicate.value)
+        )
+
+    # -- value chains ----------------------------------------------------------------------
+
+    def value_condition(
+        self,
+        path: ValuePath,
+        alias: str,
+        doc_id: int,
+        op: str | None = None,
+        literal: str | None = None,
+        numeric: bool = False,
+        like_pattern: str | None = None,
+    ) -> SqlExpr:
+        """EXISTS chain along child links ending at the compared value."""
+        if not path.element_names and path.target == "content":
+            condition = compare_value(
+                Col("content", alias), op, literal, numeric, like_pattern
+            )
+            if condition is None:
+                return Raw("1")  # bare '.' predicate is always true
+            return condition
+        semi_join = self._semi_join_rewrite(
+            path, alias, doc_id, op, literal, numeric, like_pattern
+        )
+        if semi_join is not None:
+            return semi_join
+        sub = Select().select(Raw("1"))
+        prev = alias
+        for depth, name in enumerate(path.element_names):
+            current = f"{alias}_v{depth}"
+            conditions = And((
+                Col("doc_id", current).eq(Param(doc_id)),
+                self.child_link(prev, current),
+                Col("kind", current).eq(Raw(str(ELEMENT))),
+                Col(self.name_column, current).eq(Param(name)),
+            ))
+            self._attach(sub, self.element_table(name), current, conditions)
+            prev = current
+        if path.target == "content":
+            condition = compare_value(
+                Col("content", prev), op, literal, numeric, like_pattern
+            )
+            if condition is not None:
+                sub.where(condition)
+            return Exists(sub)
+        final = f"{alias}_vt"
+        if path.target == "attribute":
+            conditions = And((
+                Col("doc_id", final).eq(Param(doc_id)),
+                self.child_link(prev, final),
+                Col("kind", final).eq(Raw(str(ATTRIBUTE))),
+                Col(self.name_column, final).eq(Param(path.target_name)),
+            ))
+        else:  # text()
+            conditions = And((
+                Col("doc_id", final).eq(Param(doc_id)),
+                self.child_link(prev, final),
+                Col("kind", final).eq(Raw(str(TEXT))),
+            ))
+        final_table = (
+            self.attribute_table(path.target_name or "")
+            if path.target == "attribute"
+            else self.text_table()
+        )
+        self._attach(sub, final_table, final, conditions)
+        condition = compare_value(
+            Col("value", final), op, literal, numeric, like_pattern
+        )
+        if condition is not None:
+            sub.where(condition)
+        return Exists(sub)
+
+    def _semi_join_rewrite(
+        self,
+        path: ValuePath,
+        alias: str,
+        doc_id: int,
+        op: str | None,
+        literal: str | None,
+        numeric: bool,
+        like_pattern: str | None,
+    ) -> SqlExpr | None:
+        """Single-hop ``=`` predicates as an *uncorrelated* IN-subquery.
+
+        ``[@key = 'x']`` / ``[title = 'x']`` become
+        ``alias.pre IN (SELECT parent FROM t WHERE value = 'x' ...)``:
+        the optimizer materializes the subquery once from the value
+        index instead of probing an EXISTS per candidate row — the point
+        lookups of experiment E11 go from linear to logarithmic.
+        Only applied when it is exactly equivalent to the EXISTS form:
+        string equality, one hop.
+        """
+        if op != "=" or numeric or like_pattern is not None:
+            return None
+        parent_column, key_column = self.link_columns()
+        inner = f"{alias}_sj"
+        if path.target == "attribute" and not path.element_names:
+            table = self.attribute_table(path.target_name or "")
+            kind, name = ATTRIBUTE, path.target_name
+            value_column = "value"
+        elif path.target == "content" and len(path.element_names) == 1:
+            table = self.element_table(path.element_names[0])
+            kind, name = ELEMENT, path.element_names[0]
+            value_column = "content"
+        else:
+            return None
+        subquery = (
+            Select()
+            .from_table(table, inner)
+            .select(Col(parent_column, inner))
+            .where(Col("doc_id", inner).eq(Param(doc_id)))
+            .where(Col("kind", inner).eq(Raw(str(kind))))
+            .where(Col(self.name_column, inner).eq(Param(name)))
+            .where(Col(value_column, inner).eq(Param(literal or "")))
+        )
+        from repro.relational.sql import InSubquery
+
+        return InSubquery(Col(key_column, alias), subquery)
+
+    def _attach(
+        self, sub: Select, table: str, alias: str, conditions: SqlExpr
+    ) -> None:
+        if sub.from_item is None:
+            sub.from_table(table, alias)
+            sub.where(conditions)
+        else:
+            sub.join(table, alias, conditions)

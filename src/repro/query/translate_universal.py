@@ -1,0 +1,259 @@
+"""XPath→SQL for the universal-table mapping.
+
+A linear path over named steps touches **one relation and zero joins**:
+the path catalog restricts ``pathexp`` and the answer is the final
+label's id column.  That is the whole published appeal of the universal
+table (experiments E3/E8) — and its limits show just as quickly:
+
+* wildcards, ``node()``, ``self``/``parent`` axes and positional
+  predicates are untranslatable (``UnsupportedQueryError``),
+* value predicates need EXISTS self-joins of the wide relation anchored
+  on the shared ancestor's id column,
+* recursion is rejected at *storage* time already.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedQueryError
+from repro.query.plan import (
+    AXIS_ATTRIBUTE,
+    AXIS_CHILD,
+    BooleanPredicate,
+    ComparisonPredicate,
+    ConstantPredicate,
+    ExistsPredicate,
+    NotPredicate,
+    PathPlan,
+    PredicatePlan,
+    StringMatchPredicate,
+    ValuePath,
+)
+from repro.query.translate_common import compare_value, match_pattern
+from repro.query.translator import BaseTranslator
+from repro.relational.sql import (
+    And,
+    Arith,
+    Col,
+    Comparison,
+    Exists,
+    Like,
+    Not,
+    Or,
+    Param,
+    Raw,
+    Select,
+    SqlExpr,
+    like_escape,
+)
+from repro.storage.universal import PATH_SEP, UNIVERSAL
+from repro.xpath.ast import NameTest, KindTest
+
+_ALWAYS_FALSE = Raw("0")
+
+
+class UniversalTranslator(BaseTranslator):
+    """Path-catalog translator for the universal table."""
+
+    def translate(self, doc_id: int, xpath) -> Select:
+        plan = self.plan(xpath)
+        segments = self._segments(plan)
+        known = self.scheme.label_columns()
+        query = (
+            Select()
+            .from_table(UNIVERSAL, "u")
+            .join(
+                "universal_paths",
+                "p",
+                And((
+                    Col("doc_id", "p").eq(Col("doc_id", "u")),
+                    Col("path_id", "p").eq(Col("path_id", "u")),
+                )),
+            )
+            .where(Col("doc_id", "u").eq(Param(doc_id)))
+        )
+        final_label = segments[-1][1]
+        if final_label not in known:
+            query.where(_ALWAYS_FALSE)
+            query.select(Raw("NULL"), alias="pre")
+            return query
+        query.where(self._path_condition(segments))
+        __, id_col, __ = self.scheme.column_triple(known[final_label])
+        query.where(Comparison("IS NOT", Col(id_col, "u"), Raw("NULL")))
+        # Predicates, anchored on the id column of the step they sit on.
+        for index, (__, label, predicates) in enumerate(segments):
+            for predicate in predicates:
+                query.where(
+                    self._predicate_condition(
+                        predicate, segments[: index + 1], doc_id, known
+                    )
+                )
+        query.select(Col(id_col, "u"), alias="pre")
+        query.distinct = True
+        query.order_by(Col(id_col, "u"))
+        return query
+
+    # -- path handling --------------------------------------------------------------
+
+    def _segments(
+        self, plan: PathPlan
+    ) -> list[tuple[str, str, tuple[PredicatePlan, ...]]]:
+        """(separator, label, predicates) per step; raises on anything the
+        universal table cannot express."""
+        segments: list[tuple[str, str, tuple[PredicatePlan, ...]]] = []
+        for i, step in enumerate(plan.steps):
+            is_last = i == len(plan.steps) - 1
+            separator = "#%/" if step.from_descendant else PATH_SEP
+            if step.axis == AXIS_CHILD:
+                if isinstance(step.test, NameTest) and not step.test.is_wildcard:
+                    label = step.test.name
+                elif isinstance(step.test, KindTest) and step.test.kind == "text":
+                    if not is_last:
+                        raise self.scheme.unsupported("text() mid-path")
+                    label = "#text"
+                else:
+                    raise self.scheme.unsupported(
+                        f"node test {step.test} (universal paths are by label)"
+                    )
+            elif step.axis == AXIS_ATTRIBUTE:
+                if not is_last:
+                    raise self.scheme.unsupported("attribute step mid-path")
+                if not isinstance(step.test, NameTest) or step.test.is_wildcard:
+                    raise self.scheme.unsupported("@* steps")
+                label = f"@{step.test.name}"
+            else:
+                raise self.scheme.unsupported(f"axis {step.axis}")
+            from repro.query.plan import PositionPredicate
+
+            for predicate in step.predicates:
+                if isinstance(predicate, PositionPredicate):
+                    raise self.scheme.unsupported(
+                        "positional predicates (no sibling ids in rows)"
+                    )
+            segments.append((separator, label, step.predicates))
+        return segments
+
+    def _path_condition(self, segments) -> SqlExpr:
+        """Rows whose path *reaches* the steps (it may extend deeper)."""
+        exact = all(sep == PATH_SEP for sep, __, __ in segments)
+        pattern = "".join(
+            (sep if sep == PATH_SEP else "#%/") + like_escape(label)
+            for sep, label, __ in segments
+        )
+        path = Col("pathexp", "p")
+        extended = Like(path, pattern + PATH_SEP + "%")
+        if exact:
+            exact_path = "".join(
+                PATH_SEP + label for __, label, __ in segments
+            )
+            return Or((path.eq(Param(exact_path)), extended))
+        return Or((Like(path, pattern), extended))
+
+    # -- predicates -------------------------------------------------------------------
+
+    def _predicate_condition(
+        self,
+        predicate: PredicatePlan,
+        prefix_segments,
+        doc_id: int,
+        known: dict[str, int],
+    ) -> SqlExpr:
+        if isinstance(predicate, BooleanPredicate):
+            operands = tuple(
+                self._predicate_condition(p, prefix_segments, doc_id, known)
+                for p in predicate.operands
+            )
+            return And(operands) if predicate.op == "and" else Or(operands)
+        if isinstance(predicate, NotPredicate):
+            return Not(
+                self._predicate_condition(
+                    predicate.operand, prefix_segments, doc_id, known
+                )
+            )
+        if isinstance(predicate, ConstantPredicate):
+            return Raw("1") if predicate.value else Raw("0")
+        if isinstance(predicate, ComparisonPredicate):
+            return self._value_exists(
+                predicate.path, prefix_segments, doc_id, known,
+                op=predicate.op, literal=predicate.literal,
+                numeric=predicate.numeric,
+            )
+        if isinstance(predicate, ExistsPredicate):
+            return self._value_exists(
+                predicate.path, prefix_segments, doc_id, known
+            )
+        if isinstance(predicate, StringMatchPredicate):
+            return self._value_exists(
+                predicate.path, prefix_segments, doc_id, known,
+                like_pattern=match_pattern(
+                    predicate.function, predicate.literal
+                ),
+            )
+        raise self.scheme.unsupported(
+            f"predicate {type(predicate).__name__}"
+        )
+
+    def _value_exists(
+        self,
+        path: ValuePath,
+        prefix_segments,
+        doc_id: int,
+        known: dict[str, int],
+        op: str | None = None,
+        literal: str | None = None,
+        numeric: bool = False,
+        like_pattern: str | None = None,
+    ) -> SqlExpr:
+        """EXISTS over a second universal row sharing the anchor node."""
+        anchor_label = prefix_segments[-1][1]
+        if anchor_label not in known:
+            return _ALWAYS_FALSE
+        __, anchor_id, anchor_val = self.scheme.column_triple(
+            known[anchor_label]
+        )
+        chain = [anchor_label] + list(path.element_names)
+        if path.target == "attribute":
+            chain.append(f"@{path.target_name}")
+        elif path.target == "text":
+            chain.append("#text")
+        target_label = chain[-1]
+        if target_label not in known or any(
+            label not in known for label in chain
+        ):
+            return _ALWAYS_FALSE
+        __, __, target_val = self.scheme.column_triple(known[target_label])
+        if path.target == "content" and not path.element_names:
+            # The anchor's own content, available on the current row.
+            condition = compare_value(
+                Col(anchor_val, "u"), op, literal, numeric, like_pattern
+            )
+            return condition if condition is not None else Raw("1")
+        suffix = "".join(PATH_SEP + like_escape(label) for label in chain)
+        sub = (
+            Select()
+            .select(Raw("1"))
+            .from_table(UNIVERSAL, "u2")
+            .join(
+                "universal_paths",
+                "p2",
+                And((
+                    Col("doc_id", "p2").eq(Col("doc_id", "u2")),
+                    Col("path_id", "p2").eq(Col("path_id", "u2")),
+                )),
+            )
+            .where(Col("doc_id", "u2").eq(Param(doc_id)))
+            .where(
+                Col(anchor_id, "u2").eq(Col(anchor_id, "u"))
+            )
+            .where(
+                Or((
+                    Like(Col("pathexp", "p2"), f"%{suffix}"),
+                    Like(Col("pathexp", "p2"), f"%{suffix}{PATH_SEP}%"),
+                ))
+            )
+        )
+        condition = compare_value(
+            Col(target_val, "u2"), op, literal, numeric, like_pattern
+        )
+        if condition is not None:
+            sub.where(condition)
+        return Exists(sub)

@@ -1,0 +1,87 @@
+"""Base class shared by all per-scheme XPath→SQL translators."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.query.plan import PathPlan, plan_path
+from repro.relational.sql import Select, Union, WithQuery
+from repro.xpath.ast import BinaryOp, Expr, LocationPath
+from repro.xpath.parser import parse_xpath
+
+Renderable = Select | Union | WithQuery
+
+
+def _union_arms(expr: Expr) -> list[Expr] | None:
+    """Flatten a top-level ``|`` expression into its arms (None if the
+    expression is not a union)."""
+    if not isinstance(expr, BinaryOp) or expr.op != "|":
+        return None
+    arms: list[Expr] = []
+    stack = [expr.left, expr.right]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BinaryOp) and node.op == "|":
+            stack.extend((node.left, node.right))
+        else:
+            arms.append(node)
+    return arms
+
+
+class BaseTranslator(abc.ABC):
+    """Translate the XPath subset to SQL over one scheme's relations.
+
+    Concrete translators implement :meth:`translate`; everything else
+    (planning, rendering, execution, join counting) is shared.
+    """
+
+    def __init__(self, scheme) -> None:
+        self.scheme = scheme
+        self.db = scheme.db
+
+    def plan(self, xpath: str | LocationPath | PathPlan) -> PathPlan:
+        """Normalize *xpath* (string, AST, or already a plan)."""
+        if isinstance(xpath, PathPlan):
+            return xpath
+        return plan_path(xpath, scheme=self.scheme.name)
+
+    @abc.abstractmethod
+    def translate(
+        self, doc_id: int, xpath: str | LocationPath | PathPlan
+    ) -> Renderable:
+        """Build the SQL statement answering *xpath* over document
+        *doc_id*.  The statement's first output column is the matching
+        node's ``pre`` id; rows arrive in document order, distinct."""
+
+    def sql_for(
+        self, doc_id: int, xpath: str | LocationPath | PathPlan
+    ) -> tuple[str, list]:
+        """The rendered ``(sql, params)`` for *xpath*."""
+        return self.translate(doc_id, xpath).render()
+
+    def query_pres(
+        self, doc_id: int, xpath: str | LocationPath | PathPlan
+    ) -> list[int]:
+        """Execute the translated query; return matching ``pre`` ids.
+
+        Top-level unions (``p1 | p2``) are supported for every scheme by
+        translating each arm separately and merging the id sets — the
+        XPath union semantics (distinct, document order) are exactly a
+        sorted set merge on the shared ids.
+        """
+        if isinstance(xpath, str):
+            arms = _union_arms(parse_xpath(xpath))
+            if arms is not None:
+                merged: set[int] = set()
+                for arm in arms:
+                    merged.update(self.query_pres(doc_id, arm))
+                return sorted(merged)
+        sql, params = self.sql_for(doc_id, xpath)
+        return [row[0] for row in self.db.query(sql, params)]
+
+    def join_count(
+        self, doc_id: int, xpath: str | LocationPath | PathPlan
+    ) -> int:
+        """Structural join count of the translated statement (metric of
+        experiment E8)."""
+        return self.translate(doc_id, xpath).join_count

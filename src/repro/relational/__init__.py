@@ -1,0 +1,27 @@
+"""Relational substrate over sqlite3.
+
+A thin but complete layer the storage schemes are written against:
+
+* :mod:`repro.relational.schema` — table/column/index descriptors with DDL
+  generation,
+* :mod:`repro.relational.sql` — a typed SQL AST + builder for the SELECT
+  statements the query translators emit (parameterized; never string
+  interpolation of user values),
+* :mod:`repro.relational.database` — managed connections/transactions,
+* :mod:`repro.relational.catalog` — the persisted catalog of stored
+  documents.
+"""
+
+from repro.relational.database import Database
+from repro.relational.schema import Column, ForeignKey, Index, Table
+from repro.relational.catalog import Catalog, DocumentRecord
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Database",
+    "DocumentRecord",
+    "ForeignKey",
+    "Index",
+    "Table",
+]

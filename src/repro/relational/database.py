@@ -1,0 +1,215 @@
+"""Managed sqlite3 connections for the storage layer.
+
+The :class:`Database` wrapper centralizes connection configuration
+(pragmas tuned for bulk loading), offers explicit transactions, batched
+inserts, and the introspection helpers the benchmark harness uses
+(row counts, byte accounting for experiment E1).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from contextlib import contextmanager
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import StorageError
+from repro.relational.schema import Table, quote_identifier
+
+
+def _xpath_num(value) -> float | None:
+    """The XPath ``number()`` conversion as an SQL scalar function.
+
+    NaN results are represented as NULL so comparisons against them are
+    never satisfied (SQL three-valued logic matches XPath's NaN rules).
+    """
+    if value is None:
+        return None
+    try:
+        return float(str(value).strip())
+    except ValueError:
+        return None
+
+
+class Database:
+    """A managed sqlite3 database (file-backed or in-memory)."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.isolation_level = None  # explicit transaction control
+        cursor = self._conn.cursor()
+        # Bulk-load friendly settings; durability is not part of the
+        # experiments (the paper's comparisons are warm-cache too).
+        cursor.execute("PRAGMA journal_mode = MEMORY")
+        cursor.execute("PRAGMA synchronous = OFF")
+        cursor.execute("PRAGMA temp_store = MEMORY")
+        cursor.execute("PRAGMA foreign_keys = ON")
+        cursor.close()
+        # XPath-faithful numeric conversion: returns NULL (not 0.0, as
+        # CAST would) for non-numeric text, so NaN comparisons are false
+        # in SQL exactly as they are in XPath.
+        self._conn.create_function(
+            "xpath_num", 1, _xpath_num, deterministic=True
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- execution -------------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+        """Execute one statement, returning the cursor."""
+        try:
+            return self._conn.execute(sql, params)
+        except sqlite3.Error as error:
+            raise StorageError(f"SQL error: {error}\nin: {sql}") from error
+
+    def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        try:
+            self._conn.executemany(sql, rows)
+        except sqlite3.Error as error:
+            raise StorageError(f"SQL error: {error}\nin: {sql}") from error
+
+    def executescript(self, script: str) -> None:
+        try:
+            self._conn.executescript(script)
+        except sqlite3.Error as error:
+            raise StorageError(f"SQL error: {error}") from error
+
+    def query(self, sql: str, params: Sequence = ()) -> list[tuple]:
+        """Execute and fetch all rows."""
+        return self.execute(sql, params).fetchall()
+
+    def query_one(self, sql: str, params: Sequence = ()) -> tuple | None:
+        """Execute and fetch the first row (or None)."""
+        return self.execute(sql, params).fetchone()
+
+    def scalar(self, sql: str, params: Sequence = ()):
+        """Execute and return the single value of the single row."""
+        row = self.query_one(sql, params)
+        return row[0] if row is not None else None
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """Run a block inside BEGIN/COMMIT (ROLLBACK on exception)."""
+        self._conn.execute("BEGIN")
+        try:
+            yield
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
+
+    # -- DDL ----------------------------------------------------------------------------
+
+    def create_table(self, table: Table) -> None:
+        """Create *table* and its indexes."""
+        for statement in table.ddl_statements():
+            self.execute(statement)
+
+    def drop_table(self, name: str) -> None:
+        self.execute(f"DROP TABLE IF EXISTS {quote_identifier(name)}")
+
+    def insert_rows(self, table: Table, rows: Iterable[Sequence]) -> None:
+        """Bulk-insert *rows* (each covering every column of *table*)."""
+        self.executemany(table.insert_sql(), rows)
+
+    # -- introspection ----------------------------------------------------------------------
+
+    def table_names(self) -> list[str]:
+        rows = self.query(
+            "SELECT name FROM sqlite_master "
+            "WHERE type = 'table' AND name NOT LIKE 'sqlite_%' ORDER BY name"
+        )
+        return [name for (name,) in rows]
+
+    def table_exists(self, name: str) -> bool:
+        return (
+            self.scalar(
+                "SELECT COUNT(*) FROM sqlite_master "
+                "WHERE type = 'table' AND name = ?",
+                (name,),
+            )
+            > 0
+        )
+
+    def row_count(self, table: str) -> int:
+        return self.scalar(f"SELECT COUNT(*) FROM {quote_identifier(table)}")
+
+    def table_bytes(self, table: str) -> int:
+        """Approximate logical size of *table* in bytes.
+
+        Sums the rendered length of every column value of every row — an
+        engine-independent measure of the *mapping's* storage demand, which
+        is what experiment E1 compares (page-level overheads would only add
+        engine noise).
+        """
+        columns = [
+            row[1]
+            for row in self.query(
+                f"PRAGMA table_info({quote_identifier(table)})"
+            )
+        ]
+        if not columns:
+            raise StorageError(f"no such table: {table}")
+        length_sum = " + ".join(
+            f"COALESCE(LENGTH(CAST({quote_identifier(c)} AS TEXT)), 0)"
+            for c in columns
+        )
+        total = self.scalar(
+            f"SELECT SUM({length_sum}) FROM {quote_identifier(table)}"
+        )
+        return int(total or 0)
+
+    def database_bytes(self, tables: Iterable[str] | None = None) -> int:
+        """Total logical bytes across *tables* (default: all tables)."""
+        names = list(tables) if tables is not None else self.table_names()
+        return sum(self.table_bytes(name) for name in names)
+
+    def table_cells(self, table: str) -> int:
+        """Row count × column count — the slot measure of a mapping.
+
+        Engine-independent: a conventional fixed-layout RDBMS pays for
+        every slot whether NULL or not, which is the published complaint
+        about the universal table ("huge number of fields, most NULL").
+        """
+        columns = self.query(f"PRAGMA table_info({quote_identifier(table)})")
+        if not columns:
+            raise StorageError(f"no such table: {table}")
+        return self.row_count(table) * len(columns)
+
+    def database_cells(self, tables: Iterable[str] | None = None) -> int:
+        """Total slots across *tables* (default: all tables)."""
+        names = list(tables) if tables is not None else self.table_names()
+        return sum(self.table_cells(name) for name in names)
+
+    def file_bytes(self) -> int:
+        """Physical size: pages in use × page size (after VACUUM).
+
+        Unlike :meth:`database_bytes` (pure value lengths), this includes
+        per-row/per-column storage overhead — the cost that penalizes
+        wide sparse rows like the universal table's (experiment E1).
+        Works for in-memory databases too (sqlite reports their pages).
+        """
+        self.execute("VACUUM")
+        page_count = int(self.scalar("PRAGMA page_count"))
+        page_size = int(self.scalar("PRAGMA page_size"))
+        free = int(self.scalar("PRAGMA freelist_count"))
+        return (page_count - free) * page_size
+
+    def explain_plan(self, sql: str, params: Sequence = ()) -> list[str]:
+        """The EXPLAIN QUERY PLAN detail lines (index-usage inspection)."""
+        rows = self.query(f"EXPLAIN QUERY PLAN {sql}", params)
+        return [row[-1] for row in rows]
+
+    def analyze(self) -> None:
+        """Refresh sqlite's optimizer statistics."""
+        self.execute("ANALYZE")

@@ -1,0 +1,423 @@
+"""A typed SQL AST for the SELECT statements the translators emit.
+
+The XPath→SQL translators build queries as objects rather than strings so
+that (a) user values are always bound parameters, never interpolated, and
+(b) the plan-complexity experiment (E8) can *count joins* structurally
+instead of parsing SQL text.
+
+Only the SELECT surface the translators need is modelled: column refs,
+parameters, comparison/boolean operators, LIKE, IN, EXISTS subqueries,
+scalar functions, joins (inner/left), DISTINCT, ORDER BY, LIMIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import XmlRelError
+from repro.relational.schema import quote_identifier
+
+
+class SqlExpr:
+    """Base class of scalar/boolean SQL expressions."""
+
+    __slots__ = ()
+
+    def render(self, params: list) -> str:
+        raise NotImplementedError
+
+    # Convenience builders so translators read naturally.
+
+    def eq(self, other: "SqlExpr") -> "Comparison":
+        return Comparison("=", self, other)
+
+    def ne(self, other: "SqlExpr") -> "Comparison":
+        return Comparison("<>", self, other)
+
+    def lt(self, other: "SqlExpr") -> "Comparison":
+        return Comparison("<", self, other)
+
+    def le(self, other: "SqlExpr") -> "Comparison":
+        return Comparison("<=", self, other)
+
+    def gt(self, other: "SqlExpr") -> "Comparison":
+        return Comparison(">", self, other)
+
+    def ge(self, other: "SqlExpr") -> "Comparison":
+        return Comparison(">=", self, other)
+
+
+@dataclass(frozen=True)
+class Col(SqlExpr):
+    """A column reference ``alias.name`` (alias optional)."""
+
+    name: str
+    table: str | None = None
+
+    def render(self, params: list) -> str:
+        col = quote_identifier(self.name)
+        if self.table is None:
+            return col
+        return f"{quote_identifier(self.table)}.{col}"
+
+
+@dataclass(frozen=True)
+class Param(SqlExpr):
+    """A bound parameter (rendered as ``?``)."""
+
+    value: object
+
+    def render(self, params: list) -> str:
+        params.append(self.value)
+        return "?"
+
+
+@dataclass(frozen=True)
+class Raw(SqlExpr):
+    """A raw SQL fragment — for constants like ``1`` or ``COUNT(*)``.
+
+    Never used with user-supplied values (those go through :class:`Param`).
+    """
+
+    sql: str
+
+    def render(self, params: list) -> str:
+        return self.sql
+
+
+@dataclass(frozen=True)
+class Comparison(SqlExpr):
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+    def render(self, params: list) -> str:
+        return f"{self.left.render(params)} {self.op} {self.right.render(params)}"
+
+
+@dataclass(frozen=True)
+class Arith(SqlExpr):
+    """Arithmetic: ``left op right`` with parentheses."""
+
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+    def render(self, params: list) -> str:
+        return f"({self.left.render(params)} {self.op} {self.right.render(params)})"
+
+
+@dataclass(frozen=True)
+class And(SqlExpr):
+    operands: tuple[SqlExpr, ...]
+
+    def render(self, params: list) -> str:
+        if not self.operands:
+            return "1"
+        if len(self.operands) == 1:
+            return self.operands[0].render(params)
+        inner = " AND ".join(op.render(params) for op in self.operands)
+        return f"({inner})"
+
+
+@dataclass(frozen=True)
+class Or(SqlExpr):
+    operands: tuple[SqlExpr, ...]
+
+    def render(self, params: list) -> str:
+        if not self.operands:
+            return "0"
+        if len(self.operands) == 1:
+            return self.operands[0].render(params)
+        inner = " OR ".join(op.render(params) for op in self.operands)
+        return f"({inner})"
+
+
+@dataclass(frozen=True)
+class Not(SqlExpr):
+    operand: SqlExpr
+
+    def render(self, params: list) -> str:
+        return f"NOT ({self.operand.render(params)})"
+
+
+@dataclass(frozen=True)
+class Like(SqlExpr):
+    """``expr LIKE pattern ESCAPE '\\'`` — pattern is always a parameter."""
+
+    operand: SqlExpr
+    pattern: str
+
+    def render(self, params: list) -> str:
+        left = self.operand.render(params)
+        params.append(self.pattern)
+        return f"{left} LIKE ? ESCAPE '\\'"
+
+
+@dataclass(frozen=True)
+class InList(SqlExpr):
+    operand: SqlExpr
+    values: tuple[object, ...]
+
+    def render(self, params: list) -> str:
+        left = self.operand.render(params)
+        marks = ", ".join("?" for _ in self.values)
+        params.extend(self.values)
+        return f"{left} IN ({marks})"
+
+
+@dataclass(frozen=True)
+class Func(SqlExpr):
+    """A scalar function call, e.g. ``xpath_num(x)`` or ``SUBSTR(...)``."""
+
+    name: str
+    args: tuple[SqlExpr, ...]
+
+    def render(self, params: list) -> str:
+        inner = ", ".join(a.render(params) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class Exists(SqlExpr):
+    """``EXISTS (subquery)`` — used for existential predicates."""
+
+    query: "Select"
+
+    def render(self, params: list) -> str:
+        sql, sub_params = self.query.render()
+        params.extend(sub_params)
+        return f"EXISTS ({sql})"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(SqlExpr):
+    """``(SELECT ...)`` used as a scalar value (e.g. sibling counting)."""
+
+    query: "Select"
+
+    def render(self, params: list) -> str:
+        sql, sub_params = self.query.render()
+        params.extend(sub_params)
+        return f"({sql})"
+
+
+@dataclass(frozen=True)
+class InSubquery(SqlExpr):
+    operand: SqlExpr
+    query: "Select"
+
+    def render(self, params: list) -> str:
+        left = self.operand.render(params)
+        sql, sub_params = self.query.render()
+        params.extend(sub_params)
+        return f"{left} IN ({sql})"
+
+
+# -- FROM items --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """``table AS alias`` in a FROM clause."""
+
+    table: str
+    alias: str
+
+    def render(self) -> str:
+        if self.table == self.alias:
+            return quote_identifier(self.table)
+        return f"{quote_identifier(self.table)} AS {quote_identifier(self.alias)}"
+
+
+@dataclass(frozen=True)
+class Join:
+    """A join clause appended after the first FROM item."""
+
+    table: TableRef
+    condition: SqlExpr
+    kind: str = "JOIN"  # or "LEFT JOIN"
+
+
+@dataclass
+class Select:
+    """A SELECT statement under construction.
+
+    ``select(...)`` / ``where(...)`` / ``join(...)`` mutate and return self
+    so translators can chain.  :meth:`render` produces ``(sql, params)``.
+    """
+
+    columns: list[tuple[SqlExpr, str | None]] = field(default_factory=list)
+    from_item: TableRef | None = None
+    joins: list[Join] = field(default_factory=list)
+    conditions: list[SqlExpr] = field(default_factory=list)
+    order: list[tuple[SqlExpr, bool]] = field(default_factory=list)
+    distinct: bool = False
+    limit_count: int | None = None
+
+    def select(self, expr: SqlExpr, alias: str | None = None) -> "Select":
+        self.columns.append((expr, alias))
+        return self
+
+    def from_table(self, table: str, alias: str | None = None) -> "Select":
+        if self.from_item is not None:
+            raise XmlRelError("FROM already set; use join()")
+        self.from_item = TableRef(table, alias or table)
+        return self
+
+    def join(
+        self,
+        table: str,
+        alias: str,
+        condition: SqlExpr,
+        kind: str = "JOIN",
+    ) -> "Select":
+        self.joins.append(Join(TableRef(table, alias), condition, kind))
+        return self
+
+    def where(self, condition: SqlExpr) -> "Select":
+        self.conditions.append(condition)
+        return self
+
+    def order_by(self, expr: SqlExpr, ascending: bool = True) -> "Select":
+        self.order.append((expr, ascending))
+        return self
+
+    def limit(self, count: int) -> "Select":
+        self.limit_count = count
+        return self
+
+    @property
+    def join_count(self) -> int:
+        """Number of join clauses — the E8 plan-complexity metric.
+
+        Counts joins in this statement plus any nested EXISTS/IN subqueries
+        (a subquery's FROM also costs a join at execution time).
+        """
+        total = len(self.joins)
+        for condition in self.conditions:
+            total += _nested_join_count(condition)
+        return total
+
+    def render(self) -> tuple[str, list]:
+        """Produce ``(sql_text, parameters)``."""
+        if self.from_item is None:
+            raise XmlRelError("SELECT without FROM")
+        params: list = []
+        cols = []
+        for expr, alias in self.columns or [(Raw("*"), None)]:
+            text = expr.render(params)
+            if alias:
+                text += f" AS {quote_identifier(alias)}"
+            cols.append(text)
+        parts = [
+            ("SELECT DISTINCT " if self.distinct else "SELECT ")
+            + ", ".join(cols)
+        ]
+        parts.append(f"FROM {self.from_item.render()}")
+        for join in self.joins:
+            parts.append(
+                f"{join.kind} {join.table.render()} "
+                f"ON {join.condition.render(params)}"
+            )
+        if self.conditions:
+            parts.append(
+                "WHERE " + " AND ".join(
+                    c.render(params) for c in self.conditions
+                )
+            )
+        if self.order:
+            order_parts = [
+                expr.render(params) + ("" if asc else " DESC")
+                for expr, asc in self.order
+            ]
+            parts.append("ORDER BY " + ", ".join(order_parts))
+        if self.limit_count is not None:
+            parts.append(f"LIMIT {int(self.limit_count)}")
+        return "\n".join(parts), params
+
+
+@dataclass(frozen=True)
+class Union:
+    """``UNION ALL`` (or ``UNION``) of several SELECTs."""
+
+    selects: tuple[Select, ...]
+    all: bool = True
+
+    def render(self) -> tuple[str, list]:
+        keyword = "\nUNION ALL\n" if self.all else "\nUNION\n"
+        parts: list[str] = []
+        params: list = []
+        for select in self.selects:
+            sql, select_params = select.render()
+            parts.append(sql)
+            params.extend(select_params)
+        return keyword.join(parts), params
+
+    @property
+    def join_count(self) -> int:
+        return sum(s.join_count for s in self.selects)
+
+
+@dataclass
+class WithQuery:
+    """A ``WITH [RECURSIVE] name AS (...), ... <final select>`` statement.
+
+    The edge/binary translators build one CTE per location step; a
+    descendant step's CTE is recursive (the transitive closure that makes
+    ``//`` expensive on those mappings — experiment E4's subject).
+    """
+
+    ctes: list[tuple[str, "Select | Union"]] = field(default_factory=list)
+    final: Select | None = None
+    recursive: bool = False
+
+    def add_cte(self, name: str, query: "Select | Union") -> "WithQuery":
+        self.ctes.append((name, query))
+        return self
+
+    def render(self) -> tuple[str, list]:
+        if self.final is None:
+            raise XmlRelError("WITH query without a final SELECT")
+        if not self.ctes:
+            return self.final.render()
+        # Parameters must be collected in render order: CTEs first.
+        params: list = []
+        rendered_ctes = []
+        for name, query in self.ctes:
+            sql, cte_params = query.render()
+            indented = "\n".join("  " + line for line in sql.splitlines())
+            rendered_ctes.append(f"{quote_identifier(name)} AS (\n{indented}\n)")
+            params.extend(cte_params)
+        final_sql, final_params = self.final.render()
+        params.extend(final_params)
+        keyword = "WITH RECURSIVE " if self.recursive else "WITH "
+        return keyword + ",\n".join(rendered_ctes) + "\n" + final_sql, params
+
+    @property
+    def join_count(self) -> int:
+        total = sum(q.join_count for _, q in self.ctes)
+        if self.final is not None:
+            total += self.final.join_count
+        return total
+
+
+def _nested_join_count(expr: SqlExpr) -> int:
+    """Joins hidden inside EXISTS/IN subqueries of *expr*."""
+    if isinstance(expr, (Exists, InSubquery, ScalarSubquery)):
+        # The subquery itself costs one join (its FROM) plus its own joins.
+        return 1 + expr.query.join_count
+    if isinstance(expr, (And, Or)):
+        return sum(_nested_join_count(op) for op in expr.operands)
+    if isinstance(expr, Not):
+        return _nested_join_count(expr.operand)
+    if isinstance(expr, (Comparison, Arith)):
+        return _nested_join_count(expr.left) + _nested_join_count(expr.right)
+    return 0
+
+
+def like_escape(text: str) -> str:
+    """Escape LIKE wildcards in a user-supplied fragment."""
+    return (
+        text.replace("\\", "\\\\").replace("%", "\\%").replace("_", "\\_")
+    )

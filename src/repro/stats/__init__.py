@@ -1,0 +1,18 @@
+"""Statistics: path summaries and cardinality estimation.
+
+The tutorial's optimizer discussion leans on per-path statistics
+(DataGuides, Markov tables, StatiX).  This subpackage implements the
+foundational variant — an exhaustive path summary with per-path value
+statistics — and the estimator experiment E10 evaluates against actual
+result sizes.
+"""
+
+from repro.stats.pathsummary import PathStatistics, PathSummary, build_summary
+from repro.stats.estimate import estimate_cardinality
+
+__all__ = [
+    "PathStatistics",
+    "PathSummary",
+    "build_summary",
+    "estimate_cardinality",
+]

@@ -1,0 +1,204 @@
+"""The storage-scheme interface all mappings implement.
+
+A :class:`MappingScheme` owns a set of relations inside one
+:class:`~repro.relational.database.Database` and knows how to:
+
+* ``store`` a document (shred it into rows),
+* ``reconstruct`` a document or any subtree (publishing),
+* ``delete`` a stored document,
+* translate the XPath subset to SQL over its relations (via
+  :meth:`translator`), returning matching nodes as their ``pre`` numbers
+  — the scheme-independent node ids from
+  :mod:`repro.storage.numbering`.
+
+The shared ``pre`` ids are what make differential testing and the
+benchmark suite scheme-agnostic: every scheme answers the same query with
+the same set of integers.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.errors import StorageError, UnsupportedQueryError
+from repro.relational.catalog import Catalog
+from repro.relational.database import Database
+from repro.relational.schema import Table
+from repro.storage.numbering import (
+    NodeRecord,
+    build_document,
+    build_subtree,
+    number_document,
+)
+from repro.xml.dom import Document, Node
+
+
+@dataclass(frozen=True)
+class ShredResult:
+    """Outcome of storing one document."""
+
+    doc_id: int
+    node_count: int
+    row_counts: dict[str, int]
+
+    @property
+    def total_rows(self) -> int:
+        return sum(self.row_counts.values())
+
+
+class MappingScheme(abc.ABC):
+    """Abstract base of all XML→relational mappings."""
+
+    #: Registry name of the scheme (e.g. ``"edge"``).
+    name: ClassVar[str] = ""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.catalog = Catalog(db)
+        self.create_schema()
+
+    # -- schema ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def tables(self) -> list[Table]:
+        """The relations of this mapping (static part; some schemes add
+        per-label or per-DTD tables dynamically)."""
+
+    def create_schema(self) -> None:
+        """Create all (static) relations and their indexes."""
+        for table in self.tables():
+            self.db.create_table(table)
+
+    def table_names(self) -> list[str]:
+        """Names of this scheme's tables that currently exist."""
+        return [
+            t.name for t in self.tables() if self.db.table_exists(t.name)
+        ]
+
+    # -- storing ----------------------------------------------------------------
+
+    def store(self, document: Document, name: str = "document") -> ShredResult:
+        """Shred *document* into rows; returns ids and row accounting."""
+        records = number_document(document)
+        if not records:
+            raise StorageError("refusing to store an empty document")
+        root_tag = next(
+            (r.name for r in records if r.is_element and r.parent_pre == 0),
+            "",
+        )
+        doc_id = self.catalog.register(
+            name, self.name, root_tag or "", len(records)
+        )
+        with self.db.transaction():
+            self._insert_records(doc_id, records, document)
+        # Refresh planner statistics: several translations (XRel's
+        # path-table-driven plans in particular) rely on the optimizer
+        # knowing the relative table sizes.
+        self.db.analyze()
+        row_counts = {
+            table: self._doc_row_count(table, doc_id)
+            for table in self.table_names()
+            if table != "xmlrel_documents"
+        }
+        return ShredResult(doc_id, len(records), row_counts)
+
+    def _doc_row_count(self, table: str, doc_id: int) -> int:
+        try:
+            return int(
+                self.db.scalar(
+                    f"SELECT COUNT(*) FROM {table} WHERE doc_id = ?",
+                    (doc_id,),
+                )
+            )
+        except StorageError:
+            # Table without a doc_id column (e.g. a shared dictionary).
+            return int(self.db.row_count(table))
+
+    @abc.abstractmethod
+    def _insert_records(
+        self, doc_id: int, records: list[NodeRecord], document: Document
+    ) -> None:
+        """Insert the rows for one document (inside a transaction)."""
+
+    # -- retrieval -----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def fetch_records(
+        self, doc_id: int, root_pre: int | None = None
+    ) -> list[NodeRecord]:
+        """Fetch stored node records in pre order.
+
+        With *root_pre*, only the subtree rooted there (inclusive).
+        Derived numbering fields a scheme does not store may be zeroed —
+        reconstruction only relies on pre/parent_pre/kind/name/value.
+        """
+
+    def reconstruct(self, doc_id: int) -> Document:
+        """Rebuild the full document from its rows."""
+        self.catalog.get(doc_id)  # raises DocumentNotFoundError if absent
+        records = self.fetch_records(doc_id)
+        if not records:
+            raise StorageError(f"document {doc_id} has no stored rows")
+        return build_document(records)
+
+    def reconstruct_subtree(self, doc_id: int, pre: int) -> Node:
+        """Rebuild the subtree rooted at node *pre*."""
+        records = self.fetch_records(doc_id, root_pre=pre)
+        if not records:
+            raise StorageError(
+                f"no stored node with pre={pre} in document {doc_id}"
+            )
+        return build_subtree(records)
+
+    # -- deletion -----------------------------------------------------------------------
+
+    def delete_document(self, doc_id: int) -> None:
+        """Remove all rows of *doc_id* and its catalog entry."""
+        self.catalog.get(doc_id)
+        with self.db.transaction():
+            self._delete_rows(doc_id)
+        self.catalog.remove(doc_id)
+
+    @abc.abstractmethod
+    def _delete_rows(self, doc_id: int) -> None:
+        """Delete the scheme's rows for one document."""
+
+    # -- querying ------------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def translator(self):
+        """The XPath→SQL translator for this scheme
+        (:class:`repro.query.translator.BaseTranslator`)."""
+
+    def query_pres(self, doc_id: int, xpath: str) -> list[int]:
+        """Run an XPath query via SQL; return matching ``pre`` ids sorted
+        in document order."""
+        return self.translator().query_pres(doc_id, xpath)
+
+    def query_nodes(self, doc_id: int, xpath: str) -> list[Node]:
+        """Run an XPath query via SQL and reconstruct each result node."""
+        return [
+            self.reconstruct_subtree(doc_id, pre)
+            for pre in self.query_pres(doc_id, xpath)
+        ]
+
+    # -- accounting -----------------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Logical bytes across this scheme's tables (experiment E1)."""
+        return self.db.database_bytes(
+            name for name in self.table_names() if name != "xmlrel_documents"
+        )
+
+    def storage_cells(self) -> int:
+        """Total row×column slots — the width/denormalization measure
+        (experiment E1's second metric)."""
+        return self.db.database_cells(
+            name for name in self.table_names() if name != "xmlrel_documents"
+        )
+
+    def unsupported(self, feature: str) -> UnsupportedQueryError:
+        """Build a scheme-tagged unsupported-feature error."""
+        return UnsupportedQueryError(feature, scheme=self.name)

@@ -1,0 +1,212 @@
+"""Binary mapping: the edge table partitioned by label.
+
+Florescu & Kossmann's second mapping stores one table per distinct label
+(element tag / attribute name / the reserved ``#text``/``#comment``/
+``#pi`` labels):
+
+.. code-block:: text
+
+    b_<label>(doc_id, source, ordinal, label, kind, target, value, content)
+
+plus a catalog relation ``binary_labels`` mapping labels to their
+partition tables and a ``binary_edges`` view (the UNION ALL of all
+partitions) for the operations that cannot be pruned to one partition —
+wildcard steps and descendant closures.  The ``label`` column is kept in
+every partition (redundantly) so the view has a uniform shape.
+
+The published trade-off this reproduces: label-selective child steps only
+touch one small partition (beating the edge table), while ``//`` and
+wildcards must union every partition (losing to the interval mapping).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+from repro.relational.schema import (
+    Column,
+    INTEGER,
+    Index,
+    Table,
+    TEXT,
+    quote_identifier,
+)
+from repro.storage.base import MappingScheme
+from repro.storage.edge import edge_label, order_edge_rows
+from repro.storage.interval import element_content
+from repro.storage.numbering import NodeRecord
+from repro.xml.dom import Document
+
+LABELS_TABLE = Table(
+    name="binary_labels",
+    columns=[
+        Column("label", TEXT, primary_key=True),
+        Column("table_name", TEXT, nullable=False),
+    ],
+)
+
+EDGES_VIEW = "binary_edges"
+
+_SANITIZE_RE = re.compile(r"[^a-z0-9_]+")
+
+
+def partition_table_name(label: str) -> str:
+    """Deterministic partition table name for *label*.
+
+    A readable sanitized prefix plus a short hash for uniqueness (labels
+    differing only in case or punctuation must not collide).
+    """
+    stem = _SANITIZE_RE.sub("_", label.lower()).strip("_") or "x"
+    digest = hashlib.sha1(label.encode()).hexdigest()[:8]
+    return f"b_{stem[:24]}_{digest}"
+
+
+def partition_table(label: str) -> Table:
+    """The :class:`Table` descriptor of one partition."""
+    name = partition_table_name(label)
+    return Table(
+        name=name,
+        columns=[
+            Column("doc_id", INTEGER, nullable=False),
+            Column("source", INTEGER, nullable=False),
+            Column("ordinal", INTEGER, nullable=False),
+            Column("label", TEXT, nullable=False),
+            Column("kind", INTEGER, nullable=False),
+            Column("target", INTEGER, nullable=False),
+            Column("value", TEXT),
+            Column("content", TEXT),
+        ],
+        primary_key=("doc_id", "target"),
+        indexes=[
+            Index(f"{name}_source", name, ("doc_id", "source")),
+            Index(f"{name}_content", name, ("doc_id", "content")),
+            Index(f"{name}_value", name, ("doc_id", "value")),
+        ],
+    )
+
+
+class BinaryScheme(MappingScheme):
+    """The label-partitioned edge mapping."""
+
+    name = "binary"
+
+    def tables(self):
+        return [LABELS_TABLE]
+
+    # -- partition management ---------------------------------------------------
+
+    def partitions(self) -> dict[str, str]:
+        """Current label → partition-table mapping."""
+        return dict(
+            self.db.query("SELECT label, table_name FROM binary_labels")
+        )
+
+    def partition_for(self, label: str) -> str | None:
+        """The partition table of *label*, or None if never seen."""
+        row = self.db.query_one(
+            "SELECT table_name FROM binary_labels WHERE label = ?", (label,)
+        )
+        return row[0] if row else None
+
+    def _ensure_partition(self, label: str) -> str:
+        existing = self.partition_for(label)
+        if existing is not None:
+            return existing
+        table = partition_table(label)
+        self.db.create_table(table)
+        self.db.execute(
+            "INSERT INTO binary_labels (label, table_name) VALUES (?, ?)",
+            (label, table.name),
+        )
+        self._rebuild_view()
+        return table.name
+
+    def _rebuild_view(self) -> None:
+        """Recreate the all-edges view over the current partitions."""
+        self.db.execute(f"DROP VIEW IF EXISTS {EDGES_VIEW}")
+        partitions = sorted(self.partitions().values())
+        if not partitions:
+            return
+        arms = " UNION ALL ".join(
+            f"SELECT doc_id, source, ordinal, label, kind, target, value, "
+            f"content FROM {quote_identifier(p)}"
+            for p in partitions
+        )
+        self.db.execute(f"CREATE VIEW {EDGES_VIEW} AS {arms}")
+
+    def table_names(self) -> list[str]:
+        return ["binary_labels"] + sorted(self.partitions().values())
+
+    # -- shred / fetch / delete ------------------------------------------------------
+
+    def _insert_records(
+        self, doc_id: int, records: list[NodeRecord], document: Document
+    ) -> None:
+        contents = element_content(records)
+        by_label: dict[str, list[tuple]] = {}
+        for r in records:
+            label = edge_label(r)
+            by_label.setdefault(label, []).append(
+                (
+                    doc_id,
+                    r.parent_pre,
+                    r.ordinal,
+                    label,
+                    r.kind,
+                    r.pre,
+                    r.value,
+                    contents.get(r.pre),
+                )
+            )
+        for label, rows in by_label.items():
+            table_name = self._ensure_partition(label)
+            self.db.executemany(
+                f"INSERT INTO {quote_identifier(table_name)} "
+                "(doc_id, source, ordinal, label, kind, target, value, "
+                "content) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+
+    def fetch_records(
+        self, doc_id: int, root_pre: int | None = None
+    ) -> list[NodeRecord]:
+        if not self.partitions():
+            return []
+        if root_pre is None:
+            rows = self.db.query(
+                f"SELECT target, source, ordinal, label, kind, value "
+                f"FROM {EDGES_VIEW} WHERE doc_id = ? ORDER BY target",
+                (doc_id,),
+            )
+        else:
+            rows = self.db.query(
+                f"""
+                WITH RECURSIVE subtree(target, source, ordinal, label,
+                                       kind, value) AS (
+                  SELECT target, source, ordinal, label, kind, value
+                  FROM {EDGES_VIEW} WHERE doc_id = ? AND target = ?
+                  UNION ALL
+                  SELECT e.target, e.source, e.ordinal, e.label, e.kind,
+                         e.value
+                  FROM {EDGES_VIEW} e JOIN subtree s ON e.source = s.target
+                  WHERE e.doc_id = ?
+                )
+                SELECT * FROM subtree ORDER BY target
+                """,
+                (doc_id, root_pre, doc_id),
+            )
+        return order_edge_rows(rows, root_pre)
+
+    def _delete_rows(self, doc_id: int) -> None:
+        for table_name in self.partitions().values():
+            self.db.execute(
+                f"DELETE FROM {quote_identifier(table_name)} "
+                "WHERE doc_id = ?",
+                (doc_id,),
+            )
+
+    def translator(self):
+        from repro.query.translate_binary import BinaryTranslator
+
+        return BinaryTranslator(self)

@@ -1,0 +1,152 @@
+"""Dewey-order mapping (Tatarinov et al., SIGMOD 2002).
+
+Every node is labelled with the path of sibling ordinals from the root
+("1.3.2"), stored zero-padded so that
+
+* lexicographic order on labels  ==  document order, and
+* label prefix-of               ==  ancestor-of.
+
+.. code-block:: text
+
+    dewey(doc_id, label, parent_label, depth, kind, name, value, content,
+          pre, ordinal)
+
+A child step is an equality join on ``parent_label``; a descendant step is
+an *index-friendly prefix scan* (``label > p AND label < p || ';'`` — the
+standard string-range trick, since ``'.' < ';'`` in ASCII).  Updates only
+relabel the inserted node's following siblings' subtrees, not the whole
+document — the property experiment E7 measures against the interval
+scheme's full renumbering.
+"""
+
+from __future__ import annotations
+
+from repro.relational.schema import Column, INTEGER, Index, Table, TEXT
+from repro.storage.base import MappingScheme
+from repro.storage.interval import element_content
+from repro.storage.numbering import (
+    DEWEY_SEPARATOR,
+    NodeRecord,
+    dewey_parent,
+)
+from repro.xml.dom import Document
+
+# The smallest character strictly greater than the separator '.' — used to
+# close prefix ranges: descendants of label p are in (p + '.', p + '/').
+PREFIX_RANGE_END = chr(ord(DEWEY_SEPARATOR) + 1)
+
+DEWEY_TABLE = Table(
+    name="dewey",
+    columns=[
+        Column("doc_id", INTEGER, nullable=False),
+        Column("label", TEXT, nullable=False),
+        Column("parent_label", TEXT),
+        Column("depth", INTEGER, nullable=False),
+        Column("kind", INTEGER, nullable=False),
+        Column("name", TEXT),
+        Column("value", TEXT),
+        Column("content", TEXT),
+        Column("pre", INTEGER, nullable=False),
+        Column("ordinal", INTEGER, nullable=False),
+    ],
+    primary_key=("doc_id", "label"),
+    indexes=[
+        Index("dewey_name", "dewey", ("doc_id", "name", "label")),
+        Index("dewey_parent", "dewey", ("doc_id", "parent_label")),
+        Index("dewey_pre", "dewey", ("doc_id", "pre")),
+        Index("dewey_value", "dewey", ("doc_id", "name", "value")),
+        Index("dewey_content", "dewey", ("doc_id", "name", "content")),
+    ],
+)
+
+
+def prefix_range(label: str) -> tuple[str, str]:
+    """The (lo, hi) label range containing exactly the descendants of
+    *label*: ``lo < descendant.label < hi``."""
+    return label + DEWEY_SEPARATOR, label + PREFIX_RANGE_END
+
+
+class DeweyScheme(MappingScheme):
+    """The Dewey order-label mapping."""
+
+    name = "dewey"
+
+    def tables(self):
+        return [DEWEY_TABLE]
+
+    def _insert_records(
+        self, doc_id: int, records: list[NodeRecord], document: Document
+    ) -> None:
+        contents = element_content(records)
+        rows = (
+            (
+                doc_id,
+                r.dewey,
+                dewey_parent(r.dewey),
+                r.level,
+                r.kind,
+                r.name,
+                r.value,
+                contents.get(r.pre),
+                r.pre,
+                r.ordinal,
+            )
+            for r in records
+        )
+        self.db.insert_rows(DEWEY_TABLE, rows)
+
+    def fetch_records(
+        self, doc_id: int, root_pre: int | None = None
+    ) -> list[NodeRecord]:
+        if root_pre is None:
+            rows = self.db.query(
+                "SELECT pre, label, depth, kind, name, value, ordinal "
+                "FROM dewey WHERE doc_id = ? ORDER BY label",
+                (doc_id,),
+            )
+        else:
+            root = self.db.query_one(
+                "SELECT label FROM dewey WHERE doc_id = ? AND pre = ?",
+                (doc_id, root_pre),
+            )
+            if root is None:
+                return []
+            (label,) = root
+            lo, hi = prefix_range(label)
+            # Self plus one prefix range scan over the ordered index.
+            rows = self.db.query(
+                "SELECT pre, label, depth, kind, name, value, ordinal "
+                "FROM dewey WHERE doc_id = ? "
+                "AND (label = ? OR (label > ? AND label < ?)) "
+                "ORDER BY label",
+                (doc_id, label, lo, hi),
+            )
+        records = []
+        parent_of: dict[str, int] = {}
+        for pre, label, depth, kind, name, value, ordinal in rows:
+            parent_label = dewey_parent(label)
+            parent_pre = parent_of.get(parent_label or "", 0)
+            parent_of[label] = pre
+            records.append(
+                NodeRecord(
+                    pre=pre,
+                    post=0,
+                    size=0,
+                    level=depth,
+                    kind=kind,
+                    name=name,
+                    value=value,
+                    parent_pre=parent_pre,
+                    ordinal=ordinal,
+                    dewey=label,
+                )
+            )
+        return records
+
+    def _delete_rows(self, doc_id: int) -> None:
+        self.db.execute("DELETE FROM dewey WHERE doc_id = ?", (doc_id,))
+
+    def translator(self):
+        from repro.query.translate_dewey import DeweyTranslator
+
+        return DeweyTranslator(self)

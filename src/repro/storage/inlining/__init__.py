@@ -1,0 +1,40 @@
+"""DTD-driven inlining mapping (Shanmugasundaram et al., VLDB 1999).
+
+Pipeline:
+
+1. :mod:`repro.storage.inlining.graph` — build the DTD graph from the
+   simplified content models and decide, per strategy (``basic`` /
+   ``shared`` / ``hybrid``), which elements get their own relations;
+2. :mod:`repro.storage.inlining.mapping` — expand each relation element
+   into a concrete table: inlined descendants become columns, set-valued
+   or shared children become child relations linked by parent ids;
+3. :mod:`repro.storage.inlining.scheme` — the
+   :class:`~repro.storage.base.MappingScheme` that shreds DTD-conforming
+   documents into those tables and reconstructs them.
+
+``shared`` (the paper's recommended strategy) and ``hybrid`` are fully
+storable and queryable; ``basic`` is exposed for the structural
+comparison in experiment E9 only (the paper itself shows why it is
+impractical to populate).
+"""
+
+from repro.storage.inlining.graph import (
+    BASIC,
+    DtdGraph,
+    HYBRID,
+    SHARED,
+    decide_relations,
+)
+from repro.storage.inlining.mapping import Mapping, build_mapping
+from repro.storage.inlining.scheme import InliningScheme
+
+__all__ = [
+    "BASIC",
+    "DtdGraph",
+    "HYBRID",
+    "InliningScheme",
+    "Mapping",
+    "SHARED",
+    "build_mapping",
+    "decide_relations",
+]

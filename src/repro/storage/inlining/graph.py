@@ -1,0 +1,136 @@
+"""The DTD graph and the relation-selection strategies.
+
+Nodes are element names; there is an edge ``p → c`` with quantifier ``q``
+for every field ``(c, q)`` of ``p``'s *simplified* content model (the
+normalization of :func:`repro.xml.contentmodel.simplify`).  On this graph
+the three inlining strategies of the paper choose which elements become
+relations:
+
+``basic``
+    every element gets a relation (each inlining everything reachable) —
+    the strawman whose relation count explodes;
+``shared``
+    a relation for: root/unreferenced elements, elements with in-degree
+    ≥ 2 (shared), elements reached by a ``*`` edge (set-valued), and
+    recursive elements — everything else is inlined into its single
+    parent;
+``hybrid``
+    like shared, but elements that are merely *shared* (in-degree ≥ 2,
+    not set-valued, not recursive) are inlined into every parent instead
+    — fewer joins, duplicated columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import SchemaMappingError
+from repro.xml.contentmodel import SIMPLE_STAR
+from repro.xml.dtd import AttributeDecl, Dtd
+
+BASIC = "basic"
+SHARED = "shared"
+HYBRID = "hybrid"
+
+STRATEGIES = (BASIC, SHARED, HYBRID)
+
+
+@dataclass
+class DtdGraph:
+    """Element graph of one DTD."""
+
+    dtd: Dtd
+    fields: dict[str, list[tuple[str, str]]] = field(default_factory=dict)
+    digraph: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    @classmethod
+    def from_dtd(cls, dtd: Dtd) -> "DtdGraph":
+        undeclared = dtd.undeclared_references()
+        if undeclared:
+            raise SchemaMappingError(
+                "content models reference undeclared elements: "
+                + ", ".join(sorted(undeclared))
+            )
+        graph = cls(dtd)
+        for name, decl in dtd.elements.items():
+            graph.fields[name] = decl.simplified()
+            graph.digraph.add_node(name)
+        for parent, fields in graph.fields.items():
+            for child, quantifier in fields:
+                graph.digraph.add_edge(parent, child, quantifier=quantifier)
+        return graph
+
+    # -- node classifications -------------------------------------------------
+
+    def elements(self) -> list[str]:
+        return list(self.dtd.elements)
+
+    def attributes_of(self, element: str) -> list[AttributeDecl]:
+        return self.dtd.attributes_of(element)
+
+    def in_degree(self, element: str) -> int:
+        """Number of distinct parents referencing *element*."""
+        return self.digraph.in_degree(element)
+
+    def set_valued(self) -> set[str]:
+        """Elements reached by at least one ``*`` edge."""
+        return {
+            child
+            for __, child, data in self.digraph.edges(data=True)
+            if data["quantifier"] == SIMPLE_STAR
+        }
+
+    def recursive(self) -> set[str]:
+        """Elements on a cycle (including self-loops)."""
+        result: set[str] = set()
+        for component in nx.strongly_connected_components(self.digraph):
+            if len(component) > 1:
+                result |= component
+        result |= {
+            node for node in self.digraph.nodes
+            if self.digraph.has_edge(node, node)
+        }
+        return result
+
+    def roots(self) -> set[str]:
+        """Unreferenced elements (potential document roots)."""
+        return {
+            node for node in self.digraph.nodes if self.in_degree(node) == 0
+        }
+
+    def quantifier(self, parent: str, child: str) -> str | None:
+        data = self.digraph.get_edge_data(parent, child)
+        return data["quantifier"] if data else None
+
+    def is_pcdata_capable(self, element: str) -> bool:
+        """True if *element* may directly contain text."""
+        model = self.dtd.elements[element].model
+        return model.is_mixed or model.is_any
+
+    def is_mixed_with_elements(self, element: str) -> bool:
+        """Mixed content with element names — unstorable by inlining."""
+        model = self.dtd.elements[element].model
+        return model.is_mixed and bool(model.mixed_names)
+
+
+def decide_relations(graph: DtdGraph, strategy: str = SHARED) -> set[str]:
+    """The element names that get their own relation under *strategy*."""
+    if strategy not in STRATEGIES:
+        raise SchemaMappingError(f"unknown inlining strategy: {strategy}")
+    if strategy == BASIC:
+        return set(graph.elements())
+    relations = graph.roots() | graph.set_valued() | graph.recursive()
+    if graph.dtd.root_name and graph.dtd.root_name in graph.fields:
+        relations.add(graph.dtd.root_name)
+    if strategy == SHARED:
+        relations |= {
+            node for node in graph.digraph.nodes if graph.in_degree(node) >= 2
+        }
+    if not relations:
+        # Degenerate single-element DTDs and pure chains: the root set is
+        # non-empty whenever the DTD is acyclic, but a fully cyclic DTD
+        # with no root would land here.
+        relations = set(graph.elements()[:1])
+    return relations

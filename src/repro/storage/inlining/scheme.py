@@ -1,0 +1,335 @@
+"""The inlining :class:`~repro.storage.base.MappingScheme`.
+
+One scheme instance serves one DTD (persisted in ``inline_schema`` so a
+reopened database rebuilds the identical mapping).  Stored documents must
+conform to that DTD's data-centric subset: element or PCDATA content (no
+mixed-with-elements models), no comments or processing instructions, and
+child multiplicities within the simplified quantifiers.  Violations raise
+:class:`~repro.errors.SchemaMappingError`/``StorageError`` at store time
+rather than silently corrupting the mapping.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaMappingError, StorageError
+from repro.relational.database import Database
+from repro.relational.schema import Column, INTEGER, Table, TEXT, quote_identifier
+from repro.storage.base import MappingScheme
+from repro.storage.inlining.graph import SHARED, STRATEGIES
+from repro.storage.inlining.mapping import (
+    InlinedPosition,
+    Mapping,
+    build_mapping,
+)
+from repro.storage.numbering import NodeRecord
+from repro.xml.dom import (
+    Comment,
+    Document,
+    Element,
+    NodeKind,
+    ProcessingInstruction,
+    Text,
+)
+from repro.xml.dtd import Dtd, dtd_to_text, parse_dtd
+
+SCHEMA_TABLE = Table(
+    name="inline_schema",
+    columns=[
+        Column("schema_id", INTEGER, primary_key=True),
+        Column("strategy", TEXT, nullable=False),
+        Column("root_name", TEXT),
+        Column("dtd_text", TEXT, nullable=False),
+    ],
+)
+
+
+class InliningScheme(MappingScheme):
+    """DTD-driven shared/hybrid inlining."""
+
+    name = "inlining"
+
+    def __init__(
+        self,
+        db: Database,
+        dtd: Dtd | None = None,
+        strategy: str = SHARED,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise SchemaMappingError(f"unknown inlining strategy: {strategy}")
+        if strategy == "basic":
+            raise SchemaMappingError(
+                "the basic strategy is structural-comparison only "
+                "(see experiment E9); store with 'shared' or 'hybrid'"
+            )
+        self._dtd = dtd
+        self.strategy = strategy
+        self.mapping: Mapping | None = None
+        super().__init__(db)
+
+    # -- schema ----------------------------------------------------------------
+
+    def tables(self) -> list[Table]:
+        tables = [SCHEMA_TABLE]
+        if self.mapping is not None:
+            tables += [r.table for r in self.mapping.relations.values()]
+        return tables
+
+    def create_schema(self) -> None:
+        self.db.create_table(SCHEMA_TABLE)
+        if self._dtd is None:
+            self._load_persisted_schema()
+        else:
+            self._install_dtd(self._dtd)
+        if self.mapping is not None:
+            for relation in self.mapping.relations.values():
+                self.db.create_table(relation.table)
+
+    def _load_persisted_schema(self) -> None:
+        row = self.db.query_one(
+            "SELECT strategy, root_name, dtd_text FROM inline_schema "
+            "ORDER BY schema_id LIMIT 1"
+        )
+        if row is None:
+            return  # no DTD yet; store() will demand one
+        strategy, root_name, dtd_text = row
+        self.strategy = strategy
+        dtd = parse_dtd(dtd_text, root_name=root_name)
+        self._dtd = dtd
+        self.mapping = build_mapping(dtd, strategy)
+
+    def _install_dtd(self, dtd: Dtd) -> None:
+        persisted = self.db.query_one(
+            "SELECT strategy, root_name, dtd_text FROM inline_schema "
+            "ORDER BY schema_id LIMIT 1"
+        )
+        if persisted is None:
+            self.db.execute(
+                "INSERT INTO inline_schema (strategy, root_name, dtd_text) "
+                "VALUES (?, ?, ?)",
+                (self.strategy, dtd.root_name, dtd_to_text(dtd)),
+            )
+        elif (persisted[0], persisted[2]) != (
+            self.strategy, dtd_to_text(dtd)
+        ):
+            raise SchemaMappingError(
+                "database already holds a different inlining schema"
+            )
+        self.mapping = build_mapping(dtd, self.strategy)
+
+    def require_mapping(self) -> Mapping:
+        if self.mapping is None:
+            raise SchemaMappingError(
+                "no DTD installed: construct InliningScheme with a dtd"
+            )
+        return self.mapping
+
+    # -- shredding ------------------------------------------------------------------
+
+    def _insert_records(
+        self, doc_id: int, records: list[NodeRecord], document: Document
+    ) -> None:
+        mapping = self.require_mapping()
+        for node in document.iter():
+            if isinstance(node, (Comment, ProcessingInstruction)):
+                raise StorageError(
+                    "inlining stores data-centric documents only "
+                    "(no comments/processing instructions)"
+                )
+        ordinal_of = {r.pre: r.ordinal for r in records}
+        root = document.root_element
+        if mapping.relation_of(root.tag) is None:
+            raise SchemaMappingError(
+                f"document root {root.tag!r} has no relation in the mapping"
+            )
+        rows: dict[str, list[dict[str, object]]] = {}
+
+        def store_instance(element: Element, parent_pre: int) -> None:
+            relation = mapping.relations[element.tag]
+            row: dict[str, object] = {
+                "doc_id": doc_id,
+                "parent_pre": parent_pre,
+                "ordinal": ordinal_of[element.order_key],
+            }
+            fill_position(relation.root, element, row)
+            rows.setdefault(relation.table.name, []).append(row)
+
+        def fill_position(
+            position: InlinedPosition, element: Element, row: dict
+        ) -> None:
+            pre = element.order_key
+            row[position.pre_column] = pre
+            self._fill_text(position, element, row)
+            self._fill_attributes(position, element, row)
+            for child in element.children:
+                if isinstance(child, Text):
+                    continue
+                assert isinstance(child, Element)
+                name = child.tag
+                if name in position.inlined_children:
+                    child_position = mapping.relations[
+                        position.relation_element
+                    ].positions[position.inlined_children[name]]
+                    if row.get(child_position.pre_column) is not None:
+                        raise StorageError(
+                            f"element {element.tag!r} has multiple "
+                            f"{name!r} children but the DTD allows one"
+                        )
+                    fill_position(child_position, child, row)
+                elif name in position.relation_children:
+                    store_instance(child, pre)
+                elif mapping.relation_of(name) is not None and (
+                    self._allows_any(position.element)
+                ):
+                    store_instance(child, pre)
+                else:
+                    raise SchemaMappingError(
+                        f"child {name!r} of {position.element!r} is not "
+                        "allowed by the installed DTD"
+                    )
+
+        store_instance(root, 0)
+        for table_name, table_rows in rows.items():
+            relation = next(
+                r for r in mapping.relations.values()
+                if r.table.name == table_name
+            )
+            columns = relation.table.column_names
+            self.db.executemany(
+                f"INSERT INTO {quote_identifier(table_name)} "
+                f"({', '.join(columns)}) VALUES "
+                f"({', '.join('?' for _ in columns)})",
+                [
+                    tuple(row.get(column) for column in columns)
+                    for row in table_rows
+                ],
+            )
+
+    def _allows_any(self, element: str) -> bool:
+        mapping = self.require_mapping()
+        return mapping.dtd.elements[element].model.is_any
+
+    def _fill_text(
+        self, position: InlinedPosition, element: Element, row: dict
+    ) -> None:
+        texts = [c for c in element.children if isinstance(c, Text)]
+        significant = [t for t in texts if not t.is_whitespace]
+        if position.content_column is None:
+            if significant:
+                raise SchemaMappingError(
+                    f"element {element.tag!r} carries text but its model "
+                    f"({position.element}) has element content"
+                )
+            return
+        if texts:
+            row[position.content_column] = "".join(t.data for t in texts)
+            row[position.content_pre_column] = texts[0].order_key
+
+    def _fill_attributes(
+        self, position: InlinedPosition, element: Element, row: dict
+    ) -> None:
+        for attribute in element.attributes:
+            columns = position.attr_columns.get(attribute.name)
+            if columns is None:
+                raise SchemaMappingError(
+                    f"attribute {attribute.name!r} of {element.tag!r} "
+                    "is not declared in the installed DTD"
+                )
+            val_column, pre_column = columns
+            row[val_column] = attribute.value
+            row[pre_column] = attribute.order_key
+
+    # -- retrieval --------------------------------------------------------------------
+
+    def fetch_records(
+        self, doc_id: int, root_pre: int | None = None
+    ) -> list[NodeRecord]:
+        mapping = self.require_mapping()
+        records: list[NodeRecord] = []
+        for relation in mapping.relations.values():
+            columns = relation.table.column_names
+            table_rows = self.db.query(
+                f"SELECT {', '.join(columns)} "
+                f"FROM {quote_identifier(relation.table.name)} "
+                "WHERE doc_id = ?",
+                (doc_id,),
+            )
+            for values in table_rows:
+                row = dict(zip(columns, values))
+                records += self._row_records(relation, row)
+        records.sort(key=lambda r: r.pre)
+        if root_pre is None:
+            return records
+        keep = {root_pre}
+        subtree = []
+        for record in records:
+            if record.pre == root_pre or record.parent_pre in keep:
+                keep.add(record.pre)
+                subtree.append(record)
+        return subtree
+
+    def _row_records(self, relation, row: dict) -> list[NodeRecord]:
+        records: list[NodeRecord] = []
+        for position in relation.positions.values():
+            pre = row.get(position.pre_column)
+            if pre is None:
+                continue  # optional inlined element absent
+            if position.is_root:
+                parent_pre = row["parent_pre"]
+                ordinal = row["ordinal"]
+            else:
+                parent_path = position.path[:-1]
+                parent_position = relation.positions[parent_path]
+                parent_pre = row[parent_position.pre_column]
+                ordinal = 0  # order restored by pre sorting
+            records.append(
+                NodeRecord(
+                    pre=pre,
+                    post=0,
+                    size=0,
+                    level=0,
+                    kind=int(NodeKind.ELEMENT),
+                    name=position.element,
+                    value=None,
+                    parent_pre=parent_pre,
+                    ordinal=ordinal,
+                    dewey="",
+                )
+            )
+            for attr_name, (val_col, pre_col) in position.attr_columns.items():
+                attr_pre = row.get(pre_col)
+                if attr_pre is None:
+                    continue
+                records.append(
+                    NodeRecord(
+                        pre=attr_pre, post=0, size=0, level=0,
+                        kind=int(NodeKind.ATTRIBUTE), name=attr_name,
+                        value=row.get(val_col), parent_pre=pre,
+                        ordinal=0, dewey="",
+                    )
+                )
+            if position.content_column is not None:
+                text_pre = row.get(position.content_pre_column)
+                if text_pre is not None:
+                    records.append(
+                        NodeRecord(
+                            pre=text_pre, post=0, size=0, level=0,
+                            kind=int(NodeKind.TEXT), name=None,
+                            value=row.get(position.content_column),
+                            parent_pre=pre, ordinal=0, dewey="",
+                        )
+                    )
+        return records
+
+    def _delete_rows(self, doc_id: int) -> None:
+        mapping = self.require_mapping()
+        for relation in mapping.relations.values():
+            self.db.execute(
+                f"DELETE FROM {quote_identifier(relation.table.name)} "
+                "WHERE doc_id = ?",
+                (doc_id,),
+            )
+
+    def translator(self):
+        from repro.query.translate_inlining import InliningTranslator
+
+        return InliningTranslator(self)

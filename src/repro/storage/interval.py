@@ -1,0 +1,147 @@
+"""Interval (pre/post/size/level) mapping — the "XPath accelerator".
+
+One relation holds every node with its region encoding (Grust 2002/2004;
+also the XASR table of Kanne & Moerkotte and the tree encoding on tutorial
+slide 132):
+
+.. code-block:: text
+
+    accel(doc_id, pre, post, size, level, kind, name, value, content,
+          parent_pre, ordinal)
+
+Every XPath axis is a *range predicate* in the (pre, post) plane — e.g.
+``descendant(v) = { u : pre(u) > pre(v) AND pre(u) <= pre(v)+size(v) }`` —
+so a k-step path is k self-joins with range conditions instead of the edge
+mapping's transitive closures.  ``content`` caches the concatenated text
+of text-only elements, giving value predicates a single-column compare.
+"""
+
+from __future__ import annotations
+
+from repro.relational.schema import Column, INTEGER, Index, Table, TEXT
+from repro.storage.base import MappingScheme
+from repro.storage.numbering import NodeRecord
+from repro.xml.dom import Document, NodeKind
+
+ACCEL_TABLE = Table(
+    name="accel",
+    columns=[
+        Column("doc_id", INTEGER, nullable=False),
+        Column("pre", INTEGER, nullable=False),
+        Column("post", INTEGER, nullable=False),
+        Column("size", INTEGER, nullable=False),
+        Column("level", INTEGER, nullable=False),
+        Column("kind", INTEGER, nullable=False),
+        Column("name", TEXT),
+        Column("value", TEXT),
+        Column("content", TEXT),
+        Column("parent_pre", INTEGER, nullable=False),
+        Column("ordinal", INTEGER, nullable=False),
+    ],
+    primary_key=("doc_id", "pre"),
+    indexes=[
+        Index("accel_name", "accel", ("doc_id", "name", "pre")),
+        Index("accel_parent", "accel", ("doc_id", "parent_pre")),
+        Index("accel_content", "accel", ("doc_id", "name", "content")),
+        Index("accel_value", "accel", ("doc_id", "name", "value")),
+    ],
+)
+
+
+def element_content(
+    records: list[NodeRecord],
+) -> dict[int, str]:
+    """Map element pre → concatenated text, for *text-only* elements.
+
+    An element whose non-attribute children are exclusively text nodes gets
+    its concatenated text cached; every scheme uses this for single-column
+    value predicates (the "inlined value" idea of the edge paper).
+    """
+    children: dict[int, list[NodeRecord]] = {}
+    for record in records:
+        if record.kind != NodeKind.ATTRIBUTE:
+            children.setdefault(record.parent_pre, []).append(record)
+    contents: dict[int, str] = {}
+    for record in records:
+        if record.kind != NodeKind.ELEMENT:
+            continue
+        kids = children.get(record.pre, [])
+        if kids and all(k.kind == NodeKind.TEXT for k in kids):
+            contents[record.pre] = "".join(k.value or "" for k in kids)
+        elif not kids:
+            contents[record.pre] = ""
+    return contents
+
+
+class IntervalScheme(MappingScheme):
+    """The pre/post/size/level region mapping."""
+
+    name = "interval"
+
+    def tables(self):
+        return [ACCEL_TABLE]
+
+    def _insert_records(
+        self, doc_id: int, records: list[NodeRecord], document: Document
+    ) -> None:
+        contents = element_content(records)
+        rows = (
+            (
+                doc_id,
+                r.pre,
+                r.post,
+                r.size,
+                r.level,
+                r.kind,
+                r.name,
+                r.value,
+                contents.get(r.pre),
+                r.parent_pre,
+                r.ordinal,
+            )
+            for r in records
+        )
+        self.db.insert_rows(ACCEL_TABLE, rows)
+
+    def fetch_records(
+        self, doc_id: int, root_pre: int | None = None
+    ) -> list[NodeRecord]:
+        sql = (
+            "SELECT pre, post, size, level, kind, name, value, "
+            "parent_pre, ordinal FROM accel WHERE doc_id = ?"
+        )
+        params: list = [doc_id]
+        if root_pre is not None:
+            # One range scan: the whole subtree is a contiguous pre block.
+            sql += (
+                " AND pre >= ? AND pre <= "
+                "(SELECT pre + size FROM accel WHERE doc_id = ? AND pre = ?)"
+            )
+            params += [root_pre, doc_id, root_pre]
+        sql += " ORDER BY pre"
+        rows = self.db.query(sql, params)
+        return [
+            NodeRecord(
+                pre=pre,
+                post=post,
+                size=size,
+                level=level,
+                kind=kind,
+                name=name,
+                value=value,
+                parent_pre=parent_pre,
+                ordinal=ordinal,
+                dewey="",
+            )
+            for (
+                pre, post, size, level, kind, name, value, parent_pre, ordinal,
+            ) in rows
+        ]
+
+    def _delete_rows(self, doc_id: int) -> None:
+        self.db.execute("DELETE FROM accel WHERE doc_id = ?", (doc_id,))
+
+    def translator(self):
+        from repro.query.translate_interval import IntervalTranslator
+
+        return IntervalTranslator(self)

@@ -1,0 +1,255 @@
+"""Node numbering: the order encodings every storage scheme draws from.
+
+One traversal of a document computes, for every *stored* node (elements,
+attributes, text, comments, processing instructions — everything except
+the document node itself):
+
+``pre``
+    Document-order position (matches ``Node.order_key``; the document node
+    holds 0, so stored nodes start at 1).  This is the node id shared by
+    all schemes, which is what makes cross-scheme differential testing a
+    set comparison.
+``post``
+    Post-order position.  ``pre``/``post`` together define the classic
+    plane in which the XPath axes are rectangular windows (Grust, 2002).
+``size``
+    Number of stored nodes in the subtree below (attributes included), so
+    ``descendant(a) = { d : pre(a) < pre(d) <= pre(a)+size(a) }``.
+``level``
+    Depth (root element is level 1; its attributes level 2).
+``ordinal``
+    1-based position among the parent's stored children, attributes first
+    (their document-order slot).
+``dewey``
+    The Dewey order label: the ``ordinal`` components along the path from
+    the root, zero-padded so that *lexicographic order equals document
+    order* and prefix-of equals ancestor-of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.xml.dom import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    Node,
+    NodeKind,
+    ProcessingInstruction,
+    Text,
+    _Container,
+)
+
+# Width of one zero-padded Dewey component; 6 digits supports up to
+# 999 999 siblings, far beyond any generated workload.
+DEWEY_WIDTH = 6
+DEWEY_SEPARATOR = "."
+
+
+def dewey_component(ordinal: int) -> str:
+    """Zero-padded component for one sibling ordinal."""
+    if ordinal <= 0 or ordinal >= 10 ** DEWEY_WIDTH:
+        raise StorageError(f"dewey ordinal out of range: {ordinal}")
+    return str(ordinal).zfill(DEWEY_WIDTH)
+
+
+def dewey_parent(label: str) -> str | None:
+    """The parent's label, or None for a root-level label."""
+    if DEWEY_SEPARATOR not in label:
+        return None
+    return label.rsplit(DEWEY_SEPARATOR, 1)[0]
+
+
+def dewey_depth(label: str) -> int:
+    """Number of components in *label*."""
+    return label.count(DEWEY_SEPARATOR) + 1
+
+
+def dewey_is_ancestor(ancestor: str, descendant: str) -> bool:
+    """Prefix test: is *ancestor* a proper Dewey ancestor of *descendant*?"""
+    return descendant.startswith(ancestor + DEWEY_SEPARATOR)
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """The numbering facts of one stored node."""
+
+    pre: int
+    post: int
+    size: int
+    level: int
+    kind: int                # NodeKind value
+    name: str | None         # element tag / attribute name / PI target
+    value: str | None        # attribute value / text / comment / PI data
+    parent_pre: int          # 0 when the parent is the document node
+    ordinal: int             # 1-based among the parent's stored children
+    dewey: str
+
+    @property
+    def is_element(self) -> bool:
+        return self.kind == NodeKind.ELEMENT
+
+    @property
+    def is_attribute(self) -> bool:
+        return self.kind == NodeKind.ATTRIBUTE
+
+
+def number_document(document: Document) -> list[NodeRecord]:
+    """Compute :class:`NodeRecord` facts for every stored node, in
+    document (pre) order."""
+    document.assign_order()
+    records: list[NodeRecord] = []
+    post_counter = 0
+
+    def visit(
+        node: Node, level: int, parent_pre: int, ordinal: int, dewey: str
+    ) -> int:
+        """Append records for *node*'s subtree; return its stored size."""
+        nonlocal post_counter
+        pre = node.order_key
+        size = 0
+        child_records_start = len(records)
+        records.append(None)  # placeholder; filled after children
+        if isinstance(node, Element):
+            next_ordinal = 1
+            for attr in node.attributes:
+                size += visit(attr, level + 1, pre, next_ordinal,
+                              dewey + DEWEY_SEPARATOR
+                              + dewey_component(next_ordinal))
+                next_ordinal += 1
+            for child in node.children:
+                size += visit(child, level + 1, pre, next_ordinal,
+                              dewey + DEWEY_SEPARATOR
+                              + dewey_component(next_ordinal))
+                next_ordinal += 1
+        post_counter += 1
+        records[child_records_start] = NodeRecord(
+            pre=pre,
+            post=post_counter,
+            size=size,
+            level=level,
+            kind=int(node.kind),
+            name=_node_name(node),
+            value=_node_value(node),
+            parent_pre=parent_pre,
+            ordinal=ordinal,
+            dewey=dewey,
+        )
+        return size + 1
+
+    ordinal = 1
+    for child in document.children:
+        visit(child, 1, 0, ordinal, dewey_component(ordinal))
+        ordinal += 1
+    return records
+
+
+def _node_name(node: Node) -> str | None:
+    if isinstance(node, Element):
+        return node.tag
+    if isinstance(node, Attribute):
+        return node.name
+    if isinstance(node, ProcessingInstruction):
+        return node.target
+    return None
+
+
+def _node_value(node: Node) -> str | None:
+    if isinstance(node, Attribute):
+        return node.value
+    if isinstance(node, (Text, Comment)):
+        return node.data
+    if isinstance(node, ProcessingInstruction):
+        return node.data
+    return None
+
+
+def build_subtree(records: list[NodeRecord]) -> Node:
+    """Rebuild a tree from subtree records sorted by ``pre``.
+
+    The first record is the subtree root; children are attached via
+    ``parent_pre``.  Used by every scheme's ``reconstruct``: the scheme
+    fetches its rows (differently — that is what E6 measures) and this
+    shared assembler turns them back into DOM nodes.
+    """
+    if not records:
+        raise StorageError("cannot rebuild an empty record set")
+    by_pre: dict[int, Node] = {}
+    root_node: Node | None = None
+    for record in records:
+        node = _make_node(record)
+        by_pre[record.pre] = node
+        if root_node is None:
+            root_node = node
+            continue
+        parent = by_pre.get(record.parent_pre)
+        if parent is None:
+            raise StorageError(
+                f"record {record.pre} references missing parent "
+                f"{record.parent_pre}"
+            )
+        if isinstance(node, Attribute):
+            if not isinstance(parent, Element):
+                raise StorageError("attribute record under a non-element")
+            node.parent = parent
+            parent.attributes.append(node)
+        else:
+            if not isinstance(parent, _Container):
+                raise StorageError(
+                    f"record {record.pre} under non-container parent"
+                )
+            parent.children.append(node)
+            node.parent = parent
+    assert root_node is not None
+    return root_node
+
+
+def build_document(records: list[NodeRecord]) -> Document:
+    """Rebuild a whole document from its full record list (pre order)."""
+    document = Document()
+    by_pre: dict[int, Node] = {}
+    for record in records:
+        node = _make_node(record)
+        by_pre[record.pre] = node
+        if record.parent_pre == 0:
+            document.children.append(node)
+            node.parent = document
+            continue
+        parent = by_pre.get(record.parent_pre)
+        if parent is None:
+            raise StorageError(
+                f"record {record.pre} references missing parent "
+                f"{record.parent_pre}"
+            )
+        if isinstance(node, Attribute):
+            if not isinstance(parent, Element):
+                raise StorageError("attribute record under a non-element")
+            node.parent = parent
+            parent.attributes.append(node)
+        else:
+            if not isinstance(parent, _Container):
+                raise StorageError(
+                    f"record {record.pre} under non-container parent"
+                )
+            parent.children.append(node)
+            node.parent = parent
+    return document
+
+
+def _make_node(record: NodeRecord) -> Node:
+    kind = record.kind
+    if kind == NodeKind.ELEMENT:
+        return Element(record.name or "", validate=False)
+    if kind == NodeKind.ATTRIBUTE:
+        return Attribute(record.name or "", record.value or "",
+                         validate=False)
+    if kind == NodeKind.TEXT:
+        return Text(record.value or "")
+    if kind == NodeKind.COMMENT:
+        return Comment(record.value or "")
+    if kind == NodeKind.PROCESSING_INSTRUCTION:
+        return ProcessingInstruction(record.name or "x", record.value or "")
+    raise StorageError(f"cannot rebuild node of kind {kind}")

@@ -1,0 +1,295 @@
+"""Universal-table mapping: the fully denormalized strawman.
+
+One wide relation holds one row per *root-to-leaf path instance*; for
+every distinct label ``l`` the table has a column triple
+``(n<i>_ord, n<i>_id, n<i>_val)`` assigned through the ``universal_labels``
+catalog.  A row fills the triples of the labels on its path and leaves
+every other column NULL — the full-outer-join shape of Florescu &
+Kossmann's Universal relation.  Each row also carries a ``path_id`` into
+``universal_paths`` (the label sequence), which disambiguates rows whose
+non-NULL label *sets* coincide but whose paths differ.
+
+Published behaviour reproduced here:
+
+* linear path queries are single-table scans — no joins at all (E3/E8),
+* storage explodes with document size and fanout — ancestors are repeated
+  once per leaf below them (E1),
+* recursive documents (a label repeating along one path) cannot be
+  represented at all — storing one raises
+  :class:`~repro.errors.SchemaMappingError`,
+* anything beyond linear paths (wildcards, positions) is untranslatable.
+
+Attribute labels are stored with an ``@`` prefix; text, comment and PI
+nodes use the same reserved labels as the edge mapping.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaMappingError, StorageError
+from repro.relational.schema import Column, INTEGER, Table, TEXT
+from repro.storage.base import MappingScheme
+from repro.storage.interval import element_content
+from repro.storage.numbering import NodeRecord
+from repro.xml.dom import Document, NodeKind
+
+LABELS_TABLE = Table(
+    name="universal_labels",
+    columns=[
+        Column("label", TEXT, primary_key=True),
+        Column("col_index", INTEGER, nullable=False),
+    ],
+)
+
+PATHS_TABLE = Table(
+    name="universal_paths",
+    columns=[
+        Column("doc_id", INTEGER, nullable=False),
+        Column("path_id", INTEGER, nullable=False),
+        Column("pathexp", TEXT, nullable=False),
+    ],
+    primary_key=("doc_id", "path_id"),
+)
+
+UNIVERSAL = "universal"
+
+# Separator inside pathexp strings: '#/label' per child step.
+PATH_SEP = "#/"
+
+
+def node_label(record: NodeRecord) -> str:
+    """The universal-table label of a stored node."""
+    kind = record.kind
+    if kind == int(NodeKind.ELEMENT):
+        return record.name or ""
+    if kind == int(NodeKind.ATTRIBUTE):
+        return f"@{record.name}"
+    if kind == int(NodeKind.TEXT):
+        return "#text"
+    if kind == int(NodeKind.COMMENT):
+        return "#comment"
+    return f"#pi:{record.name}"
+
+
+def label_kind(label: str) -> int:
+    """Invert :func:`node_label` to the node kind."""
+    if label.startswith("@"):
+        return int(NodeKind.ATTRIBUTE)
+    if label == "#text":
+        return int(NodeKind.TEXT)
+    if label == "#comment":
+        return int(NodeKind.COMMENT)
+    if label.startswith("#pi"):
+        return int(NodeKind.PROCESSING_INSTRUCTION)
+    return int(NodeKind.ELEMENT)
+
+
+def label_name(label: str) -> str | None:
+    """The node name encoded in *label* (None for text/comments)."""
+    kind = label_kind(label)
+    if kind == int(NodeKind.ATTRIBUTE):
+        return label[1:]
+    if kind == int(NodeKind.PROCESSING_INSTRUCTION):
+        return label.split(":", 1)[1] if ":" in label else label
+    if kind == int(NodeKind.ELEMENT):
+        return label
+    return None
+
+
+class UniversalScheme(MappingScheme):
+    """The single wide denormalized relation."""
+
+    name = "universal"
+
+    def tables(self):
+        return [LABELS_TABLE, PATHS_TABLE]
+
+    def create_schema(self) -> None:
+        super().create_schema()
+        if not self.db.table_exists(UNIVERSAL):
+            self.db.execute(
+                f"CREATE TABLE {UNIVERSAL} ("
+                "doc_id INTEGER NOT NULL, path_id INTEGER NOT NULL)"
+            )
+
+    # -- label columns ------------------------------------------------------------
+
+    def label_columns(self) -> dict[str, int]:
+        """Current label → column-index assignment."""
+        return dict(
+            self.db.query("SELECT label, col_index FROM universal_labels")
+        )
+
+    def column_triple(self, index: int) -> tuple[str, str, str]:
+        """(ord, id, val) column names of label column *index*."""
+        return f"n{index}_ord", f"n{index}_id", f"n{index}_val"
+
+    def columns_for(self, label: str) -> tuple[str, str, str] | None:
+        """Column triple of *label*, or None if the label is unknown."""
+        index = self.label_columns().get(label)
+        if index is None:
+            return None
+        return self.column_triple(index)
+
+    def _ensure_label(self, label: str, known: dict[str, int]) -> int:
+        if label in known:
+            return known[label]
+        index = len(known)
+        known[label] = index
+        self.db.execute(
+            "INSERT INTO universal_labels (label, col_index) VALUES (?, ?)",
+            (label, index),
+        )
+        ord_col, id_col, val_col = self.column_triple(index)
+        for column, col_type in (
+            (ord_col, "INTEGER"), (id_col, "INTEGER"), (val_col, "TEXT"),
+        ):
+            self.db.execute(
+                f"ALTER TABLE {UNIVERSAL} ADD COLUMN {column} {col_type}"
+            )
+        return index
+
+    def table_names(self) -> list[str]:
+        return ["universal_labels", "universal_paths", UNIVERSAL]
+
+    # -- shredding ---------------------------------------------------------------------
+
+    def _insert_records(
+        self, doc_id: int, records: list[NodeRecord], document: Document
+    ) -> None:
+        contents = element_content(records)
+        by_pre = {r.pre: r for r in records}
+        children_of: dict[int, list[NodeRecord]] = {}
+        for record in records:
+            children_of.setdefault(record.parent_pre, []).append(record)
+        known = self.label_columns()
+        path_ids: dict[str, int] = {}
+        rows: list[dict[str, object]] = []
+
+        def value_of(record: NodeRecord) -> str | None:
+            if record.kind == int(NodeKind.ELEMENT):
+                return contents.get(record.pre)
+            return record.value
+
+        def emit(leaf: NodeRecord) -> None:
+            chain: list[NodeRecord] = []
+            current: NodeRecord | None = leaf
+            while current is not None:
+                chain.append(current)
+                current = by_pre.get(current.parent_pre)
+            chain.reverse()
+            labels = [node_label(r) for r in chain]
+            if len(set(labels)) != len(labels):
+                raise SchemaMappingError(
+                    "universal table cannot store recursive paths "
+                    f"(label repeats along {PATH_SEP.join(labels)})"
+                )
+            pathexp = "".join(PATH_SEP + label for label in labels)
+            if pathexp not in path_ids:
+                path_ids[pathexp] = len(path_ids) + 1
+            row: dict[str, object] = {
+                "doc_id": doc_id,
+                "path_id": path_ids[pathexp],
+            }
+            for record, label in zip(chain, labels):
+                index = self._ensure_label(label, known)
+                ord_col, id_col, val_col = self.column_triple(index)
+                row[ord_col] = record.ordinal
+                row[id_col] = record.pre
+                row[val_col] = value_of(record)
+            rows.append(row)
+
+        for record in records:
+            if not children_of.get(record.pre):
+                emit(record)
+        for pathexp, path_id in path_ids.items():
+            self.db.execute(
+                "INSERT INTO universal_paths (doc_id, path_id, pathexp) "
+                "VALUES (?, ?, ?)",
+                (doc_id, path_id, pathexp),
+            )
+        for row in rows:
+            columns = list(row)
+            marks = ", ".join("?" for _ in columns)
+            self.db.execute(
+                f"INSERT INTO {UNIVERSAL} ({', '.join(columns)}) "
+                f"VALUES ({marks})",
+                [row[c] for c in columns],
+            )
+
+    # -- retrieval -----------------------------------------------------------------------
+
+    def fetch_records(
+        self, doc_id: int, root_pre: int | None = None
+    ) -> list[NodeRecord]:
+        labels = self.label_columns()
+        paths = dict(
+            self.db.query(
+                "SELECT path_id, pathexp FROM universal_paths "
+                "WHERE doc_id = ?",
+                (doc_id,),
+            )
+        )
+        rows = self.db.query(
+            f"SELECT * FROM {UNIVERSAL} WHERE doc_id = ?", (doc_id,)
+        )
+        column_names = [
+            d[0] for d in self.db.execute(
+                f"SELECT * FROM {UNIVERSAL} LIMIT 0"
+            ).description
+        ]
+        by_pre: dict[int, NodeRecord] = {}
+        col_of = {label: self.column_triple(i) for label, i in labels.items()}
+        for row in rows:
+            values = dict(zip(column_names, row))
+            pathexp = paths[values["path_id"]]
+            chain = [p for p in pathexp.split(PATH_SEP) if p]
+            parent_pre = 0
+            for depth, label in enumerate(chain, start=1):
+                ord_col, id_col, val_col = col_of[label]
+                pre = values[id_col]
+                if pre is None:
+                    raise StorageError(
+                        f"universal row missing id for label {label!r}"
+                    )
+                kind = label_kind(label)
+                if pre not in by_pre:
+                    by_pre[pre] = NodeRecord(
+                        pre=pre,
+                        post=0,
+                        size=0,
+                        level=depth,
+                        kind=kind,
+                        name=label_name(label),
+                        value=(
+                            values[val_col]
+                            if kind != int(NodeKind.ELEMENT)
+                            else None
+                        ),
+                        parent_pre=parent_pre,
+                        ordinal=values[ord_col] or 0,
+                        dewey="",
+                    )
+                parent_pre = pre
+        records = [by_pre[pre] for pre in sorted(by_pre)]
+        if root_pre is not None:
+            keep: set[int] = {root_pre}
+            subtree = []
+            for record in records:
+                if record.pre == root_pre or record.parent_pre in keep:
+                    keep.add(record.pre)
+                    subtree.append(record)
+            return subtree
+        return records
+
+    def _delete_rows(self, doc_id: int) -> None:
+        self.db.execute(
+            f"DELETE FROM {UNIVERSAL} WHERE doc_id = ?", (doc_id,)
+        )
+        self.db.execute(
+            "DELETE FROM universal_paths WHERE doc_id = ?", (doc_id,)
+        )
+
+    def translator(self):
+        from repro.query.translate_universal import UniversalTranslator
+
+        return UniversalTranslator(self)

@@ -1,0 +1,241 @@
+"""XRel mapping (Yoshikawa et al., TOIT 2001): paths + regions.
+
+Four relations:
+
+.. code-block:: text
+
+    xrel_paths(doc_id, path_id, pathexp)
+    xrel_element(doc_id, path_id, start, end, ordinal, name, content)
+    xrel_attribute(doc_id, path_id, start, end, ordinal, name, value)
+    xrel_text(doc_id, path_id, start, end, ordinal, kind, name, value)
+
+``pathexp`` is the root-to-node label path in XRel's ``#/`` notation
+(attributes as ``#/@name``); ``(start, end)`` is the node's *region* —
+here ``start = pre`` and ``end = pre + size``, which nest exactly like
+XRel's byte offsets.  Simple paths become a match against the small path
+table plus one probe of a node table; ancestor/descendant relationships
+between *instances* are region containment (``c.start > e.start AND
+c.end <= e.end``).
+
+Text, comment and PI nodes share ``xrel_text`` (a ``kind`` column tells
+them apart; comments/PIs are outside XRel's published scope but keeping
+them makes reconstruction lossless).  Elements carry a cached ``content``
+column for text-only content — the same inlined-value optimization the
+other mappings use for single-column value predicates.
+"""
+
+from __future__ import annotations
+
+from repro.relational.schema import Column, INTEGER, Index, Table, TEXT
+from repro.storage.base import MappingScheme
+from repro.storage.interval import element_content
+from repro.storage.numbering import NodeRecord
+from repro.xml.dom import Document, NodeKind
+
+PATH_SEP = "#/"
+
+PATHS_TABLE = Table(
+    name="xrel_paths",
+    columns=[
+        Column("doc_id", INTEGER, nullable=False),
+        Column("path_id", INTEGER, nullable=False),
+        Column("pathexp", TEXT, nullable=False),
+    ],
+    primary_key=("doc_id", "path_id"),
+    indexes=[
+        Index("xrel_paths_exp", "xrel_paths", ("doc_id", "pathexp")),
+    ],
+)
+
+ELEMENT_TABLE = Table(
+    name="xrel_element",
+    columns=[
+        Column("doc_id", INTEGER, nullable=False),
+        Column("path_id", INTEGER, nullable=False),
+        Column("start", INTEGER, nullable=False),
+        Column("end", INTEGER, nullable=False),
+        Column("ordinal", INTEGER, nullable=False),
+        Column("name", TEXT, nullable=False),
+        Column("content", TEXT),
+    ],
+    primary_key=("doc_id", "start"),
+    indexes=[
+        Index("xrel_element_path", "xrel_element", ("doc_id", "path_id")),
+        Index(
+            "xrel_element_content",
+            "xrel_element",
+            ("doc_id", "name", "content"),
+        ),
+    ],
+)
+
+ATTRIBUTE_TABLE = Table(
+    name="xrel_attribute",
+    columns=[
+        Column("doc_id", INTEGER, nullable=False),
+        Column("path_id", INTEGER, nullable=False),
+        Column("start", INTEGER, nullable=False),
+        Column("end", INTEGER, nullable=False),
+        Column("ordinal", INTEGER, nullable=False),
+        Column("name", TEXT, nullable=False),
+        Column("value", TEXT),
+    ],
+    primary_key=("doc_id", "start"),
+    indexes=[
+        Index("xrel_attribute_path", "xrel_attribute", ("doc_id", "path_id")),
+        Index(
+            "xrel_attribute_value",
+            "xrel_attribute",
+            ("doc_id", "name", "value"),
+        ),
+    ],
+)
+
+TEXT_TABLE = Table(
+    name="xrel_text",
+    columns=[
+        Column("doc_id", INTEGER, nullable=False),
+        Column("path_id", INTEGER, nullable=False),
+        Column("start", INTEGER, nullable=False),
+        Column("end", INTEGER, nullable=False),
+        Column("ordinal", INTEGER, nullable=False),
+        Column("kind", INTEGER, nullable=False),
+        Column("name", TEXT),
+        Column("value", TEXT),
+    ],
+    primary_key=("doc_id", "start"),
+    indexes=[
+        Index("xrel_text_path", "xrel_text", ("doc_id", "path_id")),
+        Index("xrel_text_value", "xrel_text", ("doc_id", "value")),
+    ],
+)
+
+
+def record_pathexp(record: NodeRecord, parent_path: str) -> str:
+    """XRel path expression of one node given its parent's."""
+    kind = record.kind
+    if kind == int(NodeKind.ELEMENT):
+        return f"{parent_path}{PATH_SEP}{record.name}"
+    if kind == int(NodeKind.ATTRIBUTE):
+        return f"{parent_path}{PATH_SEP}@{record.name}"
+    # Text/comment/PI rows reuse the parent's path, as in the paper.
+    return parent_path
+
+
+class XRelScheme(MappingScheme):
+    """The path + region mapping."""
+
+    name = "xrel"
+
+    def tables(self):
+        return [PATHS_TABLE, ELEMENT_TABLE, ATTRIBUTE_TABLE, TEXT_TABLE]
+
+    def _insert_records(
+        self, doc_id: int, records: list[NodeRecord], document: Document
+    ) -> None:
+        contents = element_content(records)
+        path_of: dict[int, str] = {0: ""}
+        path_ids: dict[str, int] = {}
+        element_rows, attribute_rows, text_rows = [], [], []
+
+        def path_id_for(pathexp: str) -> int:
+            if pathexp not in path_ids:
+                path_ids[pathexp] = len(path_ids) + 1
+            return path_ids[pathexp]
+
+        for r in records:
+            pathexp = record_pathexp(r, path_of[r.parent_pre])
+            path_of[r.pre] = pathexp
+            pid = path_id_for(pathexp)
+            start, end = r.pre, r.pre + r.size
+            if r.kind == int(NodeKind.ELEMENT):
+                element_rows.append(
+                    (doc_id, pid, start, end, r.ordinal, r.name,
+                     contents.get(r.pre))
+                )
+            elif r.kind == int(NodeKind.ATTRIBUTE):
+                attribute_rows.append(
+                    (doc_id, pid, start, end, r.ordinal, r.name, r.value)
+                )
+            else:
+                text_rows.append(
+                    (doc_id, pid, start, end, r.ordinal, r.kind, r.name,
+                     r.value)
+                )
+        self.db.executemany(
+            "INSERT INTO xrel_paths (doc_id, path_id, pathexp) "
+            "VALUES (?, ?, ?)",
+            [(doc_id, pid, exp) for exp, pid in path_ids.items()],
+        )
+        self.db.insert_rows(ELEMENT_TABLE, element_rows)
+        self.db.insert_rows(ATTRIBUTE_TABLE, attribute_rows)
+        self.db.insert_rows(TEXT_TABLE, text_rows)
+
+    def fetch_records(
+        self, doc_id: int, root_pre: int | None = None
+    ) -> list[NodeRecord]:
+        condition, params = "", [doc_id]
+        if root_pre is not None:
+            # The subtree root may live in any of the three node tables.
+            root_end = (
+                "COALESCE("
+                "(SELECT end FROM xrel_element WHERE doc_id = ? AND start = ?), "
+                "(SELECT end FROM xrel_attribute WHERE doc_id = ? AND start = ?), "
+                "(SELECT end FROM xrel_text WHERE doc_id = ? AND start = ?))"
+            )
+            condition = f" AND start >= ? AND start <= {root_end}"
+            params = [doc_id, root_pre] + [doc_id, root_pre] * 3
+        rows = self.db.query(
+            f"""
+            SELECT start, end, ordinal, {int(NodeKind.ELEMENT)} AS kind,
+                   name, content AS value
+            FROM xrel_element WHERE doc_id = ?{condition}
+            UNION ALL
+            SELECT start, end, ordinal, {int(NodeKind.ATTRIBUTE)}, name,
+                   value FROM xrel_attribute WHERE doc_id = ?{condition}
+            UNION ALL
+            SELECT start, end, ordinal, kind, name, value
+            FROM xrel_text WHERE doc_id = ?{condition}
+            ORDER BY start
+            """,
+            params * 3,
+        )
+        # Parents are recovered from region nesting with a stack.
+        records: list[NodeRecord] = []
+        stack: list[tuple[int, int]] = []  # (start, end)
+        for start, end, ordinal, kind, name, value in rows:
+            while stack and stack[-1][1] < start:
+                stack.pop()
+            parent_pre = stack[-1][0] if stack else 0
+            is_element = kind == int(NodeKind.ELEMENT)
+            records.append(
+                NodeRecord(
+                    pre=start,
+                    post=0,
+                    size=end - start,
+                    level=len(stack) + 1,
+                    kind=kind,
+                    name=name,
+                    # Element "value" column carried content; real elements
+                    # rebuild their text from the xrel_text rows.
+                    value=None if is_element else value,
+                    parent_pre=parent_pre,
+                    ordinal=ordinal,
+                    dewey="",
+                )
+            )
+            if is_element:
+                stack.append((start, end))
+        return records
+
+    def _delete_rows(self, doc_id: int) -> None:
+        for table in ("xrel_paths", "xrel_element", "xrel_attribute",
+                      "xrel_text"):
+            self.db.execute(
+                f"DELETE FROM {table} WHERE doc_id = ?", (doc_id,)
+            )
+
+    def translator(self):
+        from repro.query.translate_xrel import XRelTranslator
+
+        return XRelTranslator(self)

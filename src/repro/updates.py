@@ -1,0 +1,750 @@
+"""Subtree insertion and deletion per storage scheme (experiment E7).
+
+The published update trade-off this module reproduces:
+
+* **edge/binary** — an insert touches the new rows plus one ordinal bump
+  per *following sibling* (their subtrees are untouched);
+* **dewey** — an insert relabels the following siblings' *subtrees*
+  (prefix rewrite), still local to one family;
+* **interval** — an insert renumbers **every node after the insertion
+  point** in the whole document plus all ancestor sizes — the global
+  cost that makes the region encoding read-optimized.
+
+Each operation returns :class:`UpdateStats` with the exact row counts,
+which is what the benchmark reports (wall-clock confirms the same
+ordering).  Node ids (``pre``) remain unique but are no longer the
+document-order index after an insert — except under the interval scheme,
+which must maintain that property and pays for it.
+
+The xrel, universal and inlining mappings do not implement updates here:
+xrel shares interval's renumbering story, the universal table would
+rewrite entire row sets, and inlined columns require DTD-aware row
+surgery; all three raise :class:`~repro.errors.UpdateError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UpdateError
+from repro.relational.schema import quote_identifier
+from repro.storage.base import MappingScheme
+from repro.storage.binary import BinaryScheme
+from repro.storage.dewey import DeweyScheme
+from repro.storage.edge import EdgeScheme, edge_label
+from repro.storage.interval import IntervalScheme, element_content
+from repro.storage.numbering import (
+    DEWEY_SEPARATOR,
+    NodeRecord,
+    dewey_component,
+    dewey_parent,
+    number_document,
+)
+from repro.xml.dom import Document, Element, NodeKind
+
+
+@dataclass(frozen=True)
+class UpdateStats:
+    """Cost accounting of one update."""
+
+    rows_inserted: int
+    rows_updated: int
+    rows_deleted: int = 0
+
+    @property
+    def rows_touched(self) -> int:
+        return self.rows_inserted + self.rows_updated + self.rows_deleted
+
+
+def insert_subtree(
+    scheme: MappingScheme,
+    doc_id: int,
+    parent_pre: int,
+    fragment: Element,
+    index: int = 0,
+) -> UpdateStats:
+    """Insert *fragment* as child number *index* (0-based, counted among
+    the parent's non-attribute children) of node *parent_pre*."""
+    scheme.catalog.get(doc_id)
+    if not isinstance(
+        scheme, (BinaryScheme, EdgeScheme, IntervalScheme, DeweyScheme)
+    ):
+        raise UpdateError(
+            f"scheme '{scheme.name}' does not implement updates"
+        )
+    records, contents = _number_fragment(scheme, fragment)
+    if isinstance(scheme, BinaryScheme):
+        stats = _insert_binary(scheme, doc_id, parent_pre, index,
+                               records, contents)
+    elif isinstance(scheme, EdgeScheme):
+        stats = _insert_edge(scheme, doc_id, parent_pre, index,
+                             records, contents)
+    elif isinstance(scheme, IntervalScheme):
+        stats = _insert_interval(scheme, doc_id, parent_pre, index,
+                                 records, contents)
+    elif isinstance(scheme, DeweyScheme):
+        stats = _insert_dewey(scheme, doc_id, parent_pre, index,
+                              records, contents)
+    else:
+        raise UpdateError(
+            f"scheme '{scheme.name}' does not implement updates"
+        )
+    _refresh_parent_content(scheme, doc_id, parent_pre)
+    record = scheme.catalog.get(doc_id)
+    scheme.catalog.update_node_count(
+        doc_id, record.node_count + len(records)
+    )
+    return stats
+
+
+def delete_subtree(
+    scheme: MappingScheme, doc_id: int, pre: int
+) -> UpdateStats:
+    """Delete the subtree rooted at node *pre*."""
+    scheme.catalog.get(doc_id)
+    parent_pre = _parent_of(scheme, doc_id, pre)
+    if isinstance(scheme, BinaryScheme):
+        stats = _delete_binary(scheme, doc_id, pre)
+    elif isinstance(scheme, EdgeScheme):
+        stats = _delete_edge(scheme, doc_id, pre)
+    elif isinstance(scheme, IntervalScheme):
+        stats = _delete_interval(scheme, doc_id, pre)
+    elif isinstance(scheme, DeweyScheme):
+        stats = _delete_dewey(scheme, doc_id, pre)
+    else:
+        raise UpdateError(
+            f"scheme '{scheme.name}' does not implement updates"
+        )
+    if parent_pre:
+        _refresh_parent_content(scheme, doc_id, parent_pre)
+    record = scheme.catalog.get(doc_id)
+    scheme.catalog.update_node_count(
+        doc_id, max(0, record.node_count - stats.rows_deleted)
+    )
+    return stats
+
+
+def _parent_of(scheme: MappingScheme, doc_id: int, pre: int) -> int:
+    """The parent's id of node *pre* (0 for root-level nodes)."""
+    if isinstance(scheme, BinaryScheme):
+        if not scheme.partitions():
+            raise UpdateError(f"no node {pre} in document {doc_id}")
+        row = scheme.db.query_one(
+            "SELECT source FROM binary_edges "
+            "WHERE doc_id = ? AND target = ?",
+            (doc_id, pre),
+        )
+    elif isinstance(scheme, EdgeScheme):
+        row = scheme.db.query_one(
+            "SELECT source FROM edge WHERE doc_id = ? AND target = ?",
+            (doc_id, pre),
+        )
+    elif isinstance(scheme, IntervalScheme):
+        row = scheme.db.query_one(
+            "SELECT parent_pre FROM accel WHERE doc_id = ? AND pre = ?",
+            (doc_id, pre),
+        )
+    elif isinstance(scheme, DeweyScheme):
+        row = scheme.db.query_one(
+            "SELECT parent_label FROM dewey WHERE doc_id = ? AND pre = ?",
+            (doc_id, pre),
+        )
+        if row is None:
+            raise UpdateError(f"no node {pre} in document {doc_id}")
+        if row[0] is None:
+            return 0
+        parent = scheme.db.query_one(
+            "SELECT pre FROM dewey WHERE doc_id = ? AND label = ?",
+            (doc_id, row[0]),
+        )
+        return int(parent[0]) if parent else 0
+    else:
+        raise UpdateError(
+            f"scheme '{scheme.name}' does not implement updates"
+        )
+    if row is None:
+        raise UpdateError(f"no node {pre} in document {doc_id}")
+    return int(row[0])
+
+
+def _refresh_parent_content(
+    scheme: MappingScheme, doc_id: int, parent_pre: int
+) -> None:
+    """Recompute the parent's cached text-only ``content`` after an
+    update — inserting an element child invalidates it, deleting the
+    last element child may restore it."""
+    if isinstance(scheme, BinaryScheme):
+        children = scheme.db.query(
+            "SELECT kind, value FROM binary_edges "
+            "WHERE doc_id = ? AND source = ? AND kind != ? "
+            "ORDER BY ordinal",
+            (doc_id, parent_pre, int(NodeKind.ATTRIBUTE)),
+        )
+        content = _content_of(children)
+        for table in scheme.partitions().values():
+            scheme.db.execute(
+                f"UPDATE {quote_identifier(table)} SET content = ? "
+                "WHERE doc_id = ? AND target = ?",
+                (content, doc_id, parent_pre),
+            )
+    elif isinstance(scheme, EdgeScheme):
+        children = scheme.db.query(
+            "SELECT kind, value FROM edge "
+            "WHERE doc_id = ? AND source = ? AND kind != ? "
+            "ORDER BY ordinal",
+            (doc_id, parent_pre, int(NodeKind.ATTRIBUTE)),
+        )
+        scheme.db.execute(
+            "UPDATE edge SET content = ? WHERE doc_id = ? AND target = ?",
+            (_content_of(children), doc_id, parent_pre),
+        )
+    elif isinstance(scheme, IntervalScheme):
+        children = scheme.db.query(
+            "SELECT kind, value FROM accel "
+            "WHERE doc_id = ? AND parent_pre = ? AND kind != ? "
+            "ORDER BY ordinal",
+            (doc_id, parent_pre, int(NodeKind.ATTRIBUTE)),
+        )
+        scheme.db.execute(
+            "UPDATE accel SET content = ? WHERE doc_id = ? AND pre = ?",
+            (_content_of(children), doc_id, parent_pre),
+        )
+    elif isinstance(scheme, DeweyScheme):
+        children = scheme.db.query(
+            "SELECT kind, value FROM dewey WHERE doc_id = ? AND "
+            "parent_label = (SELECT label FROM dewey "
+            "                WHERE doc_id = ? AND pre = ?) "
+            "AND kind != ? ORDER BY label",
+            (doc_id, doc_id, parent_pre, int(NodeKind.ATTRIBUTE)),
+        )
+        scheme.db.execute(
+            "UPDATE dewey SET content = ? WHERE doc_id = ? AND pre = ?",
+            (_content_of(children), doc_id, parent_pre),
+        )
+
+
+def _content_of(children: list[tuple]) -> str | None:
+    """Text-only content of a child list (None when mixed/element)."""
+    if not children:
+        return ""
+    if all(kind == int(NodeKind.TEXT) for kind, __ in children):
+        return "".join(value or "" for __, value in children)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _number_fragment(
+    scheme: MappingScheme, fragment: Element
+) -> tuple[list[NodeRecord], dict[int, str]]:
+    """Number a detached fragment with fresh ids beyond the current max."""
+    if fragment.parent is not None:
+        raise UpdateError("fragment must be detached")
+    holder = Document()
+    holder.append_child(fragment)
+    try:
+        records = number_document(holder)
+        contents = element_content(records)
+    finally:
+        holder.remove_child(fragment)
+    base = _max_pre(scheme) + 1
+    shifted = [
+        NodeRecord(
+            pre=r.pre + base - 1,
+            post=r.post,
+            size=r.size,
+            level=r.level,
+            kind=r.kind,
+            name=r.name,
+            value=r.value,
+            parent_pre=(r.parent_pre + base - 1 if r.parent_pre else 0),
+            ordinal=r.ordinal,
+            dewey=r.dewey,
+        )
+        for r in records
+    ]
+    shifted_contents = {
+        pre + base - 1: text for pre, text in contents.items()
+    }
+    return shifted, shifted_contents
+
+
+def _max_pre(scheme: MappingScheme) -> int:
+    if isinstance(scheme, BinaryScheme):
+        tables = list(scheme.partitions().values())
+        column = "target"
+    elif isinstance(scheme, EdgeScheme):
+        tables, column = ["edge"], "target"
+    elif isinstance(scheme, IntervalScheme):
+        tables, column = ["accel"], "pre"
+    elif isinstance(scheme, DeweyScheme):
+        tables, column = ["dewey"], "pre"
+    else:  # pragma: no cover - guarded by the dispatchers
+        raise UpdateError(f"no id source for scheme '{scheme.name}'")
+    best = 0
+    for table in tables:
+        value = scheme.db.scalar(
+            f"SELECT MAX({column}) FROM {quote_identifier(table)}"
+        )
+        best = max(best, value or 0)
+    return best
+
+
+def _sibling_rows(
+    scheme, doc_id: int, parent_pre: int, table: str,
+    parent_col: str, id_col: str,
+) -> list[tuple[int, int]]:
+    """(id, ordinal) of the parent's non-attribute children, in order."""
+    rows = scheme.db.query(
+        f"SELECT {id_col}, ordinal FROM {quote_identifier(table)} "
+        f"WHERE doc_id = ? AND {parent_col} = ? AND kind != ? "
+        "ORDER BY ordinal",
+        (doc_id, parent_pre, int(NodeKind.ATTRIBUTE)),
+    )
+    return [(int(a), int(b)) for a, b in rows]
+
+
+def _attr_count(
+    scheme, doc_id: int, parent_pre: int, table: str,
+    parent_col: str,
+) -> int:
+    return int(
+        scheme.db.scalar(
+            f"SELECT COUNT(*) FROM {quote_identifier(table)} "
+            f"WHERE doc_id = ? AND {parent_col} = ? AND kind = ?",
+            (doc_id, parent_pre, int(NodeKind.ATTRIBUTE)),
+        )
+    )
+
+
+def _insertion_ordinal(
+    siblings: list[tuple[int, int]], attr_count: int, index: int
+) -> int:
+    """Ordinal for the new child at *index* among element/text children."""
+    if index < 0 or index > len(siblings):
+        raise UpdateError(
+            f"index {index} out of range (parent has {len(siblings)} "
+            "children)"
+        )
+    if index < len(siblings):
+        return siblings[index][1]
+    if siblings:
+        return siblings[-1][1] + 1
+    return attr_count + 1
+
+
+# ---------------------------------------------------------------------------
+# Edge / binary
+# ---------------------------------------------------------------------------
+
+
+def _insert_edge(
+    scheme: EdgeScheme, doc_id, parent_pre, index, records, contents
+) -> UpdateStats:
+    siblings = _sibling_rows(
+        scheme, doc_id, parent_pre, "edge", "source", "target"
+    )
+    attrs = _attr_count(scheme, doc_id, parent_pre, "edge", "source")
+    ordinal = _insertion_ordinal(siblings, attrs, index)
+    with scheme.db.transaction():
+        cursor = scheme.db.execute(
+            "UPDATE edge SET ordinal = ordinal + 1 "
+            "WHERE doc_id = ? AND source = ? AND ordinal >= ?",
+            (doc_id, parent_pre, ordinal),
+        )
+        updated = cursor.rowcount
+        scheme.db.executemany(
+            "INSERT INTO edge (doc_id, source, ordinal, label, kind, "
+            "target, value, content) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            _edge_rows(doc_id, parent_pre, ordinal, records, contents),
+        )
+    return UpdateStats(rows_inserted=len(records), rows_updated=updated)
+
+
+def _edge_rows(doc_id, parent_pre, ordinal, records, contents):
+    root_pre = records[0].pre
+    for r in records:
+        is_root = r.pre == root_pre
+        yield (
+            doc_id,
+            parent_pre if is_root else r.parent_pre,
+            ordinal if is_root else r.ordinal,
+            edge_label(r),
+            r.kind,
+            r.pre,
+            r.value,
+            contents.get(r.pre),
+        )
+
+
+def _insert_binary(
+    scheme: BinaryScheme, doc_id, parent_pre, index, records, contents
+) -> UpdateStats:
+    siblings = _sibling_rows(
+        scheme, doc_id, parent_pre, "binary_edges", "source", "target"
+    )
+    attrs = _attr_count(
+        scheme, doc_id, parent_pre, "binary_edges", "source"
+    )
+    ordinal = _insertion_ordinal(siblings, attrs, index)
+    updated = 0
+    with scheme.db.transaction():
+        for table in scheme.partitions().values():
+            cursor = scheme.db.execute(
+                f"UPDATE {quote_identifier(table)} SET ordinal = ordinal + 1 "
+                "WHERE doc_id = ? AND source = ? AND ordinal >= ?",
+                (doc_id, parent_pre, ordinal),
+            )
+            updated += cursor.rowcount
+        by_label: dict[str, list[tuple]] = {}
+        for row in _edge_rows(doc_id, parent_pre, ordinal, records, contents):
+            by_label.setdefault(row[3], []).append(row)
+        for label, rows in by_label.items():
+            table = scheme._ensure_partition(label)
+            scheme.db.executemany(
+                f"INSERT INTO {quote_identifier(table)} "
+                "(doc_id, source, ordinal, label, kind, target, value, "
+                "content) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+    return UpdateStats(rows_inserted=len(records), rows_updated=updated)
+
+
+def _delete_edge(scheme: EdgeScheme, doc_id, pre) -> UpdateStats:
+    doomed = [
+        row[0]
+        for row in scheme.db.query(
+            """
+            WITH RECURSIVE doomed(id) AS (
+              SELECT target FROM edge WHERE doc_id = ? AND target = ?
+              UNION ALL
+              SELECT e.target FROM edge e JOIN doomed d ON e.source = d.id
+              WHERE e.doc_id = ?
+            )
+            SELECT id FROM doomed
+            """,
+            (doc_id, pre, doc_id),
+        )
+    ]
+    marks = ", ".join("?" for _ in doomed)
+    cursor = scheme.db.execute(
+        f"DELETE FROM edge WHERE doc_id = ? AND target IN ({marks})",
+        [doc_id] + doomed,
+    )
+    return UpdateStats(0, 0, rows_deleted=cursor.rowcount)
+
+
+def _delete_binary(scheme: BinaryScheme, doc_id, pre) -> UpdateStats:
+    doomed = [
+        row[0]
+        for row in scheme.db.query(
+            f"""
+            WITH RECURSIVE doomed(id) AS (
+              SELECT target FROM binary_edges WHERE doc_id = ? AND target = ?
+              UNION ALL
+              SELECT e.target FROM binary_edges e
+              JOIN doomed d ON e.source = d.id WHERE e.doc_id = ?
+            )
+            SELECT id FROM doomed
+            """,
+            (doc_id, pre, doc_id),
+        )
+    ]
+    deleted = 0
+    with scheme.db.transaction():
+        for table in scheme.partitions().values():
+            marks = ", ".join("?" for _ in doomed)
+            cursor = scheme.db.execute(
+                f"DELETE FROM {quote_identifier(table)} "
+                f"WHERE doc_id = ? AND target IN ({marks})",
+                [doc_id] + doomed,
+            )
+            deleted += cursor.rowcount
+    return UpdateStats(0, 0, rows_deleted=deleted)
+
+
+# ---------------------------------------------------------------------------
+# Interval
+# ---------------------------------------------------------------------------
+
+
+def _insert_interval(
+    scheme: IntervalScheme, doc_id, parent_pre, index, records, contents
+) -> UpdateStats:
+    parent = scheme.db.query_one(
+        "SELECT pre, size, level FROM accel WHERE doc_id = ? AND pre = ?",
+        (doc_id, parent_pre),
+    )
+    if parent is None:
+        raise UpdateError(f"no node {parent_pre} in document {doc_id}")
+    __, parent_size, parent_level = parent
+    siblings = _sibling_rows(
+        scheme, doc_id, parent_pre, "accel", "parent_pre", "pre"
+    )
+    attrs = _attr_count(scheme, doc_id, parent_pre, "accel", "parent_pre")
+    ordinal = _insertion_ordinal(siblings, attrs, index)
+    if index < len(siblings):
+        insert_pre = siblings[index][0]
+    else:
+        insert_pre = parent_pre + parent_size + 1
+    subtree_size = len(records)
+    updated = 0
+    with scheme.db.transaction():
+        # Global renumbering: every node at or after the insertion point
+        # shifts by the subtree size (the scheme's published update cost).
+        # Two passes through negative values: a single in-place += would
+        # transiently collide with the (doc_id, pre) primary key.
+        cursor = scheme.db.execute(
+            "UPDATE accel SET pre = -(pre + ?) "
+            "WHERE doc_id = ? AND pre >= ?",
+            (subtree_size, doc_id, insert_pre),
+        )
+        updated += cursor.rowcount
+        scheme.db.execute(
+            "UPDATE accel SET pre = -pre WHERE doc_id = ? AND pre < 0",
+            (doc_id,),
+        )
+        cursor = scheme.db.execute(
+            "UPDATE accel SET parent_pre = parent_pre + ? "
+            "WHERE doc_id = ? AND parent_pre >= ?",
+            (subtree_size, doc_id, insert_pre),
+        )
+        updated += cursor.rowcount
+        # Ancestors grow by the subtree size.
+        ancestors = _ancestor_pres(scheme, doc_id, parent_pre)
+        for ancestor in ancestors:
+            scheme.db.execute(
+                "UPDATE accel SET size = size + ? "
+                "WHERE doc_id = ? AND pre = ?",
+                (subtree_size, doc_id, ancestor),
+            )
+        updated += len(ancestors)
+        cursor = scheme.db.execute(
+            "UPDATE accel SET ordinal = ordinal + 1 "
+            "WHERE doc_id = ? AND parent_pre = ? AND ordinal >= ?",
+            (doc_id, parent_pre, ordinal),
+        )
+        updated += cursor.rowcount
+        root_pre = records[0].pre
+        offset = insert_pre - root_pre
+        scheme.db.executemany(
+            "INSERT INTO accel (doc_id, pre, post, size, level, kind, "
+            "name, value, content, parent_pre, ordinal) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                (
+                    doc_id,
+                    r.pre + offset,
+                    0,  # post is not maintained across updates
+                    r.size,
+                    r.level + parent_level,
+                    r.kind,
+                    r.name,
+                    r.value,
+                    contents.get(r.pre),
+                    (parent_pre if r.pre == root_pre
+                     else r.parent_pre + offset),
+                    ordinal if r.pre == root_pre else r.ordinal,
+                )
+                for r in records
+            ),
+        )
+    return UpdateStats(rows_inserted=len(records), rows_updated=updated)
+
+
+def _ancestor_pres(scheme, doc_id, pre) -> list[int]:
+    ancestors = []
+    current = pre
+    while current:
+        ancestors.append(current)
+        row = scheme.db.query_one(
+            "SELECT parent_pre FROM accel WHERE doc_id = ? AND pre = ?",
+            (doc_id, current),
+        )
+        if row is None:
+            break
+        current = row[0]
+    return ancestors
+
+
+def _delete_interval(scheme: IntervalScheme, doc_id, pre) -> UpdateStats:
+    row = scheme.db.query_one(
+        "SELECT size, parent_pre FROM accel WHERE doc_id = ? AND pre = ?",
+        (doc_id, pre),
+    )
+    if row is None:
+        raise UpdateError(f"no node {pre} in document {doc_id}")
+    size, parent_pre = row
+    updated = 0
+    with scheme.db.transaction():
+        cursor = scheme.db.execute(
+            "DELETE FROM accel WHERE doc_id = ? AND pre >= ? AND pre <= ?",
+            (doc_id, pre, pre + size),
+        )
+        deleted = cursor.rowcount
+        # The encoding's regions are *contiguous* pre ranges — a gap
+        # would put surviving descendants outside their ancestors'
+        # ``(pre, pre+size]`` windows — so deletion renumbers everything
+        # after the hole, mirroring insertion's global cost (the
+        # published write-amplification of the interval mapping).
+        cursor = scheme.db.execute(
+            "UPDATE accel SET pre = -(pre - ?) "
+            "WHERE doc_id = ? AND pre > ?",
+            (deleted, doc_id, pre + size),
+        )
+        updated += cursor.rowcount
+        scheme.db.execute(
+            "UPDATE accel SET pre = -pre WHERE doc_id = ? AND pre < 0",
+            (doc_id,),
+        )
+        cursor = scheme.db.execute(
+            "UPDATE accel SET parent_pre = parent_pre - ? "
+            "WHERE doc_id = ? AND parent_pre > ?",
+            (deleted, doc_id, pre + size),
+        )
+        updated += cursor.rowcount
+        ancestors = _ancestor_pres(scheme, doc_id, parent_pre)
+        for ancestor in ancestors:
+            scheme.db.execute(
+                "UPDATE accel SET size = size - ? "
+                "WHERE doc_id = ? AND pre = ?",
+                (deleted, doc_id, ancestor),
+            )
+        updated += len(ancestors)
+    return UpdateStats(0, updated, rows_deleted=deleted)
+
+
+# ---------------------------------------------------------------------------
+# Dewey
+# ---------------------------------------------------------------------------
+
+
+def _insert_dewey(
+    scheme: DeweyScheme, doc_id, parent_pre, index, records, contents
+) -> UpdateStats:
+    parent = scheme.db.query_one(
+        "SELECT label, depth FROM dewey WHERE doc_id = ? AND pre = ?",
+        (doc_id, parent_pre),
+    )
+    if parent is None:
+        raise UpdateError(f"no node {parent_pre} in document {doc_id}")
+    parent_label, parent_depth = parent
+    siblings = scheme.db.query(
+        "SELECT pre, ordinal, label FROM dewey "
+        "WHERE doc_id = ? AND parent_label = ? AND kind != ? "
+        "ORDER BY ordinal",
+        (doc_id, parent_label, int(NodeKind.ATTRIBUTE)),
+    )
+    attrs = int(scheme.db.scalar(
+        "SELECT COUNT(*) FROM dewey "
+        "WHERE doc_id = ? AND parent_label = ? AND kind = ?",
+        (doc_id, parent_label, int(NodeKind.ATTRIBUTE)),
+    ))
+    ordinal = _insertion_ordinal(
+        [(p, o) for p, o, __ in siblings], attrs, index
+    )
+    updated = 0
+    with scheme.db.transaction():
+        # Relabel following siblings' subtrees, last first (labels are a
+        # primary key, so shifts must not collide mid-flight).
+        following = [
+            (label, old_ordinal)
+            for __, old_ordinal, label in siblings
+            if old_ordinal >= ordinal
+        ]
+        for label, old_ordinal in reversed(following):
+            new_label = (
+                parent_label + DEWEY_SEPARATOR
+                + dewey_component(old_ordinal + 1)
+            )
+            updated += _relabel_subtree(
+                scheme, doc_id, label, new_label, old_ordinal + 1
+            )
+        root_pre = records[0].pre
+        new_root_label = (
+            parent_label + DEWEY_SEPARATOR + dewey_component(ordinal)
+        )
+        scheme.db.executemany(
+            "INSERT INTO dewey (doc_id, label, parent_label, depth, kind, "
+            "name, value, content, pre, ordinal) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                (
+                    doc_id,
+                    _graft_label(r.dewey, new_root_label),
+                    (
+                        parent_label
+                        if r.pre == root_pre
+                        else _graft_label(
+                            dewey_parent(r.dewey) or "", new_root_label
+                        )
+                    ),
+                    r.level + parent_depth,
+                    r.kind,
+                    r.name,
+                    r.value,
+                    contents.get(r.pre),
+                    r.pre,
+                    ordinal if r.pre == root_pre else r.ordinal,
+                )
+                for r in records
+            ),
+        )
+    return UpdateStats(rows_inserted=len(records), rows_updated=updated)
+
+
+def _graft_label(fragment_label: str, new_root_label: str) -> str:
+    """Replace the fragment root's component with the grafted label."""
+    parts = fragment_label.split(DEWEY_SEPARATOR)
+    return DEWEY_SEPARATOR.join([new_root_label] + parts[1:])
+
+
+def _relabel_subtree(
+    scheme: DeweyScheme, doc_id, old_label, new_label, new_ordinal
+) -> int:
+    """Move a subtree from *old_label* to *new_label*; returns rows."""
+    from repro.storage.dewey import prefix_range
+
+    lo, hi = prefix_range(old_label)
+    cursor = scheme.db.execute(
+        "UPDATE dewey SET "
+        "label = ? || SUBSTR(label, ?), "
+        "parent_label = CASE WHEN parent_label = ? THEN ? "
+        "ELSE ? || SUBSTR(parent_label, ?) END "
+        "WHERE doc_id = ? AND label > ? AND label < ?",
+        (
+            new_label, len(old_label) + 1,
+            old_label, new_label,
+            new_label, len(old_label) + 1,
+            doc_id, lo, hi,
+        ),
+    )
+    descendants = cursor.rowcount
+    scheme.db.execute(
+        "UPDATE dewey SET label = ?, ordinal = ? "
+        "WHERE doc_id = ? AND label = ?",
+        (new_label, new_ordinal, doc_id, old_label),
+    )
+    return descendants + 1
+
+
+def _delete_dewey(scheme: DeweyScheme, doc_id, pre) -> UpdateStats:
+    from repro.storage.dewey import prefix_range
+
+    row = scheme.db.query_one(
+        "SELECT label FROM dewey WHERE doc_id = ? AND pre = ?",
+        (doc_id, pre),
+    )
+    if row is None:
+        raise UpdateError(f"no node {pre} in document {doc_id}")
+    (label,) = row
+    lo, hi = prefix_range(label)
+    cursor = scheme.db.execute(
+        "DELETE FROM dewey WHERE doc_id = ? "
+        "AND (label = ? OR (label > ? AND label < ?))",
+        (doc_id, label, lo, hi),
+    )
+    return UpdateStats(0, 0, rows_deleted=cursor.rowcount)

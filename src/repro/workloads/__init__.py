@@ -1,0 +1,28 @@
+"""Deterministic synthetic workloads.
+
+The datasets the surveyed papers evaluate on (XMark auctions, DBLP) are
+reproduced as parameterized generators with the same structural skeleton:
+document shape, fanout, label distribution and value domains drive every
+experiment, and all generators are seeded for exact reproducibility.
+"""
+
+from repro.workloads.auction import auction_dtd, generate_auction
+from repro.workloads.dblp import dblp_dtd, generate_dblp
+from repro.workloads.treegen import TreeProfile, generate_tree
+from repro.workloads.queries import (
+    AUCTION_QUERIES,
+    DBLP_QUERIES,
+    QuerySpec,
+)
+
+__all__ = [
+    "AUCTION_QUERIES",
+    "DBLP_QUERIES",
+    "QuerySpec",
+    "TreeProfile",
+    "auction_dtd",
+    "dblp_dtd",
+    "generate_auction",
+    "generate_dblp",
+    "generate_tree",
+]

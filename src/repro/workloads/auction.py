@@ -1,0 +1,245 @@
+"""XMark-style auction document generator.
+
+Reproduces the structural skeleton of the XMark benchmark (Schmidt et
+al., VLDB 2002) at a configurable scale factor: a ``site`` with regions
+of items, registered people, open auctions with bidder lists, closed
+auctions and a category tree.  Shapes that drive the experiments:
+
+* deep paths (``/site/regions/africa/item/description``),
+* set-valued children of wildly varying fanout (``bidder*``),
+* value-selective attributes and leaves (ids, prices, dates),
+* a shared element (``name`` under person *and* category) so the
+  inlining strategies actually diverge.
+
+``scale_factor=1.0`` yields roughly 60k nodes; the benchmarks use 0.05 to
+0.4.  Everything is deterministic in (scale_factor, seed).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads import rng as words
+from repro.xml.dom import Document, Element
+from repro.xml.dtd import Dtd, parse_dtd
+
+REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+AUCTION_DTD_TEXT = """
+<!ELEMENT site (regions, categories, people, open_auctions,
+                closed_auctions)>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT item (location, quantity, name, payment, description,
+                shipping)>
+<!ATTLIST item id ID #REQUIRED featured CDATA #IMPLIED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT categories (category*)>
+<!ELEMENT category (name, description)>
+<!ATTLIST category id ID #REQUIRED>
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?, profile?)>
+<!ATTLIST person id ID #REQUIRED>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT profile (interest*, education?)>
+<!ATTLIST profile income CDATA #IMPLIED>
+<!ELEMENT interest EMPTY>
+<!ATTLIST interest category IDREF #REQUIRED>
+<!ELEMENT education (#PCDATA)>
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, bidder*, current, itemref, seller)>
+<!ATTLIST open_auction id ID #REQUIRED>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT bidder (date, personref, increase)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT personref EMPTY>
+<!ATTLIST personref person IDREF #REQUIRED>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref item IDREF #REQUIRED>
+<!ELEMENT seller EMPTY>
+<!ATTLIST seller person IDREF #REQUIRED>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity)>
+<!ELEMENT buyer EMPTY>
+<!ATTLIST buyer person IDREF #REQUIRED>
+<!ELEMENT price (#PCDATA)>
+"""
+
+
+def auction_dtd() -> Dtd:
+    """The auction DTD (for the inlining scheme and validation)."""
+    return parse_dtd(AUCTION_DTD_TEXT, root_name="site")
+
+
+def generate_auction(scale_factor: float = 0.1, seed: int = 42) -> Document:
+    """Generate one auction document at *scale_factor*."""
+    if scale_factor <= 0:
+        raise WorkloadError("scale_factor must be positive")
+    rng = words.make_rng(seed)
+    n_people = max(2, int(500 * scale_factor))
+    n_items = max(2, int(400 * scale_factor))
+    n_open = max(1, int(240 * scale_factor))
+    n_closed = max(1, int(120 * scale_factor))
+    n_categories = max(1, int(50 * scale_factor))
+
+    document = Document()
+    site = document.append_child(Element("site"))
+
+    regions = site.append_child(Element("regions"))
+    items_per_region = _split(n_items, len(REGIONS), rng)
+    item_counter = 0
+    for region_name, count in zip(REGIONS, items_per_region):
+        region = regions.append_child(Element(region_name))
+        for _ in range(count):
+            region.append_child(_make_item(rng, item_counter))
+            item_counter += 1
+
+    categories = site.append_child(Element("categories"))
+    for i in range(n_categories):
+        category = categories.append_child(
+            Element("category", [("id", f"category{i}")])
+        )
+        category.append_child(_leaf("name", words.title_text(rng)))
+        category.append_child(
+            _leaf("description", words.sentence(rng, 6, 20))
+        )
+
+    people = site.append_child(Element("people"))
+    for i in range(n_people):
+        people.append_child(_make_person(rng, i, n_categories))
+
+    open_auctions = site.append_child(Element("open_auctions"))
+    for i in range(n_open):
+        open_auctions.append_child(
+            _make_open_auction(rng, i, n_people, item_counter)
+        )
+
+    closed_auctions = site.append_child(Element("closed_auctions"))
+    for _ in range(n_closed):
+        closed_auctions.append_child(
+            _make_closed_auction(rng, n_people, item_counter)
+        )
+    return document
+
+
+def _split(total: int, buckets: int, rng) -> list[int]:
+    """Randomly split *total* into *buckets* non-negative parts."""
+    weights = [rng.random() + 0.2 for _ in range(buckets)]
+    scale = total / sum(weights)
+    parts = [int(w * scale) for w in weights]
+    while sum(parts) < total:
+        parts[rng.randrange(buckets)] += 1
+    return parts
+
+
+def _leaf(tag: str, text: str) -> Element:
+    element = Element(tag)
+    if text:
+        element.append_text(text)
+    return element
+
+
+def _make_item(rng, index: int) -> Element:
+    item = Element("item", [("id", f"item{index}")])
+    if rng.random() < 0.1:
+        item.set_attribute("featured", "yes")
+    item.append_child(_leaf("location", rng.choice(words.COUNTRIES)))
+    item.append_child(_leaf("quantity", str(rng.randint(1, 10))))
+    item.append_child(_leaf("name", words.title_text(rng)))
+    item.append_child(
+        _leaf("payment", rng.choice(("Cash", "Creditcard", "Check")))
+    )
+    item.append_child(_leaf("description", words.sentence(rng, 8, 30)))
+    item.append_child(_leaf("shipping", rng.choice(
+        ("Will ship internationally", "Buyer pays fixed shipping charges")
+    )))
+    return item
+
+
+def _make_person(rng, index: int, n_categories: int) -> Element:
+    person = Element("person", [("id", f"person{index}")])
+    first, last = words.person_name(rng)
+    person.append_child(_leaf("name", f"{first} {last}"))
+    person.append_child(
+        _leaf("emailaddress", f"mailto:{first}.{last}{index}@example.org")
+    )
+    if rng.random() < 0.5:
+        person.append_child(
+            _leaf("phone", f"+{rng.randint(1, 99)} {rng.randint(100, 999)} "
+                           f"{rng.randint(1000, 9999)}")
+        )
+    if rng.random() < 0.6:
+        address = person.append_child(Element("address"))
+        address.append_child(
+            _leaf("street", f"{rng.randint(1, 99)} {rng.choice(words.WORDS)} St")
+        )
+        address.append_child(_leaf("city", rng.choice(words.CITIES)))
+        address.append_child(_leaf("country", rng.choice(words.COUNTRIES)))
+    if rng.random() < 0.7:
+        profile = person.append_child(Element("profile"))
+        profile.set_attribute("income", words.money(rng, 9000, 120000))
+        for _ in range(rng.randint(0, 4)):
+            interest = profile.append_child(Element("interest"))
+            interest.set_attribute(
+                "category", f"category{rng.randrange(max(1, n_categories))}"
+            )
+        if rng.random() < 0.5:
+            profile.append_child(
+                _leaf("education", rng.choice(
+                    ("High School", "College", "Graduate School")
+                ))
+            )
+    return person
+
+
+def _make_open_auction(rng, index: int, n_people: int, n_items: int) -> Element:
+    auction = Element("open_auction", [("id", f"open_auction{index}")])
+    initial = rng.uniform(1, 200)
+    auction.append_child(_leaf("initial", f"{initial:.2f}"))
+    current = initial
+    for _ in range(rng.randint(0, 8)):
+        bidder = auction.append_child(Element("bidder"))
+        bidder.append_child(_leaf("date", words.date_text(rng)))
+        personref = bidder.append_child(Element("personref"))
+        personref.set_attribute(
+            "person", f"person{rng.randrange(max(1, n_people))}"
+        )
+        increase = rng.uniform(1.5, 30.0)
+        current += increase
+        bidder.append_child(_leaf("increase", f"{increase:.2f}"))
+    auction.append_child(_leaf("current", f"{current:.2f}"))
+    itemref = auction.append_child(Element("itemref"))
+    itemref.set_attribute("item", f"item{rng.randrange(max(1, n_items))}")
+    seller = auction.append_child(Element("seller"))
+    seller.set_attribute("person", f"person{rng.randrange(max(1, n_people))}")
+    return auction
+
+
+def _make_closed_auction(rng, n_people: int, n_items: int) -> Element:
+    auction = Element("closed_auction")
+    seller = auction.append_child(Element("seller"))
+    seller.set_attribute("person", f"person{rng.randrange(max(1, n_people))}")
+    buyer = auction.append_child(Element("buyer"))
+    buyer.set_attribute("person", f"person{rng.randrange(max(1, n_people))}")
+    itemref = auction.append_child(Element("itemref"))
+    itemref.set_attribute("item", f"item{rng.randrange(max(1, n_items))}")
+    auction.append_child(_leaf("price", words.money(rng)))
+    auction.append_child(_leaf("date", words.date_text(rng)))
+    auction.append_child(_leaf("quantity", str(rng.randint(1, 5))))
+    return auction

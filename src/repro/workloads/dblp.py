@@ -1,0 +1,92 @@
+"""DBLP-style bibliography generator.
+
+A flat, wide document — thousands of shallow records under one root —
+the structural opposite of the auction data's deep nesting.  This shape
+exercises label-selective access (binary's partition pruning) and the
+point-lookup experiment E11 (find the record with a given key).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads import rng as words
+from repro.xml.dom import Document, Element
+from repro.xml.dtd import Dtd, parse_dtd
+
+DBLP_DTD_TEXT = """
+<!ELEMENT dblp (article | inproceedings | book)*>
+<!ELEMENT article (author*, title, year, journal, pages?, ee?)>
+<!ATTLIST article key CDATA #REQUIRED>
+<!ELEMENT inproceedings (author*, title, year, booktitle, pages?, ee?)>
+<!ATTLIST inproceedings key CDATA #REQUIRED>
+<!ELEMENT book (author*, title, year, publisher, isbn?)>
+<!ATTLIST book key CDATA #REQUIRED>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT journal (#PCDATA)>
+<!ELEMENT booktitle (#PCDATA)>
+<!ELEMENT pages (#PCDATA)>
+<!ELEMENT ee (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT isbn (#PCDATA)>
+"""
+
+
+def dblp_dtd() -> Dtd:
+    """The bibliography DTD."""
+    return parse_dtd(DBLP_DTD_TEXT, root_name="dblp")
+
+
+def generate_dblp(record_count: int = 1000, seed: int = 7) -> Document:
+    """Generate a bibliography with *record_count* records."""
+    if record_count < 1:
+        raise WorkloadError("record_count must be at least 1")
+    rng = words.make_rng(seed)
+    document = Document()
+    dblp = document.append_child(Element("dblp"))
+    for index in range(record_count):
+        kind = rng.choices(
+            ("article", "inproceedings", "book"), weights=(5, 4, 1)
+        )[0]
+        dblp.append_child(_make_record(rng, kind, index))
+    return document
+
+
+def _leaf(tag: str, text: str) -> Element:
+    element = Element(tag)
+    element.append_text(text)
+    return element
+
+
+def _make_record(rng, kind: str, index: int) -> Element:
+    record = Element(kind, [("key", f"{kind}/{index}")])
+    for _ in range(rng.randint(1, 4)):
+        first, last = words.person_name(rng)
+        record.append_child(_leaf("author", f"{first} {last}"))
+    record.append_child(_leaf("title", words.title_text(rng) + "."))
+    record.append_child(_leaf("year", str(rng.randint(1975, 2003))))
+    if kind == "article":
+        record.append_child(_leaf("journal", rng.choice(words.JOURNALS)))
+    elif kind == "inproceedings":
+        record.append_child(
+            _leaf("booktitle", rng.choice(words.CONFERENCES))
+        )
+    else:
+        record.append_child(_leaf("publisher", rng.choice(words.PUBLISHERS)))
+        if rng.random() < 0.6:
+            record.append_child(
+                _leaf("isbn", f"{rng.randint(0, 9)}-{rng.randint(1000, 9999)}"
+                              f"-{rng.randint(1000, 9999)}-{rng.randint(0, 9)}")
+            )
+    if kind != "book":
+        if rng.random() < 0.7:
+            start = rng.randint(1, 500)
+            record.append_child(
+                _leaf("pages", f"{start}-{start + rng.randint(5, 30)}")
+            )
+        if rng.random() < 0.5:
+            record.append_child(
+                _leaf("ee", f"db/{kind}/{index}.html")
+            )
+    return record

@@ -1,0 +1,123 @@
+"""Canonical query sets for the benchmark suite.
+
+``AUCTION_QUERIES`` (Q1–Q16) spans the axes of the tutorial's comparison:
+path depth, descendant steps, value predicates of varying selectivity,
+positional access, existence tests, and string matching.  Each entry
+records the shape category the experiments group by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One benchmark query."""
+
+    key: str
+    xpath: str
+    category: str
+    description: str
+
+
+AUCTION_QUERIES: tuple[QuerySpec, ...] = (
+    QuerySpec(
+        "Q1", "/site/regions/africa/item/name", "path",
+        "Four-step child path into one region",
+    ),
+    QuerySpec(
+        "Q2", "/site/people/person/name", "path",
+        "Names of all registered people",
+    ),
+    QuerySpec(
+        "Q3", "/site/open_auctions/open_auction/bidder/increase", "path",
+        "Five-step child path over set-valued bidders",
+    ),
+    QuerySpec(
+        "Q4", "//item/name", "descendant",
+        "Item names anywhere (region-independent)",
+    ),
+    QuerySpec(
+        "Q5", "//bidder//date", "descendant",
+        "Dates below bidders, double descendant",
+    ),
+    QuerySpec(
+        "Q6", "//name", "descendant",
+        "Every name element (shared label: items, people, categories)",
+    ),
+    QuerySpec(
+        "Q7", "/site/people/person[@id = 'person0']/name", "point",
+        "Point lookup by id attribute",
+    ),
+    QuerySpec(
+        "Q8", "/site/open_auctions/open_auction[initial > 150]/current",
+        "value",
+        "Numeric predicate on initial price",
+    ),
+    QuerySpec(
+        "Q9", "/site/people/person[address/city = 'Berlin']/name", "value",
+        "Nested-path value predicate",
+    ),
+    QuerySpec(
+        "Q10", "//person[profile/@income > 80000]/name", "value",
+        "Descendant step plus attribute comparison",
+    ),
+    QuerySpec(
+        "Q11", "/site/open_auctions/open_auction[bidder]/@id", "exists",
+        "Auctions with at least one bid",
+    ),
+    QuerySpec(
+        "Q12", "/site/people/person[not(address)]/name", "exists",
+        "People without an address",
+    ),
+    QuerySpec(
+        "Q13", "/site/open_auctions/open_auction[1]/itemref/@item",
+        "position",
+        "First open auction's item reference",
+    ),
+    QuerySpec(
+        "Q14", "/site/open_auctions/open_auction/bidder[2]/increase",
+        "position",
+        "Second bid of each auction",
+    ),
+    QuerySpec(
+        "Q15", "//item[contains(description, 'vintage')]/name", "string",
+        "Substring match on descriptions",
+    ),
+    QuerySpec(
+        "Q16", "/site/categories/category/name/text()", "path",
+        "Text nodes of category names",
+    ),
+)
+
+
+DBLP_QUERIES: tuple[QuerySpec, ...] = (
+    QuerySpec("D1", "/dblp/article/title", "path", "Article titles"),
+    QuerySpec(
+        "D2", "/dblp/article[year = '2000']/title", "value",
+        "Articles from one year",
+    ),
+    QuerySpec(
+        "D3", "//inproceedings[booktitle = 'VLDB']/title", "value",
+        "Papers of one conference",
+    ),
+    QuerySpec(
+        "D4", "/dblp/*[@key = 'article/1']/title", "point",
+        "Point lookup by record key",
+    ),
+    QuerySpec(
+        "D5", "//author", "descendant", "All author elements",
+    ),
+    QuerySpec(
+        "D6", "/dblp/book[contains(title, 'Data')]/publisher", "string",
+        "Books with 'Data' in the title",
+    ),
+)
+
+
+def queries_by_category(
+    specs: tuple[QuerySpec, ...], category: str
+) -> list[QuerySpec]:
+    """The subset of *specs* in *category*."""
+    return [spec for spec in specs if spec.category == category]

@@ -1,0 +1,79 @@
+"""Deterministic random helpers shared by the generators."""
+
+from __future__ import annotations
+
+import random
+
+FIRST_NAMES = (
+    "Ada", "Alan", "Barbara", "Claude", "Donald", "Edgar", "Frances",
+    "Grace", "Hedy", "Ivan", "Jim", "Kathleen", "Leslie", "Michael",
+    "Niklaus", "Ole", "Peter", "Radia", "Serge", "Tim",
+)
+
+LAST_NAMES = (
+    "Lovelace", "Turing", "Liskov", "Shannon", "Knuth", "Codd", "Allen",
+    "Hopper", "Lamarr", "Sutherland", "Gray", "Booth", "Lamport",
+    "Stonebraker", "Wirth", "Madsen", "Chen", "Perlman", "Abiteboul",
+    "BernersLee",
+)
+
+CITIES = (
+    "Amsterdam", "Berlin", "Chicago", "Dresden", "Edinburgh", "Florence",
+    "Geneva", "Heidelberg", "Istanbul", "Jena", "Kyoto", "Lisbon",
+)
+
+COUNTRIES = (
+    "Netherlands", "Germany", "USA", "Scotland", "Italy", "Switzerland",
+    "Turkey", "Japan", "Portugal", "France",
+)
+
+WORDS = (
+    "auction", "bargain", "classic", "deluxe", "estate", "fine", "grand",
+    "heritage", "imperial", "jubilee", "keepsake", "legacy", "modern",
+    "noble", "ornate", "premium", "quaint", "rustic", "superb", "vintage",
+    "amber", "bronze", "copper", "dappled", "ebony", "fuchsia", "golden",
+)
+
+JOURNALS = (
+    "VLDB Journal", "TODS", "SIGMOD Record", "TKDE", "Information Systems",
+    "Data Engineering Bulletin",
+)
+
+CONFERENCES = (
+    "VLDB", "SIGMOD", "ICDE", "EDBT", "PODS", "WWW",
+)
+
+PUBLISHERS = (
+    "Addison-Wesley", "Morgan Kaufmann", "Springer", "Prentice Hall",
+    "MIT Press", "O'Reilly",
+)
+
+
+def make_rng(seed: int) -> random.Random:
+    """A dedicated :class:`random.Random` (never the global state)."""
+    return random.Random(seed)
+
+
+def person_name(rng: random.Random) -> tuple[str, str]:
+    return rng.choice(FIRST_NAMES), rng.choice(LAST_NAMES)
+
+
+def sentence(rng: random.Random, min_words: int = 4, max_words: int = 12) -> str:
+    count = rng.randint(min_words, max_words)
+    return " ".join(rng.choice(WORDS) for _ in range(count))
+
+
+def title_text(rng: random.Random) -> str:
+    return sentence(rng, 2, 6).title()
+
+
+def money(rng: random.Random, low: float = 1.0, high: float = 500.0) -> str:
+    return f"{rng.uniform(low, high):.2f}"
+
+
+def date_text(rng: random.Random, start_year: int = 1998,
+              end_year: int = 2003) -> str:
+    year = rng.randint(start_year, end_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"

@@ -1,0 +1,75 @@
+"""Parameterized random tree generator.
+
+Used by the property-based tests (random documents × random queries
+against all schemes) and by the selectivity experiment E5, where the
+value domain size directly controls predicate selectivity.
+
+Text is only ever placed in *leaf* elements: the SQL translators
+implement value predicates over text-only content (as every surveyed
+mapping does), so keeping the generator inside that fragment makes the
+differential tests meaningful rather than vacuously unsupported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workloads.rng import make_rng
+from repro.xml.dom import Document, Element
+
+
+@dataclass(frozen=True)
+class TreeProfile:
+    """Shape parameters for one random tree.
+
+    ``labels`` draw element names, ``attributes`` attribute names, and
+    ``value_domain`` the number of distinct leaf/attribute values — the
+    selectivity knob (larger domain = more selective equality predicate).
+    """
+
+    depth: int = 4
+    min_fanout: int = 1
+    max_fanout: int = 4
+    labels: tuple[str, ...] = ("a", "b", "c", "d")
+    attributes: tuple[str, ...] = ("k", "m")
+    attribute_probability: float = 0.4
+    leaf_text_probability: float = 0.8
+    value_domain: int = 10
+
+    def validate(self) -> None:
+        if self.depth < 1:
+            raise WorkloadError("depth must be at least 1")
+        if not (0 < self.min_fanout <= self.max_fanout):
+            raise WorkloadError("need 0 < min_fanout <= max_fanout")
+        if not self.labels:
+            raise WorkloadError("labels must be non-empty")
+        if self.value_domain < 1:
+            raise WorkloadError("value_domain must be at least 1")
+
+
+def generate_tree(profile: TreeProfile, seed: int = 0) -> Document:
+    """Generate one random document matching *profile*."""
+    profile.validate()
+    rng = make_rng(seed)
+    document = Document()
+    root = document.append_child(Element("root"))
+    _grow(root, profile, rng, remaining_depth=profile.depth)
+    return document
+
+
+def _grow(parent: Element, profile: TreeProfile, rng, remaining_depth: int):
+    fanout = rng.randint(profile.min_fanout, profile.max_fanout)
+    for _ in range(fanout):
+        child = parent.append_child(Element(rng.choice(profile.labels)))
+        for attribute in profile.attributes:
+            if rng.random() < profile.attribute_probability:
+                child.set_attribute(attribute, _value(profile, rng))
+        if remaining_depth > 1 and rng.random() < 0.8:
+            _grow(child, profile, rng, remaining_depth - 1)
+        elif rng.random() < profile.leaf_text_probability:
+            child.append_text(_value(profile, rng))
+
+
+def _value(profile: TreeProfile, rng) -> str:
+    return f"v{rng.randrange(profile.value_domain)}"

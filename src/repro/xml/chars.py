@@ -1,0 +1,99 @@
+"""Character classes from the XML 1.0 specification.
+
+Only the subsets needed by the parser are implemented.  Name characters
+follow the XML 1.0 (Fifth Edition) productions [4] NameStartChar and
+[4a] NameChar, restricted to the Basic Multilingual Plane plus the
+supplementary range, which covers all practical documents.
+"""
+
+from __future__ import annotations
+
+_NAME_START_RANGES = (
+    (ord(":"), ord(":")),
+    (ord("A"), ord("Z")),
+    (ord("_"), ord("_")),
+    (ord("a"), ord("z")),
+    (0xC0, 0xD6),
+    (0xD8, 0xF6),
+    (0xF8, 0x2FF),
+    (0x370, 0x37D),
+    (0x37F, 0x1FFF),
+    (0x200C, 0x200D),
+    (0x2070, 0x218F),
+    (0x2C00, 0x2FEF),
+    (0x3001, 0xD7FF),
+    (0xF900, 0xFDCF),
+    (0xFDF0, 0xFFFD),
+    (0x10000, 0xEFFFF),
+)
+
+_NAME_EXTRA_RANGES = (
+    (ord("-"), ord("-")),
+    (ord("."), ord(".")),
+    (ord("0"), ord("9")),
+    (0xB7, 0xB7),
+    (0x300, 0x36F),
+    (0x203F, 0x2040),
+)
+
+# ASCII fast paths: frozensets are much faster than range scans for the
+# characters that make up virtually all real element/attribute names.
+_ASCII_NAME_START = frozenset(
+    ":_" + "".join(chr(c) for c in range(ord("A"), ord("Z") + 1))
+    + "".join(chr(c) for c in range(ord("a"), ord("z") + 1))
+)
+_ASCII_NAME_CHAR = _ASCII_NAME_START | frozenset("-.0123456789")
+
+WHITESPACE = frozenset(" \t\r\n")
+
+
+def _in_ranges(code: int, ranges: tuple[tuple[int, int], ...]) -> bool:
+    for lo, hi in ranges:
+        if lo <= code <= hi:
+            return True
+    return False
+
+
+def is_name_start_char(ch: str) -> bool:
+    """Return True if *ch* may start an XML name."""
+    if ch in _ASCII_NAME_START:
+        return True
+    code = ord(ch)
+    return code > 0x7F and _in_ranges(code, _NAME_START_RANGES)
+
+
+def is_name_char(ch: str) -> bool:
+    """Return True if *ch* may appear inside an XML name."""
+    if ch in _ASCII_NAME_CHAR:
+        return True
+    code = ord(ch)
+    if code <= 0x7F:
+        return False
+    return _in_ranges(code, _NAME_START_RANGES) or _in_ranges(
+        code, _NAME_EXTRA_RANGES
+    )
+
+
+def is_xml_char(ch: str) -> bool:
+    """Return True if *ch* is a legal XML 1.0 document character."""
+    code = ord(ch)
+    return (
+        code in (0x9, 0xA, 0xD)
+        or 0x20 <= code <= 0xD7FF
+        or 0xE000 <= code <= 0xFFFD
+        or 0x10000 <= code <= 0x10FFFF
+    )
+
+
+def is_valid_name(name: str) -> bool:
+    """Return True if *name* is a well-formed XML name."""
+    if not name:
+        return False
+    if not is_name_start_char(name[0]):
+        return False
+    return all(is_name_char(ch) for ch in name[1:])
+
+
+def is_whitespace(text: str) -> bool:
+    """Return True if *text* is non-empty XML whitespace only."""
+    return bool(text) and all(ch in WHITESPACE for ch in text)

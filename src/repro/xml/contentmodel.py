@@ -1,0 +1,416 @@
+"""Element content models: regular expressions over element names.
+
+A DTD ``<!ELEMENT ...>`` declaration carries one of:
+
+* ``EMPTY`` / ``ANY`` — the two keyword models,
+* a *mixed* model ``(#PCDATA | a | b)*`` — text interleaved with named
+  elements in any order, or
+* a *children* model — a regular expression over element names built from
+  sequences (``,``), choices (``|``) and the occurrence operators
+  ``?``/``*``/``+``.
+
+Two operations on children models matter to the relational mapping layer:
+
+* **membership** — does a sequence of child-element names match the model?
+  Implemented by compiling the model to a Thompson NFA and simulating it
+  (no backtracking, linear in input length), so validation is robust even
+  for adversarial models.
+* **simplification** — the normalization step of the DTD-inlining mapping
+  (Shanmugasundaram et al., VLDB 1999), which flattens any model into an
+  ordered list of ``(name, quantifier)`` pairs with quantifiers drawn from
+  ``{'1', '?', '*'}``.  Simplification only ever *generalizes*: the language
+  of the simplified model is a superset of the original's (a property the
+  test suite checks with hypothesis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+from repro.errors import XmlRelError
+
+# Occurrence indicators.
+ONE = ""
+OPTIONAL = "?"
+STAR = "*"
+PLUS = "+"
+
+_VALID_OCCURRENCE = (ONE, OPTIONAL, STAR, PLUS)
+
+
+class Particle:
+    """Base class of content-particle tree nodes."""
+
+    __slots__ = ("occurrence",)
+
+    def __init__(self, occurrence: str = ONE) -> None:
+        if occurrence not in _VALID_OCCURRENCE:
+            raise XmlRelError(f"invalid occurrence indicator: {occurrence!r}")
+        self.occurrence = occurrence
+
+    def _base_str(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self._base_str() + self.occurrence
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Particle) and str(self) == str(other)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+
+class NameParticle(Particle):
+    """A single element name, e.g. ``title?``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, occurrence: str = ONE) -> None:
+        super().__init__(occurrence)
+        self.name = name
+
+    def _base_str(self) -> str:
+        return self.name
+
+
+class SequenceParticle(Particle):
+    """An ordered group ``(p1, p2, ...)``."""
+
+    __slots__ = ("children",)
+
+    def __init__(
+        self, children: Sequence[Particle], occurrence: str = ONE
+    ) -> None:
+        super().__init__(occurrence)
+        self.children = list(children)
+
+    def _base_str(self) -> str:
+        return "(" + ", ".join(str(c) for c in self.children) + ")"
+
+
+class ChoiceParticle(Particle):
+    """An alternation group ``(p1 | p2 | ...)``."""
+
+    __slots__ = ("children",)
+
+    def __init__(
+        self, children: Sequence[Particle], occurrence: str = ONE
+    ) -> None:
+        super().__init__(occurrence)
+        self.children = list(children)
+
+    def _base_str(self) -> str:
+        return "(" + " | ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class ContentModel:
+    """The content model of one element declaration.
+
+    Exactly one of the flags/fields describes the variant:
+
+    * ``is_empty`` — the EMPTY model;
+    * ``is_any`` — the ANY model;
+    * ``is_mixed`` — mixed content; ``mixed_names`` lists the allowed
+      element names (possibly empty, i.e. pure ``(#PCDATA)``);
+    * otherwise a children model with ``particle`` as its root.
+    """
+
+    is_empty: bool = False
+    is_any: bool = False
+    is_mixed: bool = False
+    mixed_names: tuple[str, ...] = ()
+    particle: Particle | None = None
+
+    @staticmethod
+    def empty() -> "ContentModel":
+        return ContentModel(is_empty=True)
+
+    @staticmethod
+    def any() -> "ContentModel":
+        return ContentModel(is_any=True)
+
+    @staticmethod
+    def mixed(names: Iterable[str] = ()) -> "ContentModel":
+        return ContentModel(is_mixed=True, mixed_names=tuple(names))
+
+    @staticmethod
+    def children(particle: Particle) -> "ContentModel":
+        return ContentModel(particle=particle)
+
+    @property
+    def is_pcdata_only(self) -> bool:
+        """True for the pure-text model ``(#PCDATA)``."""
+        return self.is_mixed and not self.mixed_names
+
+    def element_names(self) -> set[str]:
+        """All element names mentioned anywhere in the model."""
+        if self.is_mixed:
+            return set(self.mixed_names)
+        if self.particle is None:
+            return set()
+        names: set[str] = set()
+        stack = [self.particle]
+        while stack:
+            p = stack.pop()
+            if isinstance(p, NameParticle):
+                names.add(p.name)
+            elif isinstance(p, (SequenceParticle, ChoiceParticle)):
+                stack.extend(p.children)
+        return names
+
+    def matches(self, child_names: Sequence[str]) -> bool:
+        """Validate a sequence of child-element names against the model.
+
+        Text interleaving is ignored: callers pass the *element* children
+        only, which is exactly what each variant constrains.
+        """
+        if self.is_any:
+            return True
+        if self.is_empty:
+            return not child_names
+        if self.is_mixed:
+            allowed = set(self.mixed_names)
+            return all(name in allowed for name in child_names)
+        assert self.particle is not None
+        return _compile_nfa(self.particle).accepts(child_names)
+
+    def __str__(self) -> str:
+        if self.is_empty:
+            return "EMPTY"
+        if self.is_any:
+            return "ANY"
+        if self.is_mixed:
+            if not self.mixed_names:
+                return "(#PCDATA)"
+            inner = " | ".join(("#PCDATA",) + self.mixed_names)
+            return f"({inner})*"
+        return str(self.particle)
+
+
+# ---------------------------------------------------------------------------
+# NFA compilation (Thompson construction) for children-model membership.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Nfa:
+    """An epsilon-NFA over element names.
+
+    ``transitions[state]`` is a list of ``(symbol, target)`` pairs where
+    ``symbol`` is an element name or ``None`` for an epsilon move.
+    """
+
+    start: int
+    accept: int
+    transitions: list[list[tuple[str | None, int]]] = field(
+        default_factory=list
+    )
+
+    def accepts(self, symbols: Sequence[str]) -> bool:
+        current = self._closure({self.start})
+        for symbol in symbols:
+            nxt = {
+                target
+                for state in current
+                for (label, target) in self.transitions[state]
+                if label == symbol
+            }
+            if not nxt:
+                return False
+            current = self._closure(nxt)
+        return self.accept in current
+
+    def _closure(self, states: set[int]) -> set[int]:
+        result = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for label, target in self.transitions[state]:
+                if label is None and target not in result:
+                    result.add(target)
+                    stack.append(target)
+        return result
+
+
+class _NfaBuilder:
+    def __init__(self) -> None:
+        self.transitions: list[list[tuple[str | None, int]]] = []
+
+    def new_state(self) -> int:
+        self.transitions.append([])
+        return len(self.transitions) - 1
+
+    def edge(self, src: int, label: str | None, dst: int) -> None:
+        self.transitions[src].append((label, dst))
+
+    def build(self, particle: Particle) -> _Nfa:
+        start, accept = self._fragment(particle)
+        return _Nfa(start, accept, self.transitions)
+
+    def _fragment(self, particle: Particle) -> tuple[int, int]:
+        start, accept = self._base_fragment(particle)
+        occ = particle.occurrence
+        if occ == ONE:
+            return start, accept
+        outer_start = self.new_state()
+        outer_accept = self.new_state()
+        self.edge(outer_start, None, start)
+        self.edge(accept, None, outer_accept)
+        if occ in (OPTIONAL, STAR):
+            self.edge(outer_start, None, outer_accept)
+        if occ in (STAR, PLUS):
+            self.edge(accept, None, start)
+        return outer_start, outer_accept
+
+    def _base_fragment(self, particle: Particle) -> tuple[int, int]:
+        if isinstance(particle, NameParticle):
+            start = self.new_state()
+            accept = self.new_state()
+            self.edge(start, particle.name, accept)
+            return start, accept
+        if isinstance(particle, SequenceParticle):
+            if not particle.children:
+                state = self.new_state()
+                return state, state
+            start, accept = self._fragment(particle.children[0])
+            for child in particle.children[1:]:
+                nxt_start, nxt_accept = self._fragment(child)
+                self.edge(accept, None, nxt_start)
+                accept = nxt_accept
+            return start, accept
+        if isinstance(particle, ChoiceParticle):
+            start = self.new_state()
+            accept = self.new_state()
+            for child in particle.children:
+                c_start, c_accept = self._fragment(child)
+                self.edge(start, None, c_start)
+                self.edge(c_accept, None, accept)
+            return start, accept
+        raise XmlRelError(f"unknown particle type: {type(particle).__name__}")
+
+
+def _compile_nfa(particle: Particle) -> _Nfa:
+    return _NfaBuilder().build(particle)
+
+
+# ---------------------------------------------------------------------------
+# Simplification (the DTD-inlining normalization of Shanmugasundaram et al.)
+# ---------------------------------------------------------------------------
+
+# A simplified model: ordered (name, quantifier) pairs, quantifier in
+# {'1', '?', '*'} where '1' means exactly once.
+SIMPLE_ONE = "1"
+SIMPLE_OPTIONAL = "?"
+SIMPLE_STAR = "*"
+
+
+def _combine_repeat(inner: str, outer: str) -> str:
+    """Quantifier for a field nested under a repeated/optional group.
+
+    E.g. a field occurring once inside a ``*`` group occurs ``*`` overall.
+    """
+    if SIMPLE_STAR in (inner, outer):
+        return SIMPLE_STAR
+    if SIMPLE_OPTIONAL in (inner, outer):
+        return SIMPLE_OPTIONAL
+    return SIMPLE_ONE
+
+
+def _occurrence_to_simple(occurrence: str) -> str:
+    # '+' is generalized to '*' ("be less specific"), per the paper.
+    return {
+        ONE: SIMPLE_ONE,
+        OPTIONAL: SIMPLE_OPTIONAL,
+        STAR: SIMPLE_STAR,
+        PLUS: SIMPLE_STAR,
+    }[occurrence]
+
+
+def simplify(model: ContentModel) -> list[tuple[str, str]]:
+    """Flatten *model* into ordered ``(name, quantifier)`` pairs.
+
+    Applies the normalization rules of the inlining mapping:
+
+    * ``(e1, e2)*  -> e1*, e2*``
+    * ``(e1, e2)?  -> e1?, e2?``
+    * ``(e1 | e2)  -> e1?, e2?``
+    * ``e+        -> e*`` and nested quantifiers collapse (``e**`` → ``e*``)
+    * repeated mentions of one name merge into a single ``*`` field
+
+    Mixed models map every allowed name to ``*``; EMPTY/ANY/#PCDATA-only
+    models have no element fields and yield ``[]``.
+    """
+    if model.is_empty or model.is_any or model.is_pcdata_only:
+        return []
+    if model.is_mixed:
+        return [(name, SIMPLE_STAR) for name in model.mixed_names]
+    assert model.particle is not None
+    fields = _simplify_particle(model.particle, SIMPLE_ONE)
+    return _merge_duplicates(fields)
+
+
+def _simplify_particle(
+    particle: Particle, context: str
+) -> list[tuple[str, str]]:
+    occ = _combine_repeat(_occurrence_to_simple(particle.occurrence), context)
+    if isinstance(particle, NameParticle):
+        return [(particle.name, occ)]
+    if isinstance(particle, SequenceParticle):
+        fields: list[tuple[str, str]] = []
+        for child in particle.children:
+            fields.extend(_simplify_particle(child, occ))
+        return fields
+    if isinstance(particle, ChoiceParticle):
+        # (a | b) -> a?, b?  — each alternative becomes optional.
+        inner = _combine_repeat(occ, SIMPLE_OPTIONAL)
+        fields = []
+        for child in particle.children:
+            fields.extend(_simplify_particle(child, inner))
+        return fields
+    raise XmlRelError(f"unknown particle type: {type(particle).__name__}")
+
+
+def fields_accept(
+    fields: Sequence[tuple[str, str]], child_names: Sequence[str]
+) -> bool:
+    """Order-insensitive acceptance of *child_names* by simplified fields.
+
+    The inlining mapping deliberately ignores order ("regular expressions
+    ignore order in RDBMS"): a child sequence is acceptable when every name
+    is a declared field, names with quantifier ``1``/``?`` occur at most
+    once, and every ``1`` field occurs at least once.
+    """
+    quantifiers = dict(fields)
+    counts: dict[str, int] = {}
+    for name in child_names:
+        if name not in quantifiers:
+            return False
+        counts[name] = counts.get(name, 0) + 1
+    for name, quant in fields:
+        count = counts.get(name, 0)
+        if quant in (SIMPLE_ONE, SIMPLE_OPTIONAL) and count > 1:
+            return False
+        if quant == SIMPLE_ONE and count == 0:
+            return False
+    return True
+
+
+def _merge_duplicates(
+    fields: list[tuple[str, str]]
+) -> list[tuple[str, str]]:
+    """Merge repeated names: ``..., a*, ..., a* -> a*, ...`` (first position)."""
+    seen: dict[str, int] = {}
+    merged: list[tuple[str, str]] = []
+    for name, quant in fields:
+        if name in seen:
+            merged[seen[name]] = (name, SIMPLE_STAR)
+        else:
+            seen[name] = len(merged)
+            merged.append((name, quant))
+    return merged

@@ -1,0 +1,483 @@
+"""Tree data model for parsed XML documents.
+
+The model follows the XPath 1.0 data model rather than DOM Level 2: a
+document owns a tree of element/text/comment/processing-instruction nodes;
+attributes are nodes with an owning element but are not children; every node
+has an identity (Python object identity) and a position in *document order*.
+
+Document order is materialized on demand: :meth:`Document.assign_order`
+performs one pre-order traversal and stamps every node (attributes
+immediately after their owner element, in attribute order, before the
+element's children — exactly the XPath ordering).  Mutating the tree marks
+the ordering dirty; comparisons re-stamp lazily.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator
+
+from repro.errors import XmlRelError
+from repro.xml.chars import is_valid_name, is_whitespace
+
+
+class NodeKind(enum.IntEnum):
+    """Kinds of nodes in the XPath data model (namespace nodes omitted)."""
+
+    DOCUMENT = 1
+    ELEMENT = 2
+    ATTRIBUTE = 3
+    TEXT = 4
+    COMMENT = 5
+    PROCESSING_INSTRUCTION = 6
+
+
+class Node:
+    """Base class of all tree nodes."""
+
+    kind: NodeKind
+    __slots__ = ("parent", "_pre")
+
+    def __init__(self) -> None:
+        self.parent: _Container | None = None
+        # Document-order stamp; maintained by Document.assign_order().
+        self._pre: int = -1
+
+    # -- tree navigation ---------------------------------------------------
+
+    @property
+    def document(self) -> Document | None:
+        """The owning document, or None for detached subtrees."""
+        node: Node | None = self
+        while node is not None:
+            if isinstance(node, Document):
+                return node
+            node = node.parent
+        return None
+
+    @property
+    def root(self) -> Node:
+        """The topmost node of the (possibly detached) tree."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def ancestors(self) -> Iterator[_Container]:
+        """Yield parent, grandparent, ... up to and including the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def is_ancestor_of(self, other: Node) -> bool:
+        """Return True if *self* is a proper ancestor of *other*."""
+        return any(anc is self for anc in other.ancestors())
+
+    @property
+    def depth(self) -> int:
+        """Number of ancestors (document root has depth 0)."""
+        return sum(1 for _ in self.ancestors())
+
+    # -- document order ----------------------------------------------------
+
+    @property
+    def order_key(self) -> int:
+        """Position of this node in document order (0-based).
+
+        Only meaningful for attached nodes; stamps are refreshed lazily.
+        """
+        doc = self.document
+        if doc is None:
+            raise XmlRelError("document order undefined for detached nodes")
+        doc.ensure_order()
+        return self._pre
+
+    def precedes(self, other: Node) -> bool:
+        """True if *self* comes before *other* in document order."""
+        return self.order_key < other.order_key
+
+    # -- content -----------------------------------------------------------
+
+    @property
+    def string_value(self) -> str:
+        """The XPath string-value of the node."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class _Container(Node):
+    """Shared behaviour of nodes that have children (document, element)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.children: list[Node] = []
+
+    # -- mutation ----------------------------------------------------------
+
+    def append_child(self, child: Node) -> Node:
+        """Attach *child* as the last child and return it."""
+        return self.insert_child(len(self.children), child)
+
+    def insert_child(self, index: int, child: Node) -> Node:
+        """Attach *child* at *index* among the children and return it."""
+        if isinstance(child, (Document, Attribute)):
+            raise XmlRelError(f"cannot insert {type(child).__name__} as child")
+        if child.parent is not None:
+            raise XmlRelError("node already has a parent; detach it first")
+        if child is self or child.is_ancestor_of(self):
+            raise XmlRelError("cannot insert a node under itself")
+        self.children.insert(index, child)
+        child.parent = self
+        self._invalidate_order()
+        return child
+
+    def remove_child(self, child: Node) -> Node:
+        """Detach *child* from this node and return it."""
+        for i, existing in enumerate(self.children):
+            if existing is child:
+                del self.children[i]
+                child.parent = None
+                self._invalidate_order()
+                return child
+        raise XmlRelError("node is not a child of this container")
+
+    def _invalidate_order(self) -> None:
+        doc = self.document
+        if doc is not None:
+            doc._order_dirty = True
+
+    # -- traversal ---------------------------------------------------------
+
+    def iter(self) -> Iterator[Node]:
+        """Yield this node and all descendants in document order.
+
+        Attributes are *not* included (matching ElementTree's ``iter``); use
+        :meth:`Document.iter_with_attributes` when attribute nodes matter.
+        """
+        stack: list[Node] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, _Container):
+                stack.extend(reversed(node.children))
+
+    def descendants(self) -> Iterator[Node]:
+        """Yield all descendants (excluding self) in document order."""
+        it = self.iter()
+        next(it)  # skip self
+        yield from it
+
+    def iter_elements(self, tag: str | None = None) -> Iterator[Element]:
+        """Yield descendant-or-self elements, optionally filtered by tag."""
+        for node in self.iter():
+            if isinstance(node, Element) and (tag is None or node.tag == tag):
+                yield node
+
+    def child_elements(self) -> list[Element]:
+        """The element children, in order."""
+        return [c for c in self.children if isinstance(c, Element)]
+
+    @property
+    def string_value(self) -> str:
+        return "".join(
+            node.data for node in self.iter() if isinstance(node, Text)
+        )
+
+
+class Document(_Container):
+    """The root of a parsed XML document.
+
+    Children may be comments/PIs plus exactly one element in well-formed
+    documents; the model itself does not enforce the single-element rule so
+    that intermediate states during construction are representable.
+    """
+
+    kind = NodeKind.DOCUMENT
+    __slots__ = ("_order_dirty", "_order_size", "doctype_name", "dtd")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order_dirty = True
+        self._order_size = 0
+        # Raw doctype name and parsed DTD (set by the parser when present).
+        self.doctype_name: str | None = None
+        self.dtd = None  # type: ignore[assignment]  # repro.xml.dtd.Dtd
+
+    @property
+    def root_element(self) -> Element:
+        """The single element child (the document element)."""
+        elements = self.child_elements()
+        if len(elements) != 1:
+            raise XmlRelError(
+                f"document has {len(elements)} element children, expected 1"
+            )
+        return elements[0]
+
+    # -- document order ----------------------------------------------------
+
+    def ensure_order(self) -> None:
+        """Re-stamp document order if the tree changed since the last stamp."""
+        if self._order_dirty:
+            self.assign_order()
+
+    def assign_order(self) -> int:
+        """Stamp every node's document-order position; return node count."""
+        counter = 0
+        stack: list[Node] = [self]
+        while stack:
+            node = stack.pop()
+            node._pre = counter
+            counter += 1
+            if isinstance(node, Element):
+                for attr in node.attributes:
+                    attr._pre = counter
+                    counter += 1
+            if isinstance(node, _Container):
+                stack.extend(reversed(node.children))
+        self._order_dirty = False
+        self._order_size = counter
+        return counter
+
+    def iter_with_attributes(self) -> Iterator[Node]:
+        """Yield every node including attribute nodes, in document order."""
+        for node in self.iter():
+            yield node
+            if isinstance(node, Element):
+                yield from node.attributes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        try:
+            return f"<Document root={self.root_element.tag!r}>"
+        except XmlRelError:
+            return "<Document (no root element)>"
+
+
+class Element(_Container):
+    """An element node with ordered attributes and children."""
+
+    kind = NodeKind.ELEMENT
+    __slots__ = ("tag", "attributes")
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: Iterable[tuple[str, str]] | None = None,
+        validate: bool = True,
+    ) -> None:
+        if validate and not is_valid_name(tag):
+            raise XmlRelError(f"invalid element name: {tag!r}")
+        super().__init__()
+        self.tag = tag
+        self.attributes: list[Attribute] = []
+        if attributes:
+            for name, value in attributes:
+                self.set_attribute(name, value)
+
+    # -- attributes ----------------------------------------------------------
+
+    def get_attribute(self, name: str, default: str | None = None) -> str | None:
+        """Return the value of attribute *name*, or *default*."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr.value
+        return default
+
+    def get_attribute_node(self, name: str) -> Attribute | None:
+        """Return the attribute node named *name*, or None."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        return None
+
+    def set_attribute(self, name: str, value: str) -> Attribute:
+        """Create or overwrite attribute *name* and return its node."""
+        existing = self.get_attribute_node(name)
+        if existing is not None:
+            existing.value = value
+            return existing
+        attr = Attribute(name, value)
+        attr.parent = self
+        self.attributes.append(attr)
+        self._invalidate_order()
+        return attr
+
+    def remove_attribute(self, name: str) -> None:
+        """Delete attribute *name* (no error if absent)."""
+        for i, attr in enumerate(self.attributes):
+            if attr.name == name:
+                attr.parent = None
+                del self.attributes[i]
+                self._invalidate_order()
+                return
+
+    @property
+    def attribute_map(self) -> dict[str, str]:
+        """Attributes as a name→value dict (order preserved)."""
+        return {attr.name: attr.value for attr in self.attributes}
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        """Concatenation of the *direct* text children."""
+        return "".join(
+            c.data for c in self.children if isinstance(c, Text)
+        )
+
+    def append_text(self, data: str) -> Text:
+        """Append a text child (merging into a trailing text node)."""
+        if self.children and isinstance(self.children[-1], Text):
+            last = self.children[-1]
+            last.data += data
+            return last
+        text = Text(data)
+        return self.append_child(text)  # type: ignore[return-value]
+
+    def find(self, tag: str) -> Element | None:
+        """First child element with the given tag, or None."""
+        for child in self.children:
+            if isinstance(child, Element) and child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> list[Element]:
+        """All child elements with the given tag, in order."""
+        return [
+            c for c in self.children
+            if isinstance(c, Element) and c.tag == tag
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Element {self.tag!r} children={len(self.children)}>"
+
+
+class Attribute(Node):
+    """An attribute node; ``parent`` is the owning element."""
+
+    kind = NodeKind.ATTRIBUTE
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: str, validate: bool = True) -> None:
+        if validate and not is_valid_name(name):
+            raise XmlRelError(f"invalid attribute name: {name!r}")
+        super().__init__()
+        self.name = name
+        self.value = value
+
+    @property
+    def string_value(self) -> str:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Attribute {self.name}={self.value!r}>"
+
+
+class Text(Node):
+    """A text node."""
+
+    kind = NodeKind.TEXT
+    __slots__ = ("data",)
+
+    def __init__(self, data: str) -> None:
+        super().__init__()
+        self.data = data
+
+    @property
+    def string_value(self) -> str:
+        return self.data
+
+    @property
+    def is_whitespace(self) -> bool:
+        """True if the node contains XML whitespace only."""
+        return is_whitespace(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = self.data if len(self.data) <= 30 else self.data[:27] + "..."
+        return f"<Text {preview!r}>"
+
+
+class Comment(Node):
+    """A comment node."""
+
+    kind = NodeKind.COMMENT
+    __slots__ = ("data",)
+
+    def __init__(self, data: str) -> None:
+        super().__init__()
+        self.data = data
+
+    @property
+    def string_value(self) -> str:
+        return self.data
+
+
+class ProcessingInstruction(Node):
+    """A processing-instruction node (``<?target data?>``)."""
+
+    kind = NodeKind.PROCESSING_INSTRUCTION
+    __slots__ = ("target", "data")
+
+    def __init__(self, target: str, data: str = "") -> None:
+        if not is_valid_name(target):
+            raise XmlRelError(f"invalid PI target: {target!r}")
+        super().__init__()
+        self.target = target
+        self.data = data
+
+    @property
+    def string_value(self) -> str:
+        return self.data
+
+
+def deep_equal(a: Node, b: Node, ignore_ws_text: bool = False) -> bool:
+    """Structural equality of two trees (identity-free).
+
+    Compares kind, names, values, attribute lists (order-sensitive, as
+    attribute order is preserved end-to-end in this library) and children
+    recursively.  With *ignore_ws_text*, whitespace-only text nodes are
+    skipped on both sides — useful when comparing pretty-printed output.
+    """
+    if a.kind != b.kind:
+        return False
+    if isinstance(a, Element) and isinstance(b, Element):
+        if a.tag != b.tag:
+            return False
+        if [(x.name, x.value) for x in a.attributes] != [
+            (y.name, y.value) for y in b.attributes
+        ]:
+            return False
+    elif isinstance(a, Attribute) and isinstance(b, Attribute):
+        return a.name == b.name and a.value == b.value
+    elif isinstance(a, Text) and isinstance(b, Text):
+        return a.data == b.data
+    elif isinstance(a, Comment) and isinstance(b, Comment):
+        return a.data == b.data
+    elif isinstance(a, ProcessingInstruction) and isinstance(
+        b, ProcessingInstruction
+    ):
+        return a.target == b.target and a.data == b.data
+
+    if isinstance(a, _Container) and isinstance(b, _Container):
+        a_children: list[Node] = a.children
+        b_children: list[Node] = b.children
+        if ignore_ws_text:
+            a_children = [
+                c for c in a_children
+                if not (isinstance(c, Text) and c.is_whitespace)
+            ]
+            b_children = [
+                c for c in b_children
+                if not (isinstance(c, Text) and c.is_whitespace)
+            ]
+        if len(a_children) != len(b_children):
+            return False
+        return all(
+            deep_equal(ca, cb, ignore_ws_text)
+            for ca, cb in zip(a_children, b_children)
+        )
+    return True

@@ -1,0 +1,117 @@
+"""Low-level cursor over XML source text.
+
+The :class:`Scanner` owns the source string and a position, and provides the
+primitive operations the document and DTD parsers are written in terms of:
+peeking, literal matching, name scanning, delimited reads, and error
+reporting with line/column information computed from the offset.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlSyntaxError
+from repro.xml.chars import WHITESPACE, is_name_char, is_name_start_char
+
+
+class Scanner:
+    """A cursor over *source* with XML-oriented scanning primitives."""
+
+    __slots__ = ("source", "pos", "length")
+
+    def __init__(self, source: str, pos: int = 0) -> None:
+        self.source = source
+        self.pos = pos
+        self.length = len(source)
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, offset: int = 0) -> str:
+        """The character at pos+offset, or '' past the end."""
+        i = self.pos + offset
+        return self.source[i] if i < self.length else ""
+
+    def looking_at(self, literal: str) -> bool:
+        """True if the source continues with *literal* at the cursor."""
+        return self.source.startswith(literal, self.pos)
+
+    # -- consumption -----------------------------------------------------------
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def match(self, literal: str) -> bool:
+        """Consume *literal* if present; return whether it was consumed."""
+        if self.looking_at(literal):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str, context: str = "") -> None:
+        """Consume *literal* or raise a syntax error naming *context*."""
+        if not self.match(literal):
+            what = f" in {context}" if context else ""
+            found = self.peek() or "<end of input>"
+            self.error(f"expected {literal!r}{what}, found {found!r}")
+
+    def skip_whitespace(self) -> bool:
+        """Skip over XML whitespace; return True if any was skipped."""
+        start = self.pos
+        src, n = self.source, self.length
+        while self.pos < n and src[self.pos] in WHITESPACE:
+            self.pos += 1
+        return self.pos > start
+
+    def require_whitespace(self, context: str = "") -> None:
+        """Skip mandatory whitespace or raise."""
+        if not self.skip_whitespace():
+            what = f" in {context}" if context else ""
+            self.error(f"expected whitespace{what}")
+
+    def read_name(self, context: str = "name") -> str:
+        """Read an XML Name at the cursor or raise."""
+        start = self.pos
+        ch = self.peek()
+        if not ch or not is_name_start_char(ch):
+            self.error(f"expected {context}, found {ch or '<end of input>'!r}")
+        self.pos += 1
+        src, n = self.source, self.length
+        while self.pos < n and is_name_char(src[self.pos]):
+            self.pos += 1
+        return src[start:self.pos]
+
+    def read_until(self, terminator: str, context: str) -> str:
+        """Read up to (and consume) *terminator*; return the text before it."""
+        end = self.source.find(terminator, self.pos)
+        if end < 0:
+            self.error(f"unterminated {context}: missing {terminator!r}")
+        text = self.source[self.pos:end]
+        self.pos = end + len(terminator)
+        return text
+
+    def read_quoted(self, context: str) -> str:
+        """Read a single- or double-quoted literal; return its raw content."""
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            self.error(f"expected quoted literal in {context}")
+        self.advance()
+        return self.read_until(quote, context)
+
+    # -- errors ----------------------------------------------------------------
+
+    def line_column(self, pos: int | None = None) -> tuple[int, int]:
+        """1-based (line, column) of *pos* (default: the cursor)."""
+        if pos is None:
+            pos = self.pos
+        pos = min(pos, self.length)
+        line = self.source.count("\n", 0, pos) + 1
+        last_nl = self.source.rfind("\n", 0, pos)
+        column = pos - last_nl
+        return line, column
+
+    def error(self, message: str, pos: int | None = None) -> None:
+        """Raise :class:`XmlSyntaxError` at *pos* (default: the cursor)."""
+        line, column = self.line_column(pos)
+        raise XmlSyntaxError(message, line, column)

@@ -1,0 +1,39 @@
+"""XPath 1.0 subset: parser and in-memory reference evaluator.
+
+The subset covers what the relational translators compile (location paths
+over the child/descendant/attribute/parent/self axes with positional and
+value predicates) plus a broader evaluator-only surface (all major axes,
+the core function library, arithmetic) used as ground truth in
+differential tests.
+"""
+
+from repro.xpath.ast import (
+    AnyKindTest,
+    BinaryOp,
+    FunctionCall,
+    KindTest,
+    LocationPath,
+    NameTest,
+    Negate,
+    NumberLiteral,
+    Step,
+    StringLiteral,
+)
+from repro.xpath.parser import parse_xpath
+from repro.xpath.evaluator import evaluate, evaluate_nodes
+
+__all__ = [
+    "AnyKindTest",
+    "BinaryOp",
+    "FunctionCall",
+    "KindTest",
+    "LocationPath",
+    "NameTest",
+    "Negate",
+    "NumberLiteral",
+    "Step",
+    "StringLiteral",
+    "evaluate",
+    "evaluate_nodes",
+    "parse_xpath",
+]

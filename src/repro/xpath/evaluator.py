@@ -1,0 +1,654 @@
+"""In-memory reference evaluator for the XPath subset.
+
+This evaluator implements XPath 1.0 semantics over the tree model and is
+the *ground truth* for differential testing: every relational scheme's
+SQL-translated answer is compared against it.
+
+Value space (XPath 1.0): node-set (a Python list of nodes, kept in
+document order without duplicates), boolean, number (float; NaN allowed)
+and string.  The core function library subset implemented is listed in
+:data:`FUNCTIONS`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.errors import XPathEvaluationError
+from repro.xml.dom import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+    _Container,
+)
+from repro.xpath.ast import (
+    AnyKindTest,
+    BinaryOp,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    NameTest,
+    Negate,
+    NodeTest,
+    NumberLiteral,
+    KindTest,
+    Step,
+    StringLiteral,
+)
+from repro.xpath.parser import parse_xpath
+
+XPathValue = list  # node-set
+# Full value union: list[Node] | bool | float | str
+
+_REVERSE_AXES = frozenset(
+    {"ancestor", "ancestor-or-self", "parent", "preceding",
+     "preceding-sibling"}
+)
+
+
+def evaluate(context: Node, expr: Expr | str):
+    """Evaluate *expr* with *context* as the context node.
+
+    Returns a node-set (list), boolean, float, or string.
+    """
+    if isinstance(expr, str):
+        expr = parse_xpath(expr)
+    return _Evaluator().evaluate(expr, _Context(context, 1, 1))
+
+
+def evaluate_nodes(context: Node, expr: Expr | str) -> list[Node]:
+    """Evaluate *expr*, requiring a node-set result (in document order)."""
+    result = evaluate(context, expr)
+    if not isinstance(result, list):
+        raise XPathEvaluationError(
+            f"expression did not yield a node-set: {expr}"
+        )
+    return result
+
+
+class _Context:
+    __slots__ = ("node", "position", "size")
+
+    def __init__(self, node: Node, position: int, size: int) -> None:
+        self.node = node
+        self.position = position
+        self.size = size
+
+
+# ---------------------------------------------------------------------------
+# Type conversions (XPath 1.0 section 3.2 function semantics)
+# ---------------------------------------------------------------------------
+
+
+def xpath_string(value) -> str:
+    """The ``string()`` conversion."""
+    if isinstance(value, list):
+        return value[0].string_value if value else ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return format_number(value)
+    return value
+
+
+def format_number(value: float) -> str:
+    """Format per XPath: integers without a decimal point, NaN as 'NaN'."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def xpath_number(value) -> float:
+    """The ``number()`` conversion (NaN on non-numeric strings)."""
+    if isinstance(value, list):
+        return xpath_number(xpath_string(value))
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    try:
+        return float(value.strip())
+    except (ValueError, AttributeError):
+        return math.nan
+
+
+def xpath_boolean(value) -> bool:
+    """The ``boolean()`` conversion."""
+    if isinstance(value, list):
+        return bool(value)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return bool(value) and not math.isnan(value)
+    return bool(value)
+
+
+# ---------------------------------------------------------------------------
+# The evaluator proper
+# ---------------------------------------------------------------------------
+
+
+class _Evaluator:
+    def evaluate(self, expr: Expr, context: _Context):
+        if isinstance(expr, StringLiteral):
+            return expr.value
+        if isinstance(expr, NumberLiteral):
+            return expr.value
+        if isinstance(expr, Negate):
+            return -xpath_number(self.evaluate(expr.operand, context))
+        if isinstance(expr, BinaryOp):
+            return self._evaluate_binary(expr, context)
+        if isinstance(expr, FunctionCall):
+            return self._evaluate_function(expr, context)
+        if isinstance(expr, LocationPath):
+            return self._evaluate_path(expr, context)
+        if isinstance(expr, FilterExpr):
+            return self._evaluate_filter(expr, context)
+        raise XPathEvaluationError(
+            f"cannot evaluate expression type {type(expr).__name__}"
+        )
+
+    # -- binary operators -------------------------------------------------------
+
+    def _evaluate_binary(self, expr: BinaryOp, context: _Context):
+        op = expr.op
+        if op == "or":
+            return xpath_boolean(
+                self.evaluate(expr.left, context)
+            ) or xpath_boolean(self.evaluate(expr.right, context))
+        if op == "and":
+            return xpath_boolean(
+                self.evaluate(expr.left, context)
+            ) and xpath_boolean(self.evaluate(expr.right, context))
+        left = self.evaluate(expr.left, context)
+        right = self.evaluate(expr.right, context)
+        if op in ("=", "!="):
+            return _compare_equality(left, right, op)
+        if op in ("<", "<=", ">", ">="):
+            return _compare_relational(left, right, op)
+        if op == "|":
+            if not isinstance(left, list) or not isinstance(right, list):
+                raise XPathEvaluationError("'|' requires node-set operands")
+            return _document_order_union(left + right)
+        left_num = xpath_number(left)
+        right_num = xpath_number(right)
+        if op == "+":
+            return left_num + right_num
+        if op == "-":
+            return left_num - right_num
+        if op == "*":
+            return left_num * right_num
+        if op == "div":
+            if right_num == 0:
+                if left_num == 0 or math.isnan(left_num):
+                    return math.nan
+                return math.inf if left_num > 0 else -math.inf
+            return left_num / right_num
+        if op == "mod":
+            if right_num == 0:
+                return math.nan
+            return math.fmod(left_num, right_num)
+        raise XPathEvaluationError(f"unknown operator {op!r}")
+
+    # -- functions ---------------------------------------------------------------
+
+    def _evaluate_function(self, expr: FunctionCall, context: _Context):
+        handler = FUNCTIONS.get(expr.name)
+        if handler is None:
+            raise XPathEvaluationError(f"unknown function {expr.name}()")
+        args = [self.evaluate(arg, context) for arg in expr.args]
+        return handler(context, args)
+
+    # -- location paths -----------------------------------------------------------
+
+    def _evaluate_path(
+        self, path: LocationPath, context: _Context
+    ) -> list[Node]:
+        if path.absolute:
+            document = context.node.document
+            if document is None:
+                document = context.node.root
+            current: list[Node] = [document]
+        else:
+            current = [context.node]
+        return self._apply_steps(path.steps, current)
+
+    def _apply_steps(
+        self, steps: Iterable[Step], current: list[Node]
+    ) -> list[Node]:
+        for step in steps:
+            gathered: list[Node] = []
+            for node in current:
+                gathered.extend(self._apply_step(step, node))
+            current = _document_order_union(gathered)
+        return current
+
+    def _apply_step(self, step: Step, node: Node) -> list[Node]:
+        candidates = [
+            n for n in _axis_nodes(step.axis, node)
+            if _matches_test(step.test, n, step.axis)
+        ]
+        for predicate in step.predicates:
+            size = len(candidates)
+            kept = []
+            for position, candidate in enumerate(candidates, start=1):
+                value = self.evaluate(
+                    predicate, _Context(candidate, position, size)
+                )
+                if isinstance(value, float):
+                    if value == position:
+                        kept.append(candidate)
+                elif xpath_boolean(value):
+                    kept.append(candidate)
+            candidates = kept
+        return candidates
+
+    def _evaluate_filter(self, expr: FilterExpr, context: _Context):
+        primary = self.evaluate(expr.primary, context)
+        if expr.predicates or expr.steps:
+            if not isinstance(primary, list):
+                raise XPathEvaluationError(
+                    "predicates/steps require a node-set primary"
+                )
+        nodes = primary
+        for predicate in expr.predicates:
+            size = len(nodes)
+            kept = []
+            for position, candidate in enumerate(nodes, start=1):
+                value = self.evaluate(
+                    predicate, _Context(candidate, position, size)
+                )
+                if isinstance(value, float):
+                    if value == position:
+                        kept.append(candidate)
+                elif xpath_boolean(value):
+                    kept.append(candidate)
+            nodes = kept
+        if expr.steps:
+            nodes = self._apply_steps(expr.steps, nodes)
+        return nodes
+
+
+# ---------------------------------------------------------------------------
+# Axes
+# ---------------------------------------------------------------------------
+
+
+def _axis_nodes(axis: str, node: Node) -> Iterator[Node]:
+    """Yield the nodes on *axis* from *node*, in axis order.
+
+    Axis order is document order for forward axes and reverse document
+    order for reverse axes (so positional predicates count proximity).
+    """
+    if axis == "self":
+        yield node
+    elif axis == "child":
+        if isinstance(node, _Container):
+            yield from node.children
+    elif axis == "descendant":
+        if isinstance(node, _Container):
+            yield from node.descendants()
+    elif axis == "descendant-or-self":
+        yield node
+        if isinstance(node, _Container):
+            yield from node.descendants()
+    elif axis == "parent":
+        if node.parent is not None:
+            yield node.parent
+    elif axis == "ancestor":
+        yield from node.ancestors()
+    elif axis == "ancestor-or-self":
+        yield node
+        yield from node.ancestors()
+    elif axis == "attribute":
+        if isinstance(node, Element):
+            yield from node.attributes
+    elif axis == "following-sibling":
+        yield from _siblings(node, forward=True)
+    elif axis == "preceding-sibling":
+        yield from _siblings(node, forward=False)
+    elif axis == "following":
+        yield from _following(node)
+    elif axis == "preceding":
+        yield from _preceding(node)
+    else:
+        raise XPathEvaluationError(f"unknown axis {axis!r}")
+
+
+def _siblings(node: Node, forward: bool) -> Iterator[Node]:
+    parent = node.parent
+    if parent is None or isinstance(node, Attribute):
+        return
+    siblings = parent.children
+    for i, sibling in enumerate(siblings):
+        if sibling is node:
+            if forward:
+                yield from siblings[i + 1:]
+            else:
+                yield from reversed(siblings[:i])
+            return
+
+
+def _following(node: Node) -> Iterator[Node]:
+    """All nodes after *node* in document order, excluding descendants."""
+    current: Node | None = node
+    while current is not None:
+        for sibling in _siblings(current, forward=True):
+            yield sibling
+            if isinstance(sibling, _Container):
+                yield from sibling.descendants()
+        current = current.parent
+
+
+def _preceding(node: Node) -> Iterator[Node]:
+    """All nodes before *node* in document order, excluding ancestors.
+
+    Yielded in reverse document order (axis order for a reverse axis).
+    """
+    ancestors = set(id(a) for a in node.ancestors())
+    doc = node.document
+    if doc is None:
+        return
+    before: list[Node] = []
+    for candidate in doc.iter():
+        if candidate is node:
+            break
+        if id(candidate) not in ancestors and not isinstance(
+            candidate, Document
+        ):
+            before.append(candidate)
+    yield from reversed(before)
+
+
+def _matches_test(test: NodeTest, node: Node, axis: str) -> bool:
+    if isinstance(test, AnyKindTest):
+        return True
+    if isinstance(test, KindTest):
+        if test.kind == "text":
+            return isinstance(node, Text)
+        if test.kind == "comment":
+            return isinstance(node, Comment)
+        if test.kind == "processing-instruction":
+            return isinstance(node, ProcessingInstruction)
+        raise XPathEvaluationError(f"unknown kind test {test.kind!r}")
+    assert isinstance(test, NameTest)
+    # Principal node kind: attributes on the attribute axis, else elements.
+    if axis == "attribute":
+        if not isinstance(node, Attribute):
+            return False
+        return test.is_wildcard or node.name == test.name
+    if not isinstance(node, Element):
+        return False
+    return test.is_wildcard or node.tag == test.name
+
+
+def _document_order_union(nodes: list[Node]) -> list[Node]:
+    """Deduplicate by identity and sort into document order."""
+    seen: set[int] = set()
+    unique: list[Node] = []
+    for node in nodes:
+        if id(node) not in seen:
+            seen.add(id(node))
+            unique.append(node)
+    if len(unique) <= 1:
+        return unique
+    return sorted(unique, key=lambda n: n.order_key)
+
+
+# ---------------------------------------------------------------------------
+# Core function library
+# ---------------------------------------------------------------------------
+
+
+def _fn_position(context: _Context, args: list) -> float:
+    return float(context.position)
+
+
+def _fn_last(context: _Context, args: list) -> float:
+    return float(context.size)
+
+
+def _fn_count(context: _Context, args: list) -> float:
+    (nodes,) = args
+    if not isinstance(nodes, list):
+        raise XPathEvaluationError("count() requires a node-set")
+    return float(len(nodes))
+
+
+def _fn_not(context: _Context, args: list) -> bool:
+    (value,) = args
+    return not xpath_boolean(value)
+
+
+def _fn_string(context: _Context, args: list) -> str:
+    if not args:
+        return context.node.string_value
+    return xpath_string(args[0])
+
+
+def _fn_number(context: _Context, args: list) -> float:
+    if not args:
+        return xpath_number(context.node.string_value)
+    return xpath_number(args[0])
+
+
+def _fn_boolean(context: _Context, args: list) -> bool:
+    (value,) = args
+    return xpath_boolean(value)
+
+
+def _fn_concat(context: _Context, args: list) -> str:
+    if len(args) < 2:
+        raise XPathEvaluationError("concat() requires at least 2 arguments")
+    return "".join(xpath_string(a) for a in args)
+
+
+def _fn_contains(context: _Context, args: list) -> bool:
+    haystack, needle = (xpath_string(a) for a in args)
+    return needle in haystack
+
+
+def _fn_starts_with(context: _Context, args: list) -> bool:
+    haystack, prefix = (xpath_string(a) for a in args)
+    return haystack.startswith(prefix)
+
+def _fn_substring(context: _Context, args: list) -> str:
+    if len(args) not in (2, 3):
+        raise XPathEvaluationError("substring() takes 2 or 3 arguments")
+    text = xpath_string(args[0])
+    start = round(xpath_number(args[1]))
+    if len(args) == 3:
+        length = round(xpath_number(args[2]))
+        end = start + length
+    else:
+        end = len(text) + 1
+    begin = max(start, 1)
+    if math.isnan(xpath_number(args[1])) or end <= begin:
+        return ""
+    return text[begin - 1:end - 1]
+
+
+def _fn_substring_before(context: _Context, args: list) -> str:
+    text, marker = (xpath_string(a) for a in args)
+    index = text.find(marker)
+    return text[:index] if index >= 0 else ""
+
+
+def _fn_substring_after(context: _Context, args: list) -> str:
+    text, marker = (xpath_string(a) for a in args)
+    index = text.find(marker)
+    return text[index + len(marker):] if index >= 0 else ""
+
+
+def _fn_translate(context: _Context, args: list) -> str:
+    text, source, target = (xpath_string(a) for a in args)
+    table: dict[int, int | None] = {}
+    for i, ch in enumerate(source):
+        if ord(ch) in table:
+            continue  # first occurrence wins, per the spec
+        table[ord(ch)] = ord(target[i]) if i < len(target) else None
+    return text.translate(table)
+
+
+def _fn_string_length(context: _Context, args: list) -> float:
+    text = xpath_string(args[0]) if args else context.node.string_value
+    return float(len(text))
+
+
+def _fn_normalize_space(context: _Context, args: list) -> str:
+    text = xpath_string(args[0]) if args else context.node.string_value
+    return " ".join(text.split())
+
+
+def _fn_name(context: _Context, args: list) -> str:
+    nodes = args[0] if args else [context.node]
+    if not isinstance(nodes, list):
+        raise XPathEvaluationError("name() requires a node-set")
+    if not nodes:
+        return ""
+    node = nodes[0]
+    if isinstance(node, Element):
+        return node.tag
+    if isinstance(node, Attribute):
+        return node.name
+    if isinstance(node, ProcessingInstruction):
+        return node.target
+    return ""
+
+
+def _fn_sum(context: _Context, args: list) -> float:
+    (nodes,) = args
+    if not isinstance(nodes, list):
+        raise XPathEvaluationError("sum() requires a node-set")
+    return sum(xpath_number(n.string_value) for n in nodes)
+
+
+def _fn_floor(context: _Context, args: list) -> float:
+    return float(math.floor(xpath_number(args[0])))
+
+
+def _fn_ceiling(context: _Context, args: list) -> float:
+    return float(math.ceil(xpath_number(args[0])))
+
+
+def _fn_round(context: _Context, args: list) -> float:
+    value = xpath_number(args[0])
+    if math.isnan(value) or math.isinf(value):
+        return value
+    return float(math.floor(value + 0.5))
+
+
+def _fn_true(context: _Context, args: list) -> bool:
+    return True
+
+
+def _fn_false(context: _Context, args: list) -> bool:
+    return False
+
+
+FUNCTIONS: dict[str, Callable[[_Context, list], object]] = {
+    "position": _fn_position,
+    "last": _fn_last,
+    "count": _fn_count,
+    "not": _fn_not,
+    "string": _fn_string,
+    "number": _fn_number,
+    "boolean": _fn_boolean,
+    "concat": _fn_concat,
+    "contains": _fn_contains,
+    "starts-with": _fn_starts_with,
+    "substring": _fn_substring,
+    "substring-before": _fn_substring_before,
+    "substring-after": _fn_substring_after,
+    "translate": _fn_translate,
+    "string-length": _fn_string_length,
+    "normalize-space": _fn_normalize_space,
+    "name": _fn_name,
+    "local-name": _fn_name,  # no namespaces in this subset
+    "sum": _fn_sum,
+    "floor": _fn_floor,
+    "ceiling": _fn_ceiling,
+    "round": _fn_round,
+    "true": _fn_true,
+    "false": _fn_false,
+}
+
+
+# ---------------------------------------------------------------------------
+# Comparison semantics (XPath 1.0 section 3.4)
+# ---------------------------------------------------------------------------
+
+
+def _compare_equality(left, right, op: str) -> bool:
+    left_is_set = isinstance(left, list)
+    right_is_set = isinstance(right, list)
+    if left_is_set and right_is_set:
+        right_values = {n.string_value for n in right}
+        for node in left:
+            value = node.string_value
+            if op == "=" and value in right_values:
+                return True
+            if op == "!=" and any(value != rv for rv in right_values):
+                return True
+        return False
+    if left_is_set or right_is_set:
+        nodes, other = (left, right) if left_is_set else (right, left)
+        if isinstance(other, bool):
+            result = xpath_boolean(nodes) == other
+            return result if op == "=" else not result
+        for node in nodes:
+            if isinstance(other, float):
+                matches = xpath_number(node.string_value) == other
+            else:
+                matches = node.string_value == other
+            if op == "=" and matches:
+                return True
+            if op == "!=" and not matches:
+                return True
+        return False
+    # Neither side is a node-set.
+    if isinstance(left, bool) or isinstance(right, bool):
+        result = xpath_boolean(left) == xpath_boolean(right)
+    elif isinstance(left, float) or isinstance(right, float):
+        result = xpath_number(left) == xpath_number(right)
+    else:
+        result = left == right
+    return result if op == "=" else not result
+
+
+def _compare_relational(left, right, op: str) -> bool:
+    left_values = _relational_operands(left)
+    right_values = _relational_operands(right)
+    for lv in left_values:
+        for rv in right_values:
+            if _numeric_compare(lv, rv, op):
+                return True
+    return False
+
+
+def _relational_operands(value) -> list[float]:
+    if isinstance(value, list):
+        return [xpath_number(n.string_value) for n in value]
+    return [xpath_number(value)]
+
+
+def _numeric_compare(a: float, b: float, op: str) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return False
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    return a >= b

@@ -1,0 +1,128 @@
+"""XPath tokenizer.
+
+Implements the XPath 1.0 lexical rules, including the disambiguation rule
+for ``*`` and for operator names (``and``/``or``/``div``/``mod``): a token
+that *could* be an operator is one exactly when the preceding token is an
+operand terminator (a name, number, literal, ``)``, ``]``, ``.``, ``..``
+or ``*``-as-wildcard is impossible there).  The lexer records enough
+context to apply the rule; the parser then treats ``STAR`` uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathSyntaxError
+from repro.xml.chars import is_name_char, is_name_start_char
+from repro.xpath.tokens import Token, TokenKind
+
+_SINGLE_CHAR = {
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "@": TokenKind.AT,
+    ",": TokenKind.COMMA,
+    "|": TokenKind.PIPE,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "=": TokenKind.EQ,
+    "$": TokenKind.DOLLAR,
+}
+
+
+def tokenize(expression: str) -> list[Token]:
+    """Tokenize *expression*; the result always ends with an END token."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(expression)
+    while pos < length:
+        ch = expression[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        start = pos
+        if ch == "/":
+            if expression.startswith("//", pos):
+                tokens.append(Token(TokenKind.DOUBLE_SLASH, "//", start))
+                pos += 2
+            else:
+                tokens.append(Token(TokenKind.SLASH, "/", start))
+                pos += 1
+        elif ch == ":":
+            if expression.startswith("::", pos):
+                tokens.append(Token(TokenKind.AXIS_SEP, "::", start))
+                pos += 2
+            else:
+                raise XPathSyntaxError("unexpected ':'", pos)
+        elif ch == ".":
+            if expression.startswith("..", pos):
+                tokens.append(Token(TokenKind.DOTDOT, "..", start))
+                pos += 2
+            elif pos + 1 < length and expression[pos + 1].isdigit():
+                pos = _scan_number(expression, pos, tokens)
+            else:
+                tokens.append(Token(TokenKind.DOT, ".", start))
+                pos += 1
+        elif ch == "!":
+            if expression.startswith("!=", pos):
+                tokens.append(Token(TokenKind.NEQ, "!=", start))
+                pos += 2
+            else:
+                raise XPathSyntaxError("unexpected '!'", pos)
+        elif ch == "<":
+            if expression.startswith("<=", pos):
+                tokens.append(Token(TokenKind.LE, "<=", start))
+                pos += 2
+            else:
+                tokens.append(Token(TokenKind.LT, "<", start))
+                pos += 1
+        elif ch == ">":
+            if expression.startswith(">=", pos):
+                tokens.append(Token(TokenKind.GE, ">=", start))
+                pos += 2
+            else:
+                tokens.append(Token(TokenKind.GT, ">", start))
+                pos += 1
+        elif ch == "*":
+            tokens.append(Token(TokenKind.STAR, "*", start))
+            pos += 1
+        elif ch in _SINGLE_CHAR:
+            tokens.append(Token(_SINGLE_CHAR[ch], ch, start))
+            pos += 1
+        elif ch in ("'", '"'):
+            end = expression.find(ch, pos + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated string literal", pos)
+            tokens.append(
+                Token(TokenKind.LITERAL, expression[pos + 1:end], start)
+            )
+            pos = end + 1
+        elif ch.isdigit():
+            pos = _scan_number(expression, pos, tokens)
+        elif ch != ":" and is_name_start_char(ch):
+            # Unlike raw XML names, XPath names exclude ':' — it would
+            # swallow the '::' axis separator.
+            pos += 1
+            while (
+                pos < length
+                and expression[pos] != ":"
+                and is_name_char(expression[pos])
+            ):
+                pos += 1
+            tokens.append(Token(TokenKind.NAME, expression[start:pos], start))
+        else:
+            raise XPathSyntaxError(f"unexpected character {ch!r}", pos)
+    tokens.append(Token(TokenKind.END, "", length))
+    return tokens
+
+
+def _scan_number(expression: str, pos: int, tokens: list[Token]) -> int:
+    start = pos
+    length = len(expression)
+    while pos < length and expression[pos].isdigit():
+        pos += 1
+    if pos < length and expression[pos] == ".":
+        pos += 1
+        while pos < length and expression[pos].isdigit():
+            pos += 1
+    tokens.append(Token(TokenKind.NUMBER, expression[start:pos], start))
+    return pos

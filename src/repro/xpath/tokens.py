@@ -1,0 +1,75 @@
+"""Token definitions for the XPath lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories of XPath tokens."""
+
+    NAME = "name"              # element/attribute/axis/function names
+    NUMBER = "number"          # 3, 3.14, .5
+    LITERAL = "literal"        # 'str' or "str"
+    SLASH = "/"
+    DOUBLE_SLASH = "//"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    AT = "@"
+    COMMA = ","
+    DOT = "."
+    DOTDOT = ".."
+    AXIS_SEP = "::"
+    PIPE = "|"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"                 # wildcard or multiply (parser decides by rule)
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    DOLLAR = "$"
+    END = "end"
+
+
+# Names that act as binary operators when they appear in operator position.
+OPERATOR_NAMES = frozenset({"and", "or", "div", "mod"})
+
+# Reserved node-type test names (NAME followed by '(').
+NODE_TYPE_NAMES = frozenset(
+    {"node", "text", "comment", "processing-instruction"}
+)
+
+AXIS_NAMES = frozenset(
+    {
+        "child",
+        "descendant",
+        "descendant-or-self",
+        "self",
+        "parent",
+        "attribute",
+        "ancestor",
+        "ancestor-or-self",
+        "following-sibling",
+        "preceding-sibling",
+        "following",
+        "preceding",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    kind: TokenKind
+    value: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind.name} {self.value!r}@{self.position}>"

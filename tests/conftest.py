@@ -1,0 +1,70 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.relational.database import Database
+from repro.core.registry import available_schemes, create_scheme
+from repro.xml import parse_document
+
+# Schemes whose translators support the full core query set on
+# schema-less documents (inlining requires a DTD; handled separately).
+SCHEMALESS_SCHEMES = [
+    name for name in available_schemes() if name != "inlining"
+]
+
+BIB_XML = """\
+<bib>
+  <book year="1994" id="b1">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000" id="b2">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <publisher>Morgan Kaufmann</publisher>
+    <price>39.95</price>
+  </book>
+  <article year="2001" id="a1">
+    <title>Storage of XML</title>
+    <author><last>Florescu</last></author>
+  </article>
+</bib>
+"""
+
+BIB_DTD_XML = """\
+<!DOCTYPE bib [
+<!ELEMENT bib (book*, article*)>
+<!ELEMENT book (title, author+, publisher?, price?)>
+<!ATTLIST book year CDATA #REQUIRED id ID #IMPLIED>
+<!ELEMENT article (title, author+)>
+<!ATTLIST article year CDATA #REQUIRED id ID #IMPLIED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (last, first?)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT last (#PCDATA)>
+<!ELEMENT first (#PCDATA)>
+]>
+""" + BIB_XML
+
+
+@pytest.fixture()
+def db():
+    with Database() as database:
+        yield database
+
+
+@pytest.fixture()
+def bib_doc():
+    return parse_document(BIB_XML)
+
+
+def make_scheme(name, db, dtd=None, **kwargs):
+    """Instantiate a scheme, supplying the DTD where required."""
+    if name == "inlining":
+        kwargs.setdefault("dtd", dtd)
+    return create_scheme(name, db, **kwargs)

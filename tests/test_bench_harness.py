@@ -1,0 +1,83 @@
+"""Tests for the benchmark harness (result records and table rendering)."""
+
+import os
+
+from repro.bench import ExperimentResult, format_table, time_call, write_report
+from repro.bench.harness import Row, format_value
+
+
+class TestRows:
+    def test_add_row_and_set(self):
+        result = ExperimentResult("EX", "t", "w", "e")
+        row = result.add_row("edge", ms=1.5)
+        row.set("rows", 10)
+        assert result.rows[0].values == {"ms": 1.5, "rows": 10}
+
+    def test_all_columns_order(self):
+        result = ExperimentResult("EX", "t", "w", "e")
+        result.add_row("a", first=1)
+        result.add_row("b").set("second", 2).set("first", 3)
+        assert result.all_columns() == ["first", "second"]
+
+    def test_column_values(self):
+        result = ExperimentResult("EX", "t", "w", "e")
+        result.add_row("a", x=1)
+        result.add_row("b")
+        assert result.column_values("x") == [1, None]
+
+
+class TestFormatting:
+    def test_format_value_variants(self):
+        assert format_value(0.0) == "0"
+        assert format_value(1234.5) == "1,234"
+        assert format_value(3.25) == "3.25"
+        assert format_value(0.0123) == "0.0123"
+        assert format_value(42) == "42"
+        assert format_value(1_000_000) == "1,000,000"
+        assert format_value(None) == "—"
+        assert format_value("text") == "text"
+
+    def test_format_table_shape(self):
+        result = ExperimentResult(
+            "E99", "A title", "some workload", "some expectation"
+        )
+        result.add_row("edge", ms=1.5, rows=100)
+        result.add_row("dewey", ms=2.25, rows=200)
+        rendered = format_table(result)
+        assert "# E99: A title" in rendered
+        assert "*Workload:* some workload" in rendered
+        lines = [l for l in rendered.splitlines() if l.startswith("|")]
+        assert len(lines) == 4  # header + separator + 2 rows
+        assert "edge" in lines[2] and "1.50" in lines[2]
+
+    def test_missing_cells_render_dash(self):
+        result = ExperimentResult("E98", "t", "w", "e")
+        result.add_row("a", x=1)
+        result.add_row("b", y=2)
+        rendered = format_table(result)
+        assert "—" in rendered
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path, capsys):
+        result = ExperimentResult("E97", "t", "w", "e")
+        result.add_row("only", ms=1.0)
+        path = write_report(result, directory=str(tmp_path))
+        assert os.path.exists(path)
+        assert path.endswith("e97.md")
+        with open(path, encoding="utf-8") as handle:
+            assert "# E97" in handle.read()
+        # Echoed to stdout too.
+        assert "# E97" in capsys.readouterr().out
+
+
+class TestTimeCall:
+    def test_returns_best_of_n(self):
+        calls = []
+
+        def work():
+            calls.append(1)
+
+        seconds = time_call(work, repetitions=4)
+        assert len(calls) == 4
+        assert seconds >= 0

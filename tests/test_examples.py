@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are part of the public API surface; breaking one is a
+regression even when the unit tests stay green.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_examples_present():
+    assert set(EXAMPLES) >= {
+        "quickstart.py",
+        "auction_analytics.py",
+        "document_archive.py",
+        "schema_aware.py",
+        "selectivity_stats.py",
+    }
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr[-1500:]
+    assert completed.stdout.strip(), f"{script} printed nothing"
+
+
+def test_quickstart_output_content():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert "<title>TCP/IP Illustrated</title>" in completed.stdout
+    assert "SELECT" in completed.stdout  # shows the generated SQL

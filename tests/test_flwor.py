@@ -1,0 +1,168 @@
+"""Tests for the FLWOR-lite front end."""
+
+import pytest
+
+from repro.core.store import XmlRelStore
+from repro.errors import XPathSyntaxError
+from repro.query.flwor import compile_flwor, run_flwor
+
+from tests.conftest import BIB_XML
+
+
+class TestCompilation:
+    def test_basic_for_where_return(self):
+        compiled = compile_flwor(
+            "for $b in /bib/book "
+            "where $b/publisher = 'Springer' and $b/@year > 2000 "
+            "return $b/title"
+        )
+        assert compiled.xpath == (
+            "/bib/book[publisher = 'Springer'][@year > 2000]/title"
+        )
+
+    def test_no_where(self):
+        compiled = compile_flwor("for $b in /bib/book return $b/title")
+        assert compiled.xpath == "/bib/book/title"
+
+    def test_return_variable_itself(self):
+        compiled = compile_flwor(
+            "for $b in /bib/book where $b/price > 50 return $b"
+        )
+        assert compiled.xpath == "/bib/book[price > 50]"
+
+    def test_nested_bindings(self):
+        compiled = compile_flwor(
+            "for $b in /bib/book, $a in $b/author "
+            "where $b/@year = '2000' and $a/last = 'Suciu' "
+            "return $a/first"
+        )
+        assert compiled.xpath == (
+            "/bib/book[@year = '2000']/author[last = 'Suciu']/first"
+        )
+
+    def test_descendant_binding(self):
+        compiled = compile_flwor("for $t in //title return $t/text()")
+        assert compiled.xpath == "//title/text()"
+
+    def test_bare_variable_condition(self):
+        compiled = compile_flwor(
+            "for $t in /bib/book/title "
+            "where contains($t, 'Web') return $t"
+        )
+        assert compiled.xpath == "/bib/book/title[contains(., 'Web')]"
+
+    def test_conditions_keep_binding_order(self):
+        compiled = compile_flwor(
+            "for $b in /bib/book, $a in $b/author "
+            "where $a/last = 'X' and $b/price > 1 "
+            "return $a"
+        )
+        assert compiled.xpath == "/bib/book[price > 1]/author[last = 'X']"
+
+
+class TestValidation:
+    def test_must_start_with_for(self):
+        with pytest.raises(XPathSyntaxError, match="start with 'for'"):
+            compile_flwor("return /a")
+
+    def test_return_required(self):
+        with pytest.raises(XPathSyntaxError, match="needs a 'return'"):
+            compile_flwor("for $x in /a where $x/b = 1")
+
+    def test_first_binding_absolute(self):
+        with pytest.raises(XPathSyntaxError, match="absolute"):
+            compile_flwor("for $x in $y/a return $x")
+
+    def test_later_binding_chains(self):
+        with pytest.raises(XPathSyntaxError, match=r"start at \$x/"):
+            compile_flwor(
+                "for $x in /a, $y in /b return $y"
+            )
+
+    def test_duplicate_variable(self):
+        with pytest.raises(XPathSyntaxError, match="duplicate variable"):
+            compile_flwor("for $x in /a, $x in $x/b return $x")
+
+    def test_unbound_variable_in_where(self):
+        with pytest.raises(XPathSyntaxError, match="unbound"):
+            compile_flwor("for $x in /a where $z/b = 1 return $x")
+
+    def test_two_variable_condition_rejected(self):
+        with pytest.raises(XPathSyntaxError, match="two variables"):
+            compile_flwor(
+                "for $x in /a, $y in $x/b "
+                "where $x/c = $y/d return $y"
+            )
+
+    def test_return_must_use_last_variable(self):
+        with pytest.raises(XPathSyntaxError, match="last bound"):
+            compile_flwor("for $x in /a, $y in $x/b return $x")
+
+    def test_malformed_binding(self):
+        with pytest.raises(XPathSyntaxError, match="malformed"):
+            compile_flwor("for $x over /a return $x")
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def store(self):
+        with XmlRelStore.open(scheme="interval") as opened:
+            doc_id = opened.store_text(BIB_XML, "bib")
+            yield opened, doc_id
+
+    def test_run_against_store(self, store):
+        opened, doc_id = store
+        nodes = run_flwor(
+            opened, doc_id,
+            "for $b in /bib/book "
+            "where $b/price > 50 "
+            "return $b/title",
+        )
+        assert [n.string_value for n in nodes] == ["TCP/IP Illustrated"]
+
+    def test_run_with_nested_bindings(self, store):
+        opened, doc_id = store
+        nodes = run_flwor(
+            opened, doc_id,
+            "for $b in /bib/book, $a in $b/author "
+            "where $b/@year = '2000' "
+            "return $a/last",
+        )
+        assert [n.string_value for n in nodes] == [
+            "Abiteboul", "Buneman", "Suciu",
+        ]
+
+    def test_run_against_scheme(self, store):
+        opened, doc_id = store
+        nodes = run_flwor(
+            opened.scheme, doc_id,
+            "for $t in //title where contains($t, 'XML') return $t",
+        )
+        assert [n.string_value for n in nodes] == ["Storage of XML"]
+
+
+class TestFlworWithAggregates:
+    def test_count_condition_compiles_and_runs(self):
+        from repro.core.store import XmlRelStore
+        from tests.conftest import BIB_XML
+
+        flwor = (
+            "for $b in /bib/book "
+            "where count($b/author) > 1 "
+            "return $b/title"
+        )
+        compiled = compile_flwor(flwor)
+        assert compiled.xpath == "/bib/book[count(author) > 1]/title"
+        with XmlRelStore.open(scheme="interval") as store:
+            doc_id = store.store_text(BIB_XML)
+            nodes = run_flwor(store, doc_id, flwor)
+            assert [n.string_value for n in nodes] == ["Data on the Web"]
+
+    def test_last_condition(self):
+        from repro.core.store import XmlRelStore
+        from tests.conftest import BIB_XML
+
+        flwor = "for $b in /bib/book where last() return $b/@id"
+        # 'last()' references no variable: rejected with a clear error.
+        with pytest.raises(XPathSyntaxError, match="no variable"):
+            compile_flwor(flwor)

@@ -1,0 +1,156 @@
+"""Unit tests for node numbering (pre/post/size/level/dewey)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.xml import parse_document
+from repro.xml.dom import NodeKind
+from repro.storage.numbering import (
+    DEWEY_SEPARATOR,
+    build_document,
+    build_subtree,
+    dewey_component,
+    dewey_depth,
+    dewey_is_ancestor,
+    dewey_parent,
+    number_document,
+)
+
+SRC = '<r a="1"><x><y>t</y></x><z b="2"/><!--c--></r>'
+
+
+@pytest.fixture()
+def records():
+    return number_document(parse_document(SRC))
+
+
+def by_name(records, name):
+    return next(r for r in records if r.name == name)
+
+
+class TestNumbering:
+    def test_pre_matches_document_order(self, records):
+        assert [r.pre for r in records] == list(range(1, len(records) + 1))
+
+    def test_every_stored_node_present(self, records):
+        doc = parse_document(SRC)
+        doc.assign_order()
+        kinds = [r.kind for r in records]
+        assert kinds.count(int(NodeKind.ELEMENT)) == 4
+        assert kinds.count(int(NodeKind.ATTRIBUTE)) == 2
+        assert kinds.count(int(NodeKind.TEXT)) == 1
+        assert kinds.count(int(NodeKind.COMMENT)) == 1
+
+    def test_size_counts_subtree(self, records):
+        root = by_name(records, "r")
+        assert root.size == len(records) - 1
+        x = by_name(records, "x")
+        assert x.size == 2  # y and its text
+
+    def test_descendant_window(self, records):
+        x = by_name(records, "x")
+        inside = [
+            r.pre for r in records if x.pre < r.pre <= x.pre + x.size
+        ]
+        names = {r.name for r in records if r.pre in inside}
+        assert "y" in names
+
+    def test_post_order(self, records):
+        # A parent's post number is larger than all its descendants'.
+        x = by_name(records, "x")
+        y = by_name(records, "y")
+        assert x.post > y.post
+
+    def test_levels(self, records):
+        assert by_name(records, "r").level == 1
+        assert by_name(records, "a").level == 2  # attribute of root
+        assert by_name(records, "y").level == 3
+
+    def test_parent_links(self, records):
+        root = by_name(records, "r")
+        assert root.parent_pre == 0
+        assert by_name(records, "x").parent_pre == root.pre
+
+    def test_ordinals_attributes_first(self, records):
+        root = by_name(records, "r")
+        a = by_name(records, "a")
+        x = by_name(records, "x")
+        assert a.ordinal == 1          # attribute occupies the first slot
+        assert x.ordinal == 2
+
+    def test_dewey_labels(self, records):
+        root = by_name(records, "r")
+        y = by_name(records, "y")
+        assert root.dewey == dewey_component(1)
+        assert y.dewey.startswith(root.dewey + DEWEY_SEPARATOR)
+        assert dewey_depth(y.dewey) == 3
+
+    def test_dewey_lexicographic_is_document_order(self, records):
+        labels = [r.dewey for r in records]
+        assert labels == sorted(labels)
+
+    def test_dewey_prefix_is_ancestor(self, records):
+        root = by_name(records, "r")
+        for record in records:
+            if record.pre == root.pre:
+                continue
+            assert dewey_is_ancestor(root.dewey, record.dewey)
+
+    def test_multiple_root_level_nodes(self):
+        records = number_document(parse_document("<!--before--><r/>"))
+        assert [r.kind for r in records] == [
+            int(NodeKind.COMMENT), int(NodeKind.ELEMENT),
+        ]
+        assert records[0].ordinal == 1
+        assert records[1].ordinal == 2
+
+
+class TestDeweyHelpers:
+    def test_component_padding(self):
+        assert dewey_component(7) == "000007"
+
+    def test_component_bounds(self):
+        with pytest.raises(StorageError):
+            dewey_component(0)
+        with pytest.raises(StorageError):
+            dewey_component(10 ** 7)
+
+    def test_parent(self):
+        assert dewey_parent("000001.000002") == "000001"
+        assert dewey_parent("000001") is None
+
+    def test_is_ancestor_is_proper(self):
+        assert not dewey_is_ancestor("000001", "000001")
+        assert not dewey_is_ancestor("000001", "000010")  # not a prefix
+
+
+class TestRebuild:
+    def test_build_document_roundtrip(self):
+        from repro.xml.dom import deep_equal
+
+        doc = parse_document(SRC)
+        rebuilt = build_document(number_document(doc))
+        assert deep_equal(doc, rebuilt)
+
+    def test_build_subtree(self):
+        doc = parse_document(SRC)
+        records = number_document(doc)
+        x = by_name(records, "x")
+        subtree_records = [
+            r for r in records if x.pre <= r.pre <= x.pre + x.size
+        ]
+        node = build_subtree(subtree_records)
+        assert node.tag == "x"
+        assert node.find("y").text == "t"
+
+    def test_build_empty_rejected(self):
+        with pytest.raises(StorageError, match="empty record set"):
+            build_subtree([])
+
+    def test_build_missing_parent_rejected(self):
+        doc = parse_document(SRC)
+        records = number_document(doc)
+        # Drop an intermediate node: its child's parent is missing.
+        broken = [r for r in records if r.name != "y"]
+        with pytest.raises(StorageError, match="missing parent"):
+            build_document(broken)

@@ -1,0 +1,350 @@
+"""Differential tests: every scheme's SQL answers must equal the
+in-memory reference evaluator's, node for node (compared via the shared
+``pre`` ids)."""
+
+import pytest
+
+from repro.core.registry import available_schemes
+from repro.errors import UnsupportedQueryError
+from repro.query.plan import plan_path
+from repro.relational.database import Database
+from repro.xml import parse_document
+from repro.xml.parser import ParseOptions
+from repro.xpath import evaluate_nodes
+
+from tests.conftest import BIB_DTD_XML, make_scheme
+
+ALL_SCHEMES = available_schemes()
+
+# The core query set every scheme must answer exactly.
+CORE_QUERIES = [
+    "/bib/book",
+    "/bib/book/title",
+    "/bib/book/author/last",
+    "//last",
+    "/bib//last",
+    "//author/last",
+    "/bib/book/@year",
+    "/bib/book/@id",
+    "/bib/book/title/text()",
+    "/bib/book[@year = '2000']/title",
+    "/bib/book[@year != '2000']/title",
+    "/bib/book[price > 50]/@id",
+    "/bib/book[price < 50]/@id",
+    "/bib/book[price >= 39.95]/title",
+    "/bib/book[author/last = 'Suciu']/title",
+    "//book[author/last = 'Suciu']/title",
+    "/bib/book[publisher = 'Addison-Wesley']/price",
+    "/bib/book[title]/title",
+    "/bib/book[not(author/first)]/@id",
+    "/bib/article[author]/title",
+    "/bib/book[contains(title, 'Web')]/@id",
+    "/bib/book[starts-with(title, 'TCP')]/@id",
+    "/bib/book[author/last = 'Nobody']/title",
+    "/bib/journal",
+    "/bib/book[@year = '2000' and price < 50]/title",
+    "/bib/book[@year = '1994' or @year = '2001']/title",
+    "/bib/book[text()]",
+]
+
+# Queries needing features some schemes reject (wildcards, positions,
+# kind-agnostic steps): each entry lists the schemes that must answer.
+EXTENDED_QUERIES = [
+    ("/bib/*", ["edge", "binary", "interval", "dewey", "xrel", "inlining"]),
+    ("/bib/*/title", ["edge", "binary", "interval", "dewey", "xrel",
+                      "inlining"]),
+    ("/bib/book[2]/title", ["edge", "binary", "interval", "dewey",
+                            "inlining"]),
+    ("/bib/book/author[1]/last", ["edge", "binary", "interval", "dewey",
+                                  "inlining"]),
+    ("/bib/book/author[3]/last", ["edge", "binary", "interval", "dewey",
+                                  "inlining"]),
+    ("//book/author/..", ["edge", "binary", "interval", "dewey"]),
+    ("//author//text()", ["edge", "binary", "interval", "dewey", "xrel",
+                          "universal"]),
+    ("/bib/book/node()", ["edge", "binary", "interval", "dewey"]),
+    ("//*[@id]", ["edge", "binary", "interval", "dewey", "xrel",
+                  "inlining"]),
+    ("/bib/book[@id][1]/title", ["edge", "binary", "interval", "dewey",
+                                 "inlining"]),
+]
+
+
+@pytest.fixture(scope="module")
+def stores():
+    """One populated store per scheme, shared across this module."""
+    doc = parse_document(BIB_DTD_XML, ParseOptions(keep_whitespace=False))
+    built = {}
+    databases = []
+    for name in ALL_SCHEMES:
+        db = Database()
+        databases.append(db)
+        scheme = make_scheme(name, db, dtd=doc.dtd)
+        result = scheme.store(doc, "bib")
+        built[name] = (scheme, result.doc_id)
+    yield doc, built
+    for db in databases:
+        db.close()
+
+
+def expected_pres(doc, query):
+    return sorted(
+        node.order_key for node in evaluate_nodes(doc, query)
+        if node.order_key > 0  # SQL answers exclude the document node
+    )
+
+
+@pytest.mark.parametrize("query", CORE_QUERIES)
+@pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+def test_core_query_differential(stores, scheme_name, query):
+    doc, built = stores
+    scheme, doc_id = built[scheme_name]
+    assert scheme.query_pres(doc_id, query) == expected_pres(doc, query)
+
+
+@pytest.mark.parametrize("query,supporting", EXTENDED_QUERIES)
+def test_extended_query_differential(stores, query, supporting):
+    doc, built = stores
+    expected = expected_pres(doc, query)
+    for scheme_name in ALL_SCHEMES:
+        scheme, doc_id = built[scheme_name]
+        if scheme_name in supporting:
+            assert scheme.query_pres(doc_id, query) == expected, scheme_name
+        else:
+            with pytest.raises(UnsupportedQueryError):
+                scheme.query_pres(doc_id, query)
+
+
+class TestQueryNodes:
+    def test_query_nodes_reconstructs_results(self, stores):
+        doc, built = stores
+        scheme, doc_id = built["interval"]
+        nodes = scheme.query_nodes(doc_id, "/bib/book/title")
+        assert [n.string_value for n in nodes] == [
+            "TCP/IP Illustrated", "Data on the Web",
+        ]
+
+    def test_query_nodes_attributes(self, stores):
+        doc, built = stores
+        scheme, doc_id = built["edge"]
+        nodes = scheme.query_nodes(doc_id, "/bib/book/@year")
+        assert [n.value for n in nodes] == ["1994", "2000"]
+
+
+class TestPlanning:
+    def test_relative_path_rejected(self):
+        with pytest.raises(UnsupportedQueryError, match="relative"):
+            plan_path("book/title")
+
+    def test_bare_root_rejected(self):
+        with pytest.raises(UnsupportedQueryError, match="root path"):
+            plan_path("/")
+
+    def test_extended_axes_planned(self):
+        plan = plan_path("/a/b/ancestor::x")
+        assert plan.steps[-1].axis == "ancestor"
+
+    def test_positional_on_extended_axis_rejected(self):
+        with pytest.raises(UnsupportedQueryError, match="proximity"):
+            plan_path("/a/following-sibling::b[2]")
+
+    def test_descendant_composed_with_extended_axis_rejected(self):
+        with pytest.raises(UnsupportedQueryError, match="composed"):
+            plan_path("/a//ancestor::b")
+
+    def test_positional_on_descendant_rejected(self):
+        with pytest.raises(UnsupportedQueryError, match="positional"):
+            plan_path("//a[2]")
+
+    def test_non_literal_comparison_rejected(self):
+        with pytest.raises(UnsupportedQueryError, match="literal"):
+            plan_path("/a[b = c]")
+
+    def test_string_relational_comparison_rejected(self):
+        with pytest.raises(UnsupportedQueryError, match="relational"):
+            plan_path("/a[b > 'x']")
+
+    def test_descendant_desugaring(self):
+        plan = plan_path("//a//b")
+        assert [s.is_descendant for s in plan.steps] == [True, True]
+
+    def test_swapped_comparison_normalized(self):
+        plan = plan_path("/a[2000 < @year]")
+        (predicate,) = plan.steps[0].predicates
+        assert predicate.op == ">"
+        assert predicate.numeric
+
+    def test_non_path_rejected(self):
+        with pytest.raises(UnsupportedQueryError, match="location path"):
+            plan_path("count(/a)")
+
+
+class TestJoinCounts:
+    """Structural sanity of the E8 metric: interval/dewey paths use a
+    join per step; inlining uses fewer (inlined hops are free)."""
+
+    def test_interval_join_growth(self, stores):
+        __, built = stores
+        scheme, doc_id = built["interval"]
+        translator = scheme.translator()
+        j2 = translator.join_count(doc_id, "/bib/book")
+        j4 = translator.join_count(doc_id, "/bib/book/author/last")
+        assert j4 == j2 + 2
+
+    def test_inlining_saves_joins(self, stores):
+        __, built = stores
+        inline_scheme, inline_id = built["inlining"]
+        interval_scheme, interval_id = built["interval"]
+        # `last` has in-degree 1 in the bib DTD, so it is inlined into
+        # author and its step costs no join (title would not work here:
+        # it is shared between book and article, hence its own relation).
+        query = "/bib/book/author/last"
+        assert (
+            inline_scheme.translator().join_count(inline_id, query)
+            < interval_scheme.translator().join_count(interval_id, query)
+        )
+
+    def test_edge_descendant_costs_recursion(self, stores):
+        __, built = stores
+        scheme, doc_id = built["edge"]
+        sql, __params = scheme.translator().sql_for(doc_id, "/bib//last")
+        assert "WITH RECURSIVE" in sql
+
+    def test_interval_descendant_needs_no_recursion(self, stores):
+        __, built = stores
+        scheme, doc_id = built["interval"]
+        sql, __params = scheme.translator().sql_for(doc_id, "/bib//last")
+        assert "RECURSIVE" not in sql
+
+
+class TestUniversalLimits:
+    def test_unknown_label_returns_empty(self, stores):
+        __, built = stores
+        scheme, doc_id = built["universal"]
+        assert scheme.query_pres(doc_id, "/bib/zzz") == []
+
+    def test_wildcard_rejected(self, stores):
+        __, built = stores
+        scheme, doc_id = built["universal"]
+        with pytest.raises(UnsupportedQueryError):
+            scheme.query_pres(doc_id, "/bib/*")
+
+
+class TestInliningLimits:
+    def test_undeclared_name_returns_empty(self, stores):
+        __, built = stores
+        scheme, doc_id = built["inlining"]
+        assert scheme.query_pres(doc_id, "/bib/zzz") == []
+
+    def test_recursive_descendant_rejected(self):
+        from repro.storage.inlining import InliningScheme
+        from repro.xml.dtd import parse_dtd
+
+        dtd = parse_dtd(
+            "<!ELEMENT part (name, part*)><!ELEMENT name (#PCDATA)>",
+            root_name="part",
+        )
+        with Database() as db:
+            scheme = InliningScheme(db, dtd=dtd)
+            doc = parse_document(
+                "<part><name>a</name><part><name>b</name></part></part>"
+            )
+            result = scheme.store(doc, "parts")
+            # Descendant from the root is fine (no chain needed)...
+            assert len(scheme.query_pres(result.doc_id, "//name")) == 2
+            # ...but descendant *through* the recursion is rejected.
+            with pytest.raises(UnsupportedQueryError, match="recursive"):
+                scheme.query_pres(result.doc_id, "/part//name")
+
+
+class TestUnionQueries:
+    """Top-level '|' unions, supported scheme-independently."""
+
+    @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+    def test_union_matches_evaluator(self, stores, scheme_name):
+        doc, built = stores
+        scheme, doc_id = built[scheme_name]
+        query = "/bib/book/title | /bib/article/title"
+        assert scheme.query_pres(doc_id, query) == expected_pres(doc, query)
+
+    def test_three_way_union(self, stores):
+        doc, built = stores
+        scheme, doc_id = built["interval"]
+        query = "//last | //first | /bib/book/@id"
+        assert scheme.query_pres(doc_id, query) == expected_pres(doc, query)
+
+    def test_overlapping_arms_deduplicated(self, stores):
+        doc, built = stores
+        scheme, doc_id = built["dewey"]
+        query = "//title | /bib/book/title"
+        assert scheme.query_pres(doc_id, query) == expected_pres(doc, query)
+
+    def test_union_arm_failure_propagates(self, stores):
+        __, built = stores
+        scheme, doc_id = built["xrel"]
+        with pytest.raises(UnsupportedQueryError):
+            scheme.query_pres(doc_id, "//title | /bib/book[2]")
+
+
+class TestAggregatePredicates:
+    """count() comparisons and [last()] on the node-table schemes."""
+
+    TABLE_SCHEMES = ("edge", "binary", "interval", "dewey")
+
+    QUERIES = [
+        "/bib/book[count(author) = 3]/@id",
+        "/bib/book[count(author) > 1]/title",
+        "/bib/book[count(author) != 1]/title",
+        "/bib/*[count(author) >= 1]",
+        "/bib/book[count(author/first) = 3]/@id",
+        "/bib/book[count(@id) = 1]",
+        "/bib/book[count(title/text()) = 1]",
+        "/bib/book[last()]/title",
+        "/bib/book/author[last()]/last",
+        "/bib/*[position() = last()]",
+        "/bib/book[not(last())]/@id",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_differential(self, stores, query):
+        doc, built = stores
+        expected = expected_pres(doc, query)
+        for scheme_name in self.TABLE_SCHEMES:
+            scheme, doc_id = built[scheme_name]
+            assert scheme.query_pres(doc_id, query) == expected, scheme_name
+
+    def test_count_dot_is_static(self, stores):
+        doc, built = stores
+        scheme, doc_id = built["interval"]
+        query = "/bib/book[count(.) = 1]/@id"
+        assert scheme.query_pres(doc_id, query) == expected_pres(doc, query)
+
+    def test_last_on_descendant_rejected(self):
+        with pytest.raises(UnsupportedQueryError, match="proximity"):
+            plan_path("//a[last()]")
+
+    def test_unsupported_on_path_schemes(self, stores):
+        __, built = stores
+        for scheme_name in ("universal", "xrel", "inlining"):
+            scheme, doc_id = built[scheme_name]
+            with pytest.raises(UnsupportedQueryError):
+                scheme.query_pres(doc_id, "/bib/book[count(author) = 3]")
+
+
+class TestBooleanContextPredicates:
+    """Numbers under not/and/or are boolean-converted, not positional."""
+
+    QUERIES = [
+        "/bib/book[true()]/@id",
+        "/bib/book[false()]/@id",
+        "/bib/book[not(2)]/@id",          # not(true) — empty
+        "/bib/book[2 and @id]/@id",       # 2 is truthy here
+        "/bib/book[0 or author]/@id",     # 0 is falsy here
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+    def test_differential(self, stores, scheme_name, query):
+        doc, built = stores
+        scheme, doc_id = built[scheme_name]
+        assert scheme.query_pres(doc_id, query) == expected_pres(doc, query)

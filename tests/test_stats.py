@@ -1,0 +1,159 @@
+"""Tests for the path summary and cardinality estimation."""
+
+import pytest
+
+from repro.stats import build_summary, estimate_cardinality
+from repro.workloads import generate_auction
+from repro.xml import parse_document
+from repro.xpath import evaluate_nodes
+
+from tests.conftest import BIB_XML
+
+
+@pytest.fixture(scope="module")
+def bib_summary():
+    return build_summary(parse_document(BIB_XML))
+
+
+@pytest.fixture(scope="module")
+def auction():
+    doc = generate_auction(0.05, seed=3)
+    return doc, build_summary(doc)
+
+
+class TestSummary:
+    def test_path_counts(self, bib_summary):
+        assert bib_summary.get(("bib",)).count == 1
+        assert bib_summary.get(("bib", "book")).count == 2
+        assert bib_summary.get(("bib", "book", "author")).count == 4
+        assert bib_summary.get(("bib", "book", "author", "last")).count == 4
+
+    def test_attribute_paths(self, bib_summary):
+        assert bib_summary.get(("bib", "book", "@year")).count == 2
+        assert bib_summary.get(("bib", "article", "@id")).count == 1
+
+    def test_text_paths(self, bib_summary):
+        stats = bib_summary.get(("bib", "book", "title", "#text"))
+        assert stats.count == 2
+
+    def test_parent_counts(self, bib_summary):
+        author = bib_summary.get(("bib", "book", "author"))
+        assert author.parent_count == 2  # 2 books
+
+    def test_value_statistics(self, bib_summary):
+        price = bib_summary.get(("bib", "book", "price"))
+        assert price.distinct_values == 2
+        assert price.numeric_min == 39.95
+        assert price.numeric_max == 65.95
+        assert price.numeric_fraction == 1.0
+
+    def test_non_numeric_values(self, bib_summary):
+        title = bib_summary.get(("bib", "book", "title"))
+        assert title.numeric_count == 0
+        assert title.distinct_values == 2
+
+    def test_matching_descendant_pattern(self, bib_summary):
+        matched = bib_summary.matching([("last", True)])
+        assert {m.path for m in matched} == {
+            ("bib", "book", "author", "last"),
+            ("bib", "article", "author", "last"),
+        }
+
+    def test_matching_wildcard(self, bib_summary):
+        matched = bib_summary.matching([("bib", False), ("*", False)])
+        labels = {m.label for m in matched}
+        assert labels == {"book", "article"}
+
+
+class TestExactEstimates:
+    """Structure-only queries must be estimated exactly."""
+
+    QUERIES = [
+        "/bib/book",
+        "/bib/book/title",
+        "//last",
+        "/bib//last",
+        "//author/last",
+        "/bib/book/@year",
+        "/bib/book/title/text()",
+        "/bib/*",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_exact(self, bib_summary, query):
+        doc = parse_document(BIB_XML)
+        actual = len(evaluate_nodes(doc, query))
+        assert estimate_cardinality(bib_summary, query) == actual
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "/site/people/person/name",
+            "//bidder",
+            "//item/name",
+            "/site/open_auctions/open_auction/bidder/increase",
+        ],
+    )
+    def test_exact_on_auction(self, auction, query):
+        doc, summary = auction
+        actual = len(evaluate_nodes(doc, query))
+        assert estimate_cardinality(summary, query) == actual
+
+
+class TestPredicateEstimates:
+    def test_equality_uses_distinct_values(self, bib_summary):
+        # 2 books, year has 2 distinct values -> estimate 1 title.
+        estimate = estimate_cardinality(
+            bib_summary, "/bib/book[@year = '2000']/title"
+        )
+        assert estimate == pytest.approx(1.0)
+
+    def test_existence_ratio(self, bib_summary):
+        # Both books have authors: selectivity 1.
+        estimate = estimate_cardinality(bib_summary, "/bib/book[author]")
+        assert estimate == pytest.approx(2.0)
+
+    def test_missing_path_estimates_zero(self, bib_summary):
+        assert estimate_cardinality(bib_summary, "/bib/journal") == 0.0
+        assert estimate_cardinality(
+            bib_summary, "/bib/book[zzz = '1']"
+        ) == 0.0
+
+    def test_range_estimate_bounded(self, auction):
+        doc, summary = auction
+        query = "/site/open_auctions/open_auction[initial > 100]"
+        actual = len(evaluate_nodes(doc, query))
+        estimate = estimate_cardinality(summary, query)
+        total = len(evaluate_nodes(
+            doc, "/site/open_auctions/open_auction"
+        ))
+        assert 0 <= estimate <= total
+        # Uniform-range assumption: within a factor-3 band of actual
+        # (the generator draws uniformly, so this is a real check).
+        if actual:
+            assert estimate == pytest.approx(actual, rel=2.0)
+
+    def test_not_inverts(self, bib_summary):
+        with_address = estimate_cardinality(
+            bib_summary, "/bib/book[author]"
+        )
+        without = estimate_cardinality(
+            bib_summary, "/bib/book[not(author)]"
+        )
+        assert with_address + without == pytest.approx(2.0)
+
+    def test_and_multiplies(self, auction):
+        __, summary = auction
+        single = estimate_cardinality(
+            summary, "/site/people/person[address]"
+        )
+        double = estimate_cardinality(
+            summary, "/site/people/person[address and phone]"
+        )
+        assert double <= single
+
+    def test_contains_uses_default(self, bib_summary):
+        estimate = estimate_cardinality(
+            bib_summary, "/bib/book[contains(title, 'X')]"
+        )
+        assert estimate == pytest.approx(0.2)  # 2 books * 10%

@@ -1,0 +1,223 @@
+"""Tests for subtree insertion/deletion and the per-scheme update costs."""
+
+import pytest
+
+from repro.core.registry import create_scheme
+from repro.errors import UpdateError
+from repro.relational.database import Database
+from repro.updates import UpdateStats, delete_subtree, insert_subtree
+from repro.xml import parse_document, parse_fragment
+from repro.xml.dom import deep_equal
+from repro.xpath import evaluate_nodes
+
+UPDATABLE = ("edge", "binary", "interval", "dewey")
+
+SRC = (
+    "<bib>"
+    "<book year='1994'><title>One</title><price>10</price></book>"
+    "<book year='2000'><title>Two</title><price>20</price></book>"
+    "<book year='2002'><title>Three</title><price>30</price></book>"
+    "</bib>"
+)
+
+NEW_BOOK = "<book year='1999'><title>New</title><price>15</price></book>"
+
+
+def expected_after(operation):
+    """Apply *operation* to a fresh DOM and return the mutated document."""
+    doc = parse_document(SRC)
+    operation(doc)
+    return doc
+
+
+@pytest.fixture(params=UPDATABLE)
+def populated(request):
+    with Database() as db:
+        scheme = create_scheme(request.param, db)
+        doc = parse_document(SRC)
+        result = scheme.store(doc, "bib")
+        yield scheme, result.doc_id, doc
+
+
+class TestInsert:
+    def test_append_child(self, populated):
+        scheme, doc_id, doc = populated
+        root_pre = doc.root_element.order_key
+        stats = insert_subtree(
+            scheme, doc_id, root_pre, parse_fragment(NEW_BOOK), index=3
+        )
+        assert stats.rows_inserted == 6  # book + @year + 2 leaves + 2 texts
+
+        def mutate(d):
+            d.root_element.append_child(parse_fragment(NEW_BOOK))
+
+        assert deep_equal(scheme.reconstruct(doc_id), expected_after(mutate))
+
+    def test_insert_in_middle(self, populated):
+        scheme, doc_id, doc = populated
+        root_pre = doc.root_element.order_key
+        insert_subtree(
+            scheme, doc_id, root_pre, parse_fragment(NEW_BOOK), index=1
+        )
+
+        def mutate(d):
+            d.root_element.insert_child(1, parse_fragment(NEW_BOOK))
+
+        assert deep_equal(scheme.reconstruct(doc_id), expected_after(mutate))
+
+    def test_insert_at_front(self, populated):
+        scheme, doc_id, doc = populated
+        root_pre = doc.root_element.order_key
+        insert_subtree(
+            scheme, doc_id, root_pre, parse_fragment(NEW_BOOK), index=0
+        )
+
+        def mutate(d):
+            d.root_element.insert_child(0, parse_fragment(NEW_BOOK))
+
+        assert deep_equal(scheme.reconstruct(doc_id), expected_after(mutate))
+
+    def test_inserted_data_queryable(self, populated):
+        scheme, doc_id, doc = populated
+        root_pre = doc.root_element.order_key
+        insert_subtree(
+            scheme, doc_id, root_pre, parse_fragment(NEW_BOOK), index=1
+        )
+        nodes = scheme.query_nodes(
+            doc_id, "/bib/book[@year = '1999']/title"
+        )
+        assert [n.string_value for n in nodes] == ["New"]
+        # Numeric predicates see the new leaf values too.
+        pres = scheme.query_pres(doc_id, "/bib/book[price = 15]/@year")
+        assert len(pres) == 1
+
+    def test_insert_under_leaf_invalidates_content(self, populated):
+        scheme, doc_id, doc = populated
+        title_pre = evaluate_nodes(doc, "/bib/book[1]/title")[0].order_key
+        insert_subtree(
+            scheme, doc_id, title_pre, parse_fragment("<sub>x</sub>"),
+            index=1,
+        )
+        # 'One' is no longer the *text-only* content of that title.
+        assert scheme.query_pres(doc_id, "/bib/book[title = 'One']") == []
+
+    def test_bad_index_rejected(self, populated):
+        scheme, doc_id, doc = populated
+        root_pre = doc.root_element.order_key
+        with pytest.raises(UpdateError, match="out of range"):
+            insert_subtree(
+                scheme, doc_id, root_pre, parse_fragment("<x/>"), index=9
+            )
+
+    def test_attached_fragment_rejected(self, populated):
+        scheme, doc_id, doc = populated
+        attached = doc.root_element.find("book")
+        with pytest.raises(UpdateError, match="detached"):
+            insert_subtree(scheme, doc_id, 1, attached)
+
+    def test_node_count_updated(self, populated):
+        scheme, doc_id, doc = populated
+        before = scheme.catalog.get(doc_id).node_count
+        insert_subtree(
+            scheme, doc_id, doc.root_element.order_key,
+            parse_fragment("<x/>"), index=0,
+        )
+        assert scheme.catalog.get(doc_id).node_count == before + 1
+
+
+class TestDelete:
+    def test_delete_middle_child(self, populated):
+        scheme, doc_id, doc = populated
+        second = evaluate_nodes(doc, "/bib/book[2]")[0].order_key
+        stats = delete_subtree(scheme, doc_id, second)
+        assert stats.rows_deleted == 6
+
+        def mutate(d):
+            book = d.root_element.find_all("book")[1]
+            d.root_element.remove_child(book)
+
+        assert deep_equal(scheme.reconstruct(doc_id), expected_after(mutate))
+
+    def test_deleted_data_not_queryable(self, populated):
+        scheme, doc_id, doc = populated
+        second = evaluate_nodes(doc, "/bib/book[2]")[0].order_key
+        delete_subtree(scheme, doc_id, second)
+        assert scheme.query_pres(doc_id, "/bib/book[@year = '2000']") == []
+        assert len(scheme.query_pres(doc_id, "//book")) == 2
+
+    def test_delete_missing_node_rejected(self, populated):
+        scheme, doc_id, __ = populated
+        with pytest.raises(UpdateError, match="no node"):
+            delete_subtree(scheme, doc_id, 9999)
+
+    def test_insert_then_delete_roundtrip(self, populated):
+        scheme, doc_id, doc = populated
+        root_pre = doc.root_element.order_key
+        insert_subtree(
+            scheme, doc_id, root_pre, parse_fragment(NEW_BOOK), index=1
+        )
+        new_pre = scheme.query_pres(doc_id, "/bib/book[@year = '1999']")[0]
+        delete_subtree(scheme, doc_id, new_pre)
+        assert deep_equal(scheme.reconstruct(doc_id), parse_document(SRC))
+
+
+class TestUpdateCosts:
+    """The published asymmetry: interval pays globally, edge/dewey locally."""
+
+    @staticmethod
+    def build(scheme_name):
+        db = Database()
+        scheme = create_scheme(scheme_name, db)
+        doc = parse_document(
+            "<r>" + "<s><t>x</t></s>" * 50 + "</r>"
+        )
+        result = scheme.store(doc, "wide")
+        return db, scheme, result.doc_id, doc
+
+    def front_insert_cost(self, scheme_name):
+        db, scheme, doc_id, doc = self.build(scheme_name)
+        try:
+            stats = insert_subtree(
+                scheme, doc_id, doc.root_element.order_key,
+                parse_fragment("<s><t>new</t></s>"), index=0,
+            )
+            return stats.rows_updated
+        finally:
+            db.close()
+
+    def test_interval_renumbers_globally(self):
+        # Everything after the insertion point shifts: ~150 nodes, twice
+        # (pre and parent_pre), plus ancestors and sibling ordinals.
+        assert self.front_insert_cost("interval") > 150
+
+    def test_edge_touches_siblings_only(self):
+        assert self.front_insert_cost("edge") == 50
+
+    def test_dewey_relabels_sibling_subtrees(self):
+        # 50 following siblings x 3 nodes each.
+        assert self.front_insert_cost("dewey") == 150
+
+    def test_ordering_matches_published_story(self):
+        edge_cost = self.front_insert_cost("edge")
+        dewey_cost = self.front_insert_cost("dewey")
+        interval_cost = self.front_insert_cost("interval")
+        assert edge_cost < dewey_cost < interval_cost
+
+
+class TestUnsupportedSchemes:
+    @pytest.mark.parametrize("scheme_name", ["xrel", "universal"])
+    def test_update_rejected(self, scheme_name):
+        with Database() as db:
+            scheme = create_scheme(scheme_name, db)
+            result = scheme.store(parse_document(SRC), "bib")
+            with pytest.raises(UpdateError, match="does not implement"):
+                insert_subtree(
+                    scheme, result.doc_id, 1, parse_fragment("<x/>")
+                )
+            with pytest.raises(UpdateError, match="does not implement"):
+                delete_subtree(scheme, result.doc_id, 1)
+
+
+def test_update_stats_accounting():
+    stats = UpdateStats(rows_inserted=3, rows_updated=2, rows_deleted=1)
+    assert stats.rows_touched == 6

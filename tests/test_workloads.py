@@ -1,0 +1,183 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    AUCTION_QUERIES,
+    DBLP_QUERIES,
+    TreeProfile,
+    auction_dtd,
+    dblp_dtd,
+    generate_auction,
+    generate_dblp,
+    generate_tree,
+)
+from repro.workloads.queries import queries_by_category
+from repro.xml.dom import Element, Text, deep_equal
+from repro.xpath import evaluate, evaluate_nodes
+
+
+class TestAuction:
+    def test_deterministic(self):
+        assert deep_equal(
+            generate_auction(0.05, seed=9), generate_auction(0.05, seed=9)
+        )
+
+    def test_seed_changes_content(self):
+        assert not deep_equal(
+            generate_auction(0.05, seed=1), generate_auction(0.05, seed=2)
+        )
+
+    def test_scale_factor_scales_nodes(self):
+        small = generate_auction(0.05, seed=1)
+        large = generate_auction(0.2, seed=1)
+        assert large.assign_order() > 2.5 * small.assign_order()
+
+    def test_structure(self):
+        doc = generate_auction(0.05, seed=1)
+        site = doc.root_element
+        assert [c.tag for c in site.child_elements()] == [
+            "regions", "categories", "people", "open_auctions",
+            "closed_auctions",
+        ]
+        assert len(evaluate_nodes(doc, "//person")) >= 2
+        assert len(evaluate_nodes(doc, "//item")) >= 2
+
+    def test_ids_unique(self):
+        doc = generate_auction(0.05, seed=1)
+        ids = [n.value for n in evaluate_nodes(doc, "//person/@id")]
+        assert len(ids) == len(set(ids))
+
+    def test_bidders_reference_people(self):
+        doc = generate_auction(0.05, seed=1)
+        people = {
+            n.value for n in evaluate_nodes(doc, "//person/@id")
+        }
+        refs = {
+            n.value for n in evaluate_nodes(doc, "//personref/@person")
+        }
+        assert refs <= people
+
+    def test_validates_against_dtd(self):
+        doc = generate_auction(0.05, seed=4)
+        dtd = auction_dtd()
+        failures = []
+        for element in doc.iter_elements():
+            decl = dtd.elements.get(element.tag)
+            if decl is None:
+                failures.append(element.tag)
+                continue
+            child_names = [
+                c.tag for c in element.children if isinstance(c, Element)
+            ]
+            if not decl.model.matches(child_names):
+                failures.append((element.tag, child_names))
+        assert not failures
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_auction(0)
+
+
+class TestDblp:
+    def test_record_count(self):
+        doc = generate_dblp(200, seed=1)
+        assert len(doc.root_element.child_elements()) == 200
+
+    def test_deterministic(self):
+        assert deep_equal(generate_dblp(50, seed=3), generate_dblp(50, seed=3))
+
+    def test_keys_unique(self):
+        doc = generate_dblp(100, seed=1)
+        keys = [n.value for n in evaluate_nodes(doc, "/dblp/*/@key")]
+        assert len(set(keys)) == 100
+
+    def test_kinds_and_fields(self):
+        doc = generate_dblp(300, seed=1)
+        articles = evaluate_nodes(doc, "/dblp/article")
+        assert articles, "weights guarantee articles at 300 records"
+        assert all(e.find("journal") is not None for e in articles)
+        books = evaluate_nodes(doc, "/dblp/book")
+        assert all(e.find("publisher") is not None for e in books)
+
+    def test_validates_against_dtd(self):
+        doc = generate_dblp(100, seed=2)
+        dtd = dblp_dtd()
+        for element in doc.iter_elements():
+            decl = dtd.elements[element.tag]
+            child_names = [
+                c.tag for c in element.children if isinstance(c, Element)
+            ]
+            assert decl.model.matches(child_names), element.tag
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_dblp(0)
+
+
+class TestTreegen:
+    def test_deterministic(self):
+        profile = TreeProfile()
+        assert deep_equal(
+            generate_tree(profile, seed=5), generate_tree(profile, seed=5)
+        )
+
+    def test_depth_bounded(self):
+        profile = TreeProfile(depth=3)
+        doc = generate_tree(profile, seed=1)
+        assert max(
+            e.depth for e in doc.iter_elements()
+        ) <= profile.depth + 1  # +1 for the fixed root
+
+    def test_text_only_at_leaves(self):
+        doc = generate_tree(TreeProfile(depth=5), seed=2)
+        for element in doc.iter_elements():
+            has_elements = any(
+                isinstance(c, Element) for c in element.children
+            )
+            has_text = any(isinstance(c, Text) for c in element.children)
+            assert not (has_elements and has_text)
+
+    def test_value_domain(self):
+        profile = TreeProfile(value_domain=2, depth=5, max_fanout=5)
+        doc = generate_tree(profile, seed=3)
+        values = {
+            n.data for n in doc.iter() if isinstance(n, Text)
+        }
+        assert values <= {"v0", "v1"}
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(WorkloadError):
+            TreeProfile(depth=0).validate()
+        with pytest.raises(WorkloadError):
+            TreeProfile(min_fanout=3, max_fanout=2).validate()
+        with pytest.raises(WorkloadError):
+            TreeProfile(labels=()).validate()
+        with pytest.raises(WorkloadError):
+            TreeProfile(value_domain=0).validate()
+
+
+class TestQuerySets:
+    def test_auction_queries_evaluate(self):
+        doc = generate_auction(0.05, seed=1)
+        for spec in AUCTION_QUERIES:
+            evaluate(doc, spec.xpath)  # must parse and run
+
+    def test_dblp_queries_evaluate(self):
+        doc = generate_dblp(100, seed=1)
+        for spec in DBLP_QUERIES:
+            evaluate(doc, spec.xpath)
+
+    def test_keys_unique(self):
+        keys = [spec.key for spec in AUCTION_QUERIES + DBLP_QUERIES]
+        assert len(keys) == len(set(keys))
+
+    def test_category_filter(self):
+        paths = queries_by_category(AUCTION_QUERIES, "path")
+        assert {spec.key for spec in paths} >= {"Q1", "Q2", "Q3"}
+
+    def test_point_queries_return_single_result(self):
+        doc = generate_auction(0.05, seed=1)
+        for spec in queries_by_category(AUCTION_QUERIES, "point"):
+            assert len(evaluate_nodes(doc, spec.xpath)) == 1

@@ -1,0 +1,272 @@
+"""Unit tests for the XML document parser."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xml import parse_document, parse_fragment
+from repro.xml.dom import (
+    Comment,
+    Element,
+    NodeKind,
+    ProcessingInstruction,
+    Text,
+)
+from repro.xml.parser import ParseOptions
+
+
+class TestBasicParsing:
+    def test_minimal_document(self):
+        doc = parse_document("<a/>")
+        assert doc.root_element.tag == "a"
+        assert doc.root_element.children == []
+
+    def test_nested_elements(self):
+        doc = parse_document("<a><b><c/></b><d/></a>")
+        root = doc.root_element
+        assert [c.tag for c in root.child_elements()] == ["b", "d"]
+        assert root.find("b").find("c").tag == "c"
+
+    def test_text_content(self):
+        doc = parse_document("<a>hello world</a>")
+        assert doc.root_element.text == "hello world"
+
+    def test_mixed_content_order(self):
+        doc = parse_document("<a>one<b/>two<c/>three</a>")
+        kinds = [c.kind for c in doc.root_element.children]
+        assert kinds == [
+            NodeKind.TEXT,
+            NodeKind.ELEMENT,
+            NodeKind.TEXT,
+            NodeKind.ELEMENT,
+            NodeKind.TEXT,
+        ]
+
+    def test_adjacent_text_merged(self):
+        # CDATA + text + entity all merge into one text node.
+        doc = parse_document("<a>one<![CDATA[two]]>three&amp;4</a>")
+        children = doc.root_element.children
+        assert len(children) == 1
+        assert children[0].data == "onetwothree&4"
+
+    def test_xml_declaration_accepted(self):
+        doc = parse_document('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert doc.root_element.tag == "a"
+
+    def test_unicode_names_and_text(self):
+        doc = parse_document("<livre titre='élan'>čau</livre>")
+        assert doc.root_element.tag == "livre"
+        assert doc.root_element.get_attribute("titre") == "élan"
+        assert doc.root_element.text == "čau"
+
+    def test_bom_is_stripped(self):
+        doc = parse_document("﻿<a/>")
+        assert doc.root_element.tag == "a"
+
+
+class TestAttributes:
+    def test_double_and_single_quotes(self):
+        doc = parse_document("""<a x="1" y='2'/>""")
+        assert doc.root_element.attribute_map == {"x": "1", "y": "2"}
+
+    def test_attribute_order_preserved(self):
+        doc = parse_document('<a z="1" a="2" m="3"/>')
+        assert [a.name for a in doc.root_element.attributes] == ["z", "a", "m"]
+
+    def test_entities_in_attribute_value(self):
+        doc = parse_document('<a x="&lt;&amp;&quot;&#65;"/>')
+        assert doc.root_element.get_attribute("x") == '<&"A'
+
+    def test_attribute_whitespace_normalization(self):
+        doc = parse_document('<a x="one\ntwo\tthree"/>')
+        assert doc.root_element.get_attribute("x") == "one two three"
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XmlSyntaxError, match="duplicate attribute"):
+            parse_document('<a x="1" x="2"/>')
+
+    def test_unquoted_attribute_rejected(self):
+        with pytest.raises(XmlSyntaxError, match="quoted"):
+            parse_document("<a x=1/>")
+
+    def test_lt_in_attribute_rejected(self):
+        with pytest.raises(XmlSyntaxError, match="not allowed"):
+            parse_document('<a x="a<b"/>')
+
+
+class TestEntities:
+    def test_predefined_entities(self):
+        doc = parse_document("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert doc.root_element.text == "<>&'\""
+
+    def test_character_references(self):
+        doc = parse_document("<a>&#65;&#x42;&#x1F600;</a>")
+        assert doc.root_element.text == "AB\U0001F600"
+
+    def test_internal_entity_from_dtd(self):
+        doc = parse_document(
+            '<!DOCTYPE a [<!ENTITY who "World">]><a>Hello &who;!</a>'
+        )
+        assert doc.root_element.text == "Hello World!"
+
+    def test_nested_entity_expansion(self):
+        doc = parse_document(
+            '<!DOCTYPE a [<!ENTITY x "1&y;3"><!ENTITY y "2">]><a>&x;</a>'
+        )
+        assert doc.root_element.text == "123"
+
+    def test_recursive_entity_rejected(self):
+        with pytest.raises(XmlSyntaxError, match="too deep"):
+            parse_document(
+                '<!DOCTYPE a [<!ENTITY x "&y;"><!ENTITY y "&x;">]><a>&x;</a>'
+            )
+
+    def test_undefined_entity_rejected(self):
+        with pytest.raises(XmlSyntaxError, match="undefined entity"):
+            parse_document("<a>&nope;</a>")
+
+    def test_illegal_character_reference_rejected(self):
+        with pytest.raises(XmlSyntaxError, match="illegal character"):
+            parse_document("<a>&#0;</a>")
+
+
+class TestStructuralRules:
+    def test_mismatched_end_tag(self):
+        with pytest.raises(XmlSyntaxError, match="mismatched end tag"):
+            parse_document("<a><b></a></b>")
+
+    def test_unterminated_element(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_document("<a><b>")
+
+    def test_content_after_root_rejected(self):
+        with pytest.raises(XmlSyntaxError, match="after root"):
+            parse_document("<a/><b/>")
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(XmlSyntaxError, match="root element"):
+            parse_document("   ")
+
+    def test_cdata_end_in_text_rejected(self):
+        with pytest.raises(XmlSyntaxError, match="]]>"):
+            parse_document("<a>x]]>y</a>")
+
+    def test_error_carries_line_and_column(self):
+        with pytest.raises(XmlSyntaxError) as exc_info:
+            parse_document("<a>\n<b></c>\n</a>")
+        assert exc_info.value.line == 2
+
+
+class TestCommentsAndPIs:
+    def test_comment_node(self):
+        doc = parse_document("<a><!-- hi --></a>")
+        child = doc.root_element.children[0]
+        assert isinstance(child, Comment)
+        assert child.data == " hi "
+
+    def test_double_hyphen_in_comment_rejected(self):
+        with pytest.raises(XmlSyntaxError, match="--"):
+            parse_document("<a><!-- x -- y --></a>")
+
+    def test_pi_node(self):
+        doc = parse_document('<a><?target some data?></a>')
+        child = doc.root_element.children[0]
+        assert isinstance(child, ProcessingInstruction)
+        assert child.target == "target"
+        assert child.data == "some data"
+
+    def test_pi_without_data(self):
+        doc = parse_document("<a><?go?></a>")
+        child = doc.root_element.children[0]
+        assert child.target == "go"
+        assert child.data == ""
+
+    def test_reserved_pi_target_rejected(self):
+        with pytest.raises(XmlSyntaxError, match="reserved"):
+            parse_document("<a><?xml bad?></a>")
+
+    def test_prolog_comment_and_pi(self):
+        doc = parse_document("<!-- before --><?style x?><a/><!-- after -->")
+        kinds = [c.kind for c in doc.children]
+        assert kinds == [
+            NodeKind.COMMENT,
+            NodeKind.PROCESSING_INSTRUCTION,
+            NodeKind.ELEMENT,
+            NodeKind.COMMENT,
+        ]
+
+
+class TestWhitespaceHandling:
+    SRC = "<a>\n  <b>x</b>\n  <c/>\n</a>"
+
+    def test_whitespace_kept_by_default(self):
+        doc = parse_document(self.SRC)
+        texts = [
+            c for c in doc.root_element.children if isinstance(c, Text)
+        ]
+        assert len(texts) == 3
+        assert all(t.is_whitespace for t in texts)
+
+    def test_whitespace_dropped_on_request(self):
+        doc = parse_document(self.SRC, ParseOptions(keep_whitespace=False))
+        assert [c.tag for c in doc.root_element.children] == ["b", "c"]
+        # Significant text inside <b> is untouched.
+        assert doc.root_element.find("b").text == "x"
+
+
+class TestDoctype:
+    def test_doctype_name_recorded(self):
+        doc = parse_document("<!DOCTYPE root><root/>")
+        assert doc.doctype_name == "root"
+        assert doc.dtd is None
+
+    def test_doctype_with_system_id(self):
+        doc = parse_document('<!DOCTYPE r SYSTEM "r.dtd"><r/>')
+        assert doc.doctype_name == "r"
+
+    def test_doctype_with_public_id(self):
+        doc = parse_document(
+            '<!DOCTYPE html PUBLIC "-//W3C//DTD" "http://x/d.dtd"><html/>'
+        )
+        assert doc.doctype_name == "html"
+
+    def test_internal_subset_parsed(self):
+        doc = parse_document(
+            "<!DOCTYPE a [<!ELEMENT a (b*)><!ELEMENT b EMPTY>]><a/>"
+        )
+        assert set(doc.dtd.element_names()) == {"a", "b"}
+
+    def test_bracket_inside_dtd_literal(self):
+        doc = parse_document(
+            '<!DOCTYPE a [<!ENTITY e "has ] bracket">]><a>&e;</a>'
+        )
+        assert doc.root_element.text == "has ] bracket"
+
+
+class TestFragments:
+    def test_parse_fragment_returns_detached_element(self):
+        elem = parse_fragment("<item n='1'><v>x</v></item>")
+        assert isinstance(elem, Element)
+        assert elem.parent is None
+        assert elem.find("v").text == "x"
+
+    def test_fragment_with_surrounding_whitespace(self):
+        elem = parse_fragment("  <a/>  ")
+        assert elem.tag == "a"
+
+
+class TestDepthBound:
+    def test_deep_but_legal_nesting(self):
+        from repro.xml.parser import MAX_ELEMENT_DEPTH
+
+        depth = MAX_ELEMENT_DEPTH
+        src = "<n>" * depth + "x" + "</n>" * depth
+        doc = parse_document(src)
+        assert doc.root_element.string_value == "x"
+
+    def test_excessive_nesting_rejected_cleanly(self):
+        from repro.xml.parser import MAX_ELEMENT_DEPTH
+
+        depth = MAX_ELEMENT_DEPTH + 1
+        src = "<n>" * depth + "x" + "</n>" * depth
+        with pytest.raises(XmlSyntaxError, match="nesting exceeds"):
+            parse_document(src)

@@ -1,0 +1,322 @@
+"""Unit tests for the in-memory XPath evaluator."""
+
+import math
+
+import pytest
+
+from repro.errors import XPathEvaluationError
+from repro.xml import parse_document
+from repro.xpath import evaluate, evaluate_nodes
+from repro.xpath.evaluator import (
+    format_number,
+    xpath_boolean,
+    xpath_number,
+    xpath_string,
+)
+
+BIB = """\
+<bib>
+  <book year="1994" id="b1">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000" id="b2">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <publisher>Morgan Kaufmann</publisher>
+    <price>39.95</price>
+  </book>
+  <article year="2001" id="a1">
+    <title>Storage of XML</title>
+    <author><last>Florescu</last></author>
+  </article>
+</bib>
+"""
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return parse_document(BIB)
+
+
+def tags(nodes):
+    return [getattr(n, "tag", None) for n in nodes]
+
+
+def texts(nodes):
+    return [n.string_value for n in nodes]
+
+
+class TestPaths:
+    def test_child_path(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/book/title")
+        assert texts(nodes) == ["TCP/IP Illustrated", "Data on the Web"]
+
+    def test_descendant_path(self, doc):
+        nodes = evaluate_nodes(doc, "//last")
+        assert texts(nodes) == [
+            "Stevens", "Abiteboul", "Buneman", "Suciu", "Florescu",
+        ]
+
+    def test_wildcard(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/*")
+        assert tags(nodes) == ["book", "book", "article"]
+
+    def test_attribute_axis(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/book/@year")
+        assert [n.value for n in nodes] == ["1994", "2000"]
+
+    def test_attribute_wildcard(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/article/@*")
+        assert [n.name for n in nodes] == ["year", "id"]
+
+    def test_text_kind_test(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/book/title/text()")
+        assert [n.data for n in nodes] == [
+            "TCP/IP Illustrated", "Data on the Web",
+        ]
+
+    def test_parent_step(self, doc):
+        nodes = evaluate_nodes(doc, "//last/../..")
+        assert tags(nodes) == ["book", "book", "article"]
+
+    def test_self_step(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/.")
+        assert tags(nodes) == ["bib"]
+
+    def test_relative_path_from_element(self, doc):
+        book = evaluate_nodes(doc, "/bib/book")[0]
+        nodes = evaluate_nodes(book, "author/last")
+        assert texts(nodes) == ["Stevens"]
+
+    def test_absolute_path_from_element(self, doc):
+        book = evaluate_nodes(doc, "/bib/book")[1]
+        nodes = evaluate_nodes(book, "/bib/article")
+        assert len(nodes) == 1
+
+    def test_document_order_and_dedup(self, doc):
+        # Both arms select overlapping sets; result is deduped, in order.
+        nodes = evaluate_nodes(doc, "//author/last | //last")
+        assert texts(nodes) == [
+            "Stevens", "Abiteboul", "Buneman", "Suciu", "Florescu",
+        ]
+
+    def test_descendant_or_self_axis(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/descendant-or-self::article")
+        assert len(nodes) == 1
+
+    def test_empty_result(self, doc):
+        assert evaluate_nodes(doc, "/bib/journal") == []
+
+
+class TestReverseAxes:
+    def test_ancestor(self, doc):
+        nodes = evaluate_nodes(doc, "//last/ancestor::*")
+        assert set(tags(nodes)) == {"bib", "book", "article", "author"}
+
+    def test_ancestor_or_self(self, doc):
+        last = evaluate_nodes(doc, "//last")[0]
+        nodes = evaluate_nodes(last, "ancestor-or-self::*")
+        assert tags(nodes) == ["bib", "book", "author", "last"]
+
+    def test_preceding_sibling(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/article/preceding-sibling::book")
+        assert len(nodes) == 2
+
+    def test_following_sibling(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/book[1]/following-sibling::*")
+        assert tags(nodes) == ["book", "article"]
+
+    def test_proximity_position_on_reverse_axis(self, doc):
+        # preceding-sibling::book[1] is the *nearest* preceding book.
+        nodes = evaluate_nodes(
+            doc, "/bib/article/preceding-sibling::book[1]/@id"
+        )
+        assert [n.value for n in nodes] == ["b2"]
+
+    def test_following_axis(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/book[2]/following::title")
+        assert texts(nodes) == ["Storage of XML"]
+
+    def test_preceding_axis(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/article/preceding::publisher")
+        assert texts(nodes) == ["Addison-Wesley", "Morgan Kaufmann"]
+
+
+class TestPredicates:
+    def test_positional(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/book[2]/title")
+        assert texts(nodes) == ["Data on the Web"]
+
+    def test_position_function(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/book[position() = 1]/title")
+        assert texts(nodes) == ["TCP/IP Illustrated"]
+
+    def test_last_function(self, doc):
+        nodes = evaluate_nodes(doc, "//author[last()]/last")
+        assert texts(nodes) == ["Stevens", "Suciu", "Florescu"]
+
+    def test_attribute_value(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/book[@year = '2000']/title")
+        assert texts(nodes) == ["Data on the Web"]
+
+    def test_numeric_comparison_on_attribute(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/book[@year > 1995]/title")
+        assert texts(nodes) == ["Data on the Web"]
+
+    def test_child_value(self, doc):
+        nodes = evaluate_nodes(
+            doc, "/bib/book[publisher = 'Addison-Wesley']/@id"
+        )
+        assert [n.value for n in nodes] == ["b1"]
+
+    def test_existence_predicate(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/*[author/first]")
+        assert [n.get_attribute("id") for n in nodes] == ["b1", "b2"]
+
+    def test_implicit_existential_multi_author(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/book[author/last = 'Suciu']/@id")
+        assert [n.value for n in nodes] == ["b2"]
+
+    def test_and_or(self, doc):
+        nodes = evaluate_nodes(
+            doc, "/bib/book[@year > 1990 and price < 50]/@id"
+        )
+        assert [n.value for n in nodes] == ["b2"]
+
+    def test_contains(self, doc):
+        nodes = evaluate_nodes(doc, "//title[contains(., 'Web')]")
+        assert texts(nodes) == ["Data on the Web"]
+
+    def test_starts_with(self, doc):
+        nodes = evaluate_nodes(doc, "//last[starts-with(., 'S')]")
+        assert texts(nodes) == ["Stevens", "Suciu"]
+
+    def test_not(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/*[not(author/first)]")
+        assert tags(nodes) == ["article"]
+
+    def test_count_in_predicate(self, doc):
+        nodes = evaluate_nodes(doc, "/bib/book[count(author) = 3]/@id")
+        assert [n.value for n in nodes] == ["b2"]
+
+    def test_chained_predicates(self, doc):
+        nodes = evaluate_nodes(doc, "//book[author][2]/@id")
+        assert [n.value for n in nodes] == ["b2"]
+
+    def test_filter_expr_with_position(self, doc):
+        nodes = evaluate_nodes(doc, "(//last)[2]")
+        assert texts(nodes) == ["Abiteboul"]
+
+
+class TestScalars:
+    def test_count(self, doc):
+        assert evaluate(doc, "count(//author)") == 5.0
+
+    def test_sum(self, doc):
+        assert evaluate(doc, "sum(//price)") == pytest.approx(105.90)
+
+    def test_arithmetic(self, doc):
+        assert evaluate(doc, "1 + 2 * 3") == 7.0
+        assert evaluate(doc, "10 div 4") == 2.5
+        assert evaluate(doc, "10 mod 3") == 1.0
+        assert evaluate(doc, "-(2 + 3)") == -5.0
+
+    def test_div_by_zero(self, doc):
+        assert evaluate(doc, "1 div 0") == math.inf
+        assert math.isnan(evaluate(doc, "0 div 0"))
+        assert math.isnan(evaluate(doc, "1 mod 0"))
+
+    def test_string_functions(self, doc):
+        assert evaluate(doc, "concat('a', 'b', 'c')") == "abc"
+        assert evaluate(doc, "string-length('abcd')") == 4.0
+        assert evaluate(doc, "normalize-space('  a   b ')") == "a b"
+        assert evaluate(doc, "substring('12345', 2, 3)") == "234"
+
+    def test_name_function(self, doc):
+        assert evaluate(doc, "name(/bib/*[1])") == "book"
+
+    def test_string_of_node_set_takes_first(self, doc):
+        assert evaluate(doc, "string(//last)") == "Stevens"
+
+    def test_boolean_conversions(self, doc):
+        assert evaluate(doc, "boolean(//book)") is True
+        assert evaluate(doc, "boolean(//journal)") is False
+        assert evaluate(doc, "boolean(0)") is False
+        assert evaluate(doc, "boolean('x')") is True
+
+    def test_rounding(self, doc):
+        assert evaluate(doc, "floor(2.7)") == 2.0
+        assert evaluate(doc, "ceiling(2.1)") == 3.0
+        assert evaluate(doc, "round(2.5)") == 3.0
+
+    def test_number_of_text(self, doc):
+        assert evaluate(doc, "number(/bib/book[1]/price)") == 65.95
+
+    def test_nan_comparisons_false(self, doc):
+        assert evaluate(doc, "number('zzz') < 1") is False
+        assert evaluate(doc, "number('zzz') >= 1") is False
+
+    def test_equality_mixed_types(self, doc):
+        assert evaluate(doc, "'1' = 1") is True
+        assert evaluate(doc, "true() = 1") is True
+        assert evaluate(doc, "1 != 2") is True
+
+    def test_unknown_function_rejected(self, doc):
+        with pytest.raises(XPathEvaluationError, match="unknown function"):
+            evaluate(doc, "frobnicate(1)")
+
+    def test_evaluate_nodes_rejects_scalar(self, doc):
+        with pytest.raises(XPathEvaluationError, match="node-set"):
+            evaluate_nodes(doc, "1 + 1")
+
+
+class TestConversionHelpers:
+    def test_xpath_string(self):
+        assert xpath_string(True) == "true"
+        assert xpath_string(False) == "false"
+        assert xpath_string(3.0) == "3"
+        assert xpath_string(3.5) == "3.5"
+        assert xpath_string([]) == ""
+
+    def test_xpath_number(self):
+        assert xpath_number("  42 ") == 42.0
+        assert math.isnan(xpath_number("abc"))
+        assert xpath_number(True) == 1.0
+
+    def test_xpath_boolean(self):
+        assert xpath_boolean(math.nan) is False
+        assert xpath_boolean(0.0) is False
+        assert xpath_boolean("") is False
+        assert xpath_boolean("0") is True  # non-empty string is true
+
+    def test_format_number(self):
+        assert format_number(math.nan) == "NaN"
+        assert format_number(math.inf) == "Infinity"
+        assert format_number(-math.inf) == "-Infinity"
+        assert format_number(2.0) == "2"
+
+
+class TestAdditionalStringFunctions:
+    def test_substring_before_after(self, doc):
+        assert evaluate(doc, "substring-before('1999/04/01', '/')") == "1999"
+        assert evaluate(doc, "substring-after('1999/04/01', '/')") == "04/01"
+        assert evaluate(doc, "substring-before('abc', 'z')") == ""
+        assert evaluate(doc, "substring-after('abc', 'z')") == ""
+
+    def test_translate(self, doc):
+        assert evaluate(doc, "translate('bar', 'abc', 'ABC')") == "BAr"
+        # Characters without a replacement are removed.
+        assert evaluate(doc, "translate('--aaa--', 'abc-', 'ABC')") == "AAA"
+        # First occurrence in the source map wins.
+        assert evaluate(doc, "translate('aa', 'aa', 'xy')") == "xx"
+
+    def test_translate_on_nodes(self, doc):
+        result = evaluate(
+            doc, "translate(/bib/book[1]/title, '/', '-')"
+        )
+        assert result == "TCP-IP Illustrated"
