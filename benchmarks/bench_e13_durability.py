@@ -1,0 +1,82 @@
+"""E13 — load-time cost of the durability profiles.
+
+The seed experiments load under ``bulk_load`` (MEMORY journal, sync
+OFF): fastest, but a crash can corrupt the file.  ``durable`` (WAL,
+NORMAL) and ``paranoid`` (WAL, FULL) buy increasing crash safety at
+increasing fsync cost.  This experiment quantifies that price on a
+file-backed store so the other experiments' choice of ``bulk_load``
+is a measured decision, not a default.
+
+Expected shape: bulk_load <= durable <= paranoid, with the gap driven
+by fsync frequency — small on battery-backed/fast-fsync hardware,
+large on spinning disks.  Wall-clock assertions are deliberately
+loose; profiles are compared on the same machine in one run.
+"""
+
+import pytest
+
+from repro.bench import ExperimentResult, time_call, write_report
+from repro.core.registry import create_scheme
+from repro.relational.database import DURABILITY_PROFILES, Database
+
+from benchmarks.conftest import scheme_kwargs
+
+#: Profiles in increasing durability order.
+PROFILES = ("bulk_load", "durable", "paranoid")
+
+#: One fast and one fsync-heavy scheme keep the matrix small.
+E13_SCHEMES = ("interval", "binary")
+
+
+def _store_once(profile, scheme_name, document, tmp_path, tag):
+    path = str(tmp_path / f"e13_{profile}_{scheme_name}_{tag}.db")
+    with Database(path, profile=profile) as db:
+        scheme = create_scheme(scheme_name, db, **scheme_kwargs(scheme_name))
+        scheme.store(document, "auction")
+
+
+@pytest.mark.benchmark(group="e13-durability", max_time=1.0, min_rounds=3)
+@pytest.mark.parametrize("profile", PROFILES)
+def test_e13_profile_load(benchmark, auction_documents, tmp_path, profile):
+    document = auction_documents[0.05]
+    counter = iter(range(10**6))
+    benchmark(
+        lambda: _store_once(
+            profile, "interval", document, tmp_path, next(counter)
+        )
+    )
+
+
+def test_e13_report(benchmark, auction_documents, tmp_path):
+    assert set(PROFILES) == set(DURABILITY_PROFILES)
+    result = ExperimentResult(
+        experiment="E13",
+        title="Load time per durability profile (ms, file-backed)",
+        workload="auction document, scale factor 0.05",
+        expectation=(
+            "bulk_load <= durable <= paranoid; the gap is the price "
+            "of fsync-backed crash safety"
+        ),
+    )
+    document = auction_documents[0.05]
+    measured = {}
+    for profile in PROFILES:
+        row = result.add_row(profile)
+        for scheme_name in E13_SCHEMES:
+            seconds = time_call(
+                lambda p=profile, n=scheme_name: _store_once(
+                    p, n, document, tmp_path, "report"
+                )
+            )
+            measured[(profile, scheme_name)] = seconds
+            row.set(scheme_name, seconds * 1000)
+    write_report(result)
+    benchmark(lambda: None)
+
+    # Paranoid must not be *faster* than bulk_load by more than noise;
+    # anything tighter is hostage to the host's fsync behaviour.
+    for scheme_name in E13_SCHEMES:
+        assert (
+            measured[("paranoid", scheme_name)]
+            > 0.25 * measured[("bulk_load", scheme_name)]
+        )

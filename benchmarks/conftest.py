@@ -5,10 +5,12 @@ draws from them.  Scale factors are laptop-sized — the experiments
 compare *shapes* across schemes, which are scale-stable (see DESIGN.md).
 """
 
+import os
+
 import pytest
 
 from repro.core.registry import available_schemes, create_scheme
-from repro.relational.database import Database
+from repro.relational.database import DURABILITY_PROFILES, Database
 from repro.workloads import (
     auction_dtd,
     dblp_dtd,
@@ -23,6 +25,22 @@ SCHEMES = ("edge", "binary", "universal", "interval", "dewey", "xrel",
 BASE_SCALE = 0.1
 SCALE_SWEEP = (0.05, 0.1, 0.2, 0.4)
 SEED = 42
+
+#: Durability profile for every benchmark database.  The suite defaults
+#: to the seed pragmas (``bulk_load``); rerun with
+#: ``XMLREL_BENCH_PROFILE=durable`` (or ``paranoid``) to measure the
+#: experiments under crash-safe settings — E13 quantifies the gap.
+PROFILE = os.environ.get("XMLREL_BENCH_PROFILE", "bulk_load")
+if PROFILE not in DURABILITY_PROFILES:
+    raise RuntimeError(
+        f"XMLREL_BENCH_PROFILE={PROFILE!r} is not one of "
+        f"{sorted(DURABILITY_PROFILES)}"
+    )
+
+
+def bench_database(path=":memory:"):
+    """A database under the suite-wide durability profile."""
+    return Database(path, profile=PROFILE)
 
 
 def scheme_kwargs(name, dtd_factory=auction_dtd):
@@ -48,7 +66,7 @@ def auction_stores(auction_document):
     stores = {}
     databases = []
     for name in SCHEMES:
-        db = Database()
+        db = bench_database()
         databases.append(db)
         scheme = create_scheme(name, db, **scheme_kwargs(name))
         result = scheme.store(auction_document, "auction")
@@ -68,7 +86,7 @@ def dblp_stores(dblp_document):
     stores = {}
     databases = []
     for name in SCHEMES:
-        db = Database()
+        db = bench_database()
         databases.append(db)
         scheme = create_scheme(
             name, db, **scheme_kwargs(name, dtd_factory=dblp_dtd)

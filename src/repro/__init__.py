@@ -20,12 +20,16 @@ from repro.core.compare import compare_schemes
 from repro.core.registry import available_schemes, create_scheme
 from repro.core.store import XmlRelStore, open_store
 from repro.errors import (
+    StorageError,
+    TransientStorageError,
     UnsupportedQueryError,
     XmlRelError,
     XmlSyntaxError,
     XPathSyntaxError,
 )
-from repro.relational.database import Database
+from repro.relational.database import DURABILITY_PROFILES, Database
+from repro.relational.retry import RetryPolicy
+from repro.reliability.audit import IntegrityIssue, IntegrityReport
 from repro.xml.dom import deep_equal
 from repro.xml.parser import parse_document, parse_fragment
 from repro.xml.serialize import serialize, serialize_pretty
@@ -35,7 +39,13 @@ from repro.xpath.parser import parse_xpath
 __version__ = "1.0.0"
 
 __all__ = [
+    "DURABILITY_PROFILES",
     "Database",
+    "IntegrityIssue",
+    "IntegrityReport",
+    "RetryPolicy",
+    "StorageError",
+    "TransientStorageError",
     "UnsupportedQueryError",
     "XPathSyntaxError",
     "XmlRelError",

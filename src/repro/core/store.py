@@ -21,6 +21,8 @@ from repro.core.registry import create_scheme
 from repro.errors import XmlRelError
 from repro.relational.catalog import DocumentRecord
 from repro.relational.database import Database
+from repro.relational.retry import RetryPolicy
+from repro.reliability.audit import IntegrityReport
 from repro.storage.base import MappingScheme, ShredResult
 from repro.xml.dom import Document, Node
 from repro.xml.parser import ParseOptions, parse_document
@@ -36,14 +38,23 @@ class XmlRelStore:
 
     @classmethod
     def open(
-        cls, path: str = ":memory:", scheme: str = "interval", **kwargs
+        cls,
+        path: str = ":memory:",
+        scheme: str = "interval",
+        profile: str = "bulk_load",
+        retry: RetryPolicy | None = None,
+        **kwargs,
     ) -> "XmlRelStore":
         """Open (creating if needed) a store at *path* using *scheme*.
 
-        ``kwargs`` pass through to the scheme (e.g. ``dtd=``/``strategy=``
-        for ``inlining``).
+        *profile* selects the durability profile (``bulk_load`` /
+        ``durable`` / ``paranoid`` — see
+        :data:`repro.relational.database.DURABILITY_PROFILES`), *retry*
+        an optional :class:`~repro.relational.retry.RetryPolicy` for
+        transient busy/locked errors.  ``kwargs`` pass through to the
+        scheme (e.g. ``dtd=``/``strategy=`` for ``inlining``).
         """
-        db = Database(path)
+        db = Database(path, profile=profile, retry=retry)
         return cls(db, create_scheme(scheme, db, **kwargs))
 
     def close(self) -> None:
@@ -80,9 +91,19 @@ class XmlRelStore:
         return self.store(document, name)
 
     def store_file(self, path: str, name: str | None = None) -> int:
-        """Parse and store the XML file at *path*."""
-        with open(path, encoding="utf-8") as handle:
-            text = handle.read()
+        """Parse and store the XML file at *path*.
+
+        I/O failures (missing file, bad encoding) are wrapped in
+        :class:`~repro.errors.XmlRelError` so callers keep the single
+        ``except XmlRelError`` clause the library promises.
+        """
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except (OSError, UnicodeDecodeError) as error:
+            raise XmlRelError(
+                f"cannot read XML file {path!r}: {error}"
+            ) from error
         return self.store_text(text, name or path)
 
     # -- catalog ------------------------------------------------------------------
@@ -94,6 +115,21 @@ class XmlRelStore:
     def delete(self, doc_id: int) -> None:
         """Remove a stored document."""
         self.scheme.delete_document(doc_id)
+
+    # -- integrity ----------------------------------------------------------------
+
+    def verify(self, doc_id: int) -> IntegrityReport:
+        """Audit the stored invariants of one document — the
+        shredded-XML analogue of ``PRAGMA integrity_check``.  Returns a
+        structured :class:`~repro.reliability.audit.IntegrityReport`
+        (``report.ok`` / ``report.issues``)."""
+        return self.scheme.verify_document(doc_id)
+
+    def verify_all(self) -> list[IntegrityReport]:
+        """Audit every document stored under this store's scheme."""
+        return [
+            self.verify(record.doc_id) for record in self.documents()
+        ]
 
     # -- querying ------------------------------------------------------------------
 

@@ -66,6 +66,22 @@ class StorageError(XmlRelError):
     """Raised on shredding/reconstruction failures inside a storage scheme."""
 
 
+class TransientStorageError(StorageError):
+    """Raised when a *transient* engine condition (``SQLITE_BUSY`` /
+    ``SQLITE_LOCKED``) persists past the retry budget.
+
+    Unlike a plain :class:`StorageError`, the failed operation did not
+    corrupt anything and is safe to retry at a coarser granularity (e.g.
+    re-run the whole transaction); ``attempts`` records how many tries
+    the :class:`~repro.relational.retry.RetryPolicy` made before giving
+    up (1 when no policy was configured).
+    """
+
+    def __init__(self, message: str, attempts: int = 1):
+        self.attempts = attempts
+        super().__init__(message)
+
+
 class SchemaMappingError(StorageError):
     """Raised when a DTD cannot be mapped to a relational schema."""
 

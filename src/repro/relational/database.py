@@ -1,19 +1,60 @@
 """Managed sqlite3 connections for the storage layer.
 
 The :class:`Database` wrapper centralizes connection configuration
-(pragmas tuned for bulk loading), offers explicit transactions, batched
-inserts, and the introspection helpers the benchmark harness uses
-(row counts, byte accounting for experiment E1).
+(pragmas selected by a *durability profile*), offers explicit nestable
+transactions, transient-error retries, batched inserts, and the
+introspection helpers the benchmark harness uses (row counts, byte
+accounting for experiment E1).
+
+Durability profiles
+-------------------
+
+``bulk_load``
+    The seed's load-tuned pragmas (in-memory journal, ``synchronous =
+    OFF``).  Fastest; a crash mid-load can corrupt a file-backed
+    database.  The right profile for the paper's warm-cache experiments
+    and for rebuildable scratch databases.
+``durable``
+    WAL journal, ``synchronous = NORMAL``, a busy timeout.  Survives
+    process crashes (power loss can lose the last transactions but
+    never corrupts); concurrent readers don't block the writer.  The
+    default for anything that outlives the process.
+``paranoid``
+    WAL journal with ``synchronous = FULL`` and a longer busy timeout:
+    every commit is fsync'd, surviving power failure at commit
+    granularity.
+
+The load-time cost of each profile is measured by experiment E13.
 """
 
 from __future__ import annotations
 
 import sqlite3
 from contextlib import contextmanager
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 
-from repro.errors import StorageError
+from repro.errors import StorageError, TransientStorageError
+from repro.relational.retry import RetryPolicy, is_transient_error, with_retries
 from repro.relational.schema import Table, quote_identifier
+
+#: Durability profile name -> ordered pragma assignments.
+DURABILITY_PROFILES: dict[str, tuple[tuple[str, str], ...]] = {
+    "bulk_load": (
+        ("journal_mode", "MEMORY"),
+        ("synchronous", "OFF"),
+        ("temp_store", "MEMORY"),
+    ),
+    "durable": (
+        ("journal_mode", "WAL"),
+        ("synchronous", "NORMAL"),
+        ("busy_timeout", "5000"),
+    ),
+    "paranoid": (
+        ("journal_mode", "WAL"),
+        ("synchronous", "FULL"),
+        ("busy_timeout", "10000"),
+    ),
+}
 
 
 def _xpath_num(value) -> float | None:
@@ -33,16 +74,27 @@ def _xpath_num(value) -> float | None:
 class Database:
     """A managed sqlite3 database (file-backed or in-memory)."""
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(
+        self,
+        path: str = ":memory:",
+        profile: str = "bulk_load",
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        if profile not in DURABILITY_PROFILES:
+            raise StorageError(
+                f"unknown durability profile {profile!r}; available: "
+                + ", ".join(sorted(DURABILITY_PROFILES))
+            )
         self.path = path
+        self.profile = profile
+        self.retry = retry
+        self._txn_depth = 0
+        self._savepoint_seq = 0
         self._conn = sqlite3.connect(path)
         self._conn.isolation_level = None  # explicit transaction control
         cursor = self._conn.cursor()
-        # Bulk-load friendly settings; durability is not part of the
-        # experiments (the paper's comparisons are warm-cache too).
-        cursor.execute("PRAGMA journal_mode = MEMORY")
-        cursor.execute("PRAGMA synchronous = OFF")
-        cursor.execute("PRAGMA temp_store = MEMORY")
+        for pragma, value in DURABILITY_PROFILES[profile]:
+            cursor.execute(f"PRAGMA {pragma} = {value}")
         cursor.execute("PRAGMA foreign_keys = ON")
         cursor.close()
         # XPath-faithful numeric conversion: returns NULL (not 0.0, as
@@ -65,18 +117,62 @@ class Database:
 
     # -- execution -------------------------------------------------------------------
 
+    def _raw_execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+        """Single attempt of one statement.  The fault-injection test
+        double (:mod:`repro.reliability.faults`) overrides this hook, so
+        every data statement — but not transaction control — passes
+        through it."""
+        return self._conn.execute(sql, params)
+
+    def _raw_executemany(self, sql: str, rows) -> None:
+        self._conn.executemany(sql, rows)
+
+    def _convert_error(
+        self, error: BaseException, sql: str
+    ) -> StorageError:
+        if is_transient_error(error):
+            attempts = self.retry.max_attempts if self.retry else 1
+            return TransientStorageError(
+                f"transient SQL error after {attempts} attempt(s): "
+                f"{error}\nin: {sql}",
+                attempts=attempts,
+            )
+        return StorageError(f"SQL error: {error}\nin: {sql}")
+
     def execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
-        """Execute one statement, returning the cursor."""
+        """Execute one statement, returning the cursor.
+
+        Transient busy/locked errors are retried under the configured
+        :class:`~repro.relational.retry.RetryPolicy` (if any) and
+        surface as :class:`~repro.errors.TransientStorageError` once
+        exhausted; other engine errors raise :class:`StorageError`.
+        """
         try:
-            return self._conn.execute(sql, params)
+            return with_retries(self.retry, self._raw_execute, sql, params)
         except sqlite3.Error as error:
-            raise StorageError(f"SQL error: {error}\nin: {sql}") from error
+            raise self._convert_error(error, sql) from error
 
     def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        if self.retry is not None:
+            # A batch can fail partway; re-running it naively would
+            # duplicate the rows already applied.  Materialize the rows
+            # (so the iterable is replayable) and scope each attempt to
+            # a savepoint that the retry loop rewinds.
+            rows = list(rows)
+
+            def attempt() -> None:
+                with self.transaction():
+                    self._raw_executemany(sql, rows)
+
+            try:
+                with_retries(self.retry, attempt)
+            except sqlite3.Error as error:
+                raise self._convert_error(error, sql) from error
+            return
         try:
-            self._conn.executemany(sql, rows)
+            self._raw_executemany(sql, rows)
         except sqlite3.Error as error:
-            raise StorageError(f"SQL error: {error}\nin: {sql}") from error
+            raise self._convert_error(error, sql) from error
 
     def executescript(self, script: str) -> None:
         try:
@@ -97,16 +193,73 @@ class Database:
         row = self.query_one(sql, params)
         return row[0] if row is not None else None
 
+    @property
+    def in_transaction(self) -> bool:
+        """True while an explicit or implicit transaction is open."""
+        return self._conn.in_transaction
+
+    def _control(self, sql: str) -> None:
+        """Transaction-control statement: bypasses the fault-injection
+        hook (a crash test double must still be able to roll back) but
+        honours the retry policy — BEGIN is where ``SQLITE_BUSY``
+        surfaces under contention."""
+        try:
+            with_retries(self.retry, self._conn.execute, sql)
+        except sqlite3.Error as error:
+            raise self._convert_error(error, sql) from error
+
     @contextmanager
     def transaction(self) -> Iterator[None]:
-        """Run a block inside BEGIN/COMMIT (ROLLBACK on exception)."""
-        self._conn.execute("BEGIN")
-        try:
-            yield
-        except BaseException:
-            self._conn.execute("ROLLBACK")
-            raise
-        self._conn.execute("COMMIT")
+        """Run a block atomically; nestable.
+
+        The outermost level is BEGIN/COMMIT (ROLLBACK on exception);
+        nested levels become SAVEPOINT/RELEASE so an inner failure (or a
+        retried inner block) rolls back cleanly without killing the
+        enclosing transaction.
+        """
+        if self._txn_depth == 0:
+            self._control("BEGIN")
+            self._txn_depth = 1
+            try:
+                yield
+            except BaseException:
+                self._txn_depth = 0
+                if self._conn.in_transaction:
+                    self._conn.execute("ROLLBACK")
+                raise
+            self._txn_depth = 0
+            self._control("COMMIT")
+        else:
+            self._savepoint_seq += 1
+            name = f"xmlrel_sp_{self._savepoint_seq}"
+            self._control(f"SAVEPOINT {name}")
+            self._txn_depth += 1
+            try:
+                yield
+            except BaseException:
+                self._txn_depth -= 1
+                if self._conn.in_transaction:
+                    self._conn.execute(f"ROLLBACK TO {name}")
+                    self._conn.execute(f"RELEASE {name}")
+                raise
+            self._txn_depth -= 1
+            self._control(f"RELEASE {name}")
+
+    def run_transaction(self, fn: Callable, *args, **kwargs):
+        """Run ``fn(*args, **kwargs)`` inside :meth:`transaction`,
+        retrying the *whole block* when it fails transiently.
+
+        This is the coarse-grained counterpart of the per-statement
+        retry in :meth:`execute`: a block that lost a lock race is
+        rolled back (to its savepoint when nested) and re-executed from
+        the top, so partial effects never leak between attempts.
+        """
+
+        def attempt():
+            with self.transaction():
+                return fn(*args, **kwargs)
+
+        return with_retries(self.retry, attempt)
 
     # -- DDL ----------------------------------------------------------------------------
 
@@ -198,7 +351,17 @@ class Database:
         per-row/per-column storage overhead — the cost that penalizes
         wide sparse rows like the universal table's (experiment E1).
         Works for in-memory databases too (sqlite reports their pages).
+
+        VACUUM cannot run inside a transaction, so calling this with one
+        open raises a clear :class:`StorageError` instead of sqlite's
+        opaque complaint.
         """
+        if self._txn_depth or self._conn.in_transaction:
+            raise StorageError(
+                "file_bytes() runs VACUUM, which cannot execute inside "
+                "an open transaction; call it after the transaction "
+                "commits"
+            )
         self.execute("VACUUM")
         page_count = int(self.scalar("PRAGMA page_count"))
         page_size = int(self.scalar("PRAGMA page_size"))

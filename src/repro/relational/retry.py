@@ -1,0 +1,114 @@
+"""Retry policy for transient SQLite failures (busy/locked).
+
+Under concurrent access sqlite reports lock contention as
+``SQLITE_BUSY``/``SQLITE_LOCKED`` — conditions that resolve themselves
+once the competing connection finishes.  :class:`RetryPolicy` describes
+how to wait them out (exponential backoff with jitter, capped), and
+:func:`with_retries` runs a callable under a policy.  The
+:class:`~repro.relational.database.Database` wires a policy into
+``execute``/``executemany``/``run_transaction`` so every storage scheme
+inherits the behaviour without scheme-level code.
+
+The classification deliberately keys on the *error*, not the statement:
+a busy error means the statement did not run, so re-issuing it is safe
+at any point inside or outside a transaction.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import TransientStorageError
+
+#: sqlite primary result codes that signal a retryable condition.
+_TRANSIENT_CODES = frozenset(
+    code
+    for code in (
+        getattr(sqlite3, "SQLITE_BUSY", None),
+        getattr(sqlite3, "SQLITE_LOCKED", None),
+    )
+    if code is not None
+)
+
+#: Message fragments used when the errorcode attribute is unavailable
+#: (manually constructed errors, older interpreters).
+_TRANSIENT_MESSAGES = ("database is locked", "database table is locked")
+
+
+def is_transient_error(error: BaseException) -> bool:
+    """True when *error* is a retryable sqlite busy/locked condition."""
+    if isinstance(error, TransientStorageError):
+        return True
+    if not isinstance(error, sqlite3.OperationalError):
+        return False
+    code = getattr(error, "sqlite_errorcode", None)
+    if code is not None:
+        return code in _TRANSIENT_CODES
+    message = str(error).lower()
+    return any(fragment in message for fragment in _TRANSIENT_MESSAGES)
+
+
+@dataclass
+class RetryPolicy:
+    """Capped exponential backoff with jitter.
+
+    Attempt *k* (1-based) sleeps ``min(max_delay, base_delay * 2**(k-1))``
+    scaled by a random factor in ``[1 - jitter, 1 + jitter]`` before the
+    next try.  ``sleep`` is injectable so tests (and the fault-injection
+    suite) run without real waits; ``seed`` makes the jitter
+    deterministic.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.005
+    max_delay: float = 0.25
+    jitter: float = 0.5
+    sleep: Callable[[float], None] = time.sleep
+    seed: int | None = None
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self._rng = random.Random(self.seed)
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff delay after failed attempt number *attempt* (1-based)."""
+        delay = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        if self.jitter:
+            span = self.jitter * delay
+            delay += self._rng.uniform(-span, span)
+        return max(0.0, delay)
+
+    def backoff(self, attempt: int) -> None:
+        """Sleep out the backoff after failed attempt *attempt*."""
+        self.sleep(self.delay_for(attempt))
+
+
+def with_retries(
+    policy: RetryPolicy | None,
+    fn: Callable,
+    *args,
+    classify: Callable[[BaseException], bool] = is_transient_error,
+    **kwargs,
+):
+    """Run ``fn(*args, **kwargs)``, retrying transient failures.
+
+    Non-transient errors propagate immediately.  A transient error that
+    survives every attempt is re-raised as-is (callers convert it to
+    :class:`~repro.errors.TransientStorageError` with context); with no
+    policy the callable runs exactly once.
+    """
+    attempts = policy.max_attempts if policy is not None else 1
+    for attempt in range(1, attempts + 1):
+        try:
+            return fn(*args, **kwargs)
+        except BaseException as error:
+            if not classify(error) or attempt == attempts:
+                raise
+            policy.backoff(attempt)
+    raise AssertionError("unreachable")  # pragma: no cover

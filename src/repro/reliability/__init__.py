@@ -1,0 +1,30 @@
+"""Reliability layer: fault injection and integrity auditing.
+
+Two halves:
+
+* :mod:`repro.reliability.faults` — a :class:`FaultInjectingDatabase`
+  test double that can fail the Nth statement, synthesize
+  ``SQLITE_BUSY`` storms, or simulate a crash mid-transaction.  The
+  crash-atomicity test suite uses it to prove that ``store``/``delete``
+  and every update primitive are all-or-nothing for every scheme.
+* :mod:`repro.reliability.audit` — the structured
+  :class:`IntegrityReport` returned by ``XmlRelStore.verify``: the
+  shredded-XML analogue of ``PRAGMA integrity_check``, with per-scheme
+  invariants (interval well-nestedness, Dewey prefix closure, edge
+  connectivity, path-table referential integrity, ...).
+"""
+
+from repro.reliability.audit import IntegrityIssue, IntegrityReport
+from repro.reliability.faults import (
+    FaultInjected,
+    FaultInjectingDatabase,
+    SimulatedCrash,
+)
+
+__all__ = [
+    "FaultInjected",
+    "FaultInjectingDatabase",
+    "IntegrityIssue",
+    "IntegrityReport",
+    "SimulatedCrash",
+]

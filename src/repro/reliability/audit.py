@@ -1,0 +1,79 @@
+"""Structured integrity-audit report for stored documents.
+
+``XmlRelStore.verify(doc_id)`` (and ``MappingScheme.verify_document``)
+return an :class:`IntegrityReport`: the list of invariant checks that
+ran and every violation found.  Schemes contribute their own invariants
+(interval containment, Dewey prefix closure, edge connectivity, path
+referential integrity, DTD-mapping consistency) on top of the generic
+catalog/record checks in :class:`~repro.storage.base.MappingScheme`.
+
+The report is data, not an exception: auditing a corrupted database
+must itself never crash, so callers inspect ``report.ok`` /
+``report.issues`` (or call :meth:`IntegrityReport.raise_if_failed` when
+they want the exception behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class IntegrityIssue:
+    """One invariant violation found by the audit."""
+
+    check: str  #: short id of the violated invariant, e.g. "interval-containment"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.check}] {self.message}"
+
+
+@dataclass
+class IntegrityReport:
+    """Outcome of auditing one stored document."""
+
+    doc_id: int
+    scheme: str
+    checks: list[str] = field(default_factory=list)
+    issues: list[IntegrityIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def ran(self, check: str) -> None:
+        """Record that invariant *check* was evaluated."""
+        if check not in self.checks:
+            self.checks.append(check)
+
+    def add(self, check: str, message: str) -> None:
+        """Record a violation of invariant *check*."""
+        self.ran(check)
+        self.issues.append(IntegrityIssue(check, message))
+
+    def failed(self, check: str) -> bool:
+        """True when *check* recorded at least one violation."""
+        return any(issue.check == check for issue in self.issues)
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`~repro.errors.StorageError` unless ``ok``."""
+        if self.issues:
+            summary = "; ".join(str(issue) for issue in self.issues[:5])
+            more = len(self.issues) - 5
+            if more > 0:
+                summary += f" (+{more} more)"
+            raise StorageError(
+                f"integrity audit of document {self.doc_id} "
+                f"({self.scheme}) failed: {summary}"
+            )
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        state = "OK" if self.ok else f"{len(self.issues)} issue(s)"
+        return (
+            f"doc {self.doc_id} [{self.scheme}]: {state} "
+            f"({len(self.checks)} checks)"
+        )

@@ -1,0 +1,133 @@
+"""Fault-injecting database double for crash-atomicity testing.
+
+:class:`FaultInjectingDatabase` is a drop-in
+:class:`~repro.relational.database.Database` whose statement hook can
+
+* fail the Nth data statement with an arbitrary error
+  (:meth:`fail_on`),
+* raise synthetic ``SQLITE_BUSY`` errors for the next K attempts
+  (:meth:`busy_next`) — exercising the retry policy without needing a
+  second contending connection,
+* simulate a crash mid-transaction (:meth:`crash_on`): uncommitted work
+  is discarded (what sqlite's journal recovery would do on restart) and
+  the connection refuses further statements until :meth:`recover`.
+
+Only *data* statements pass through the hook; transaction control
+(BEGIN/COMMIT/ROLLBACK/SAVEPOINT) is never faulted, so a fault always
+lands inside a well-defined transactional scope — exactly the situation
+rollback must survive.  Statements are numbered from 1 in arrival
+order; an ``executemany`` batch counts as one statement.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from collections.abc import Sequence
+
+from repro.errors import StorageError, XmlRelError
+from repro.relational.database import Database
+
+
+class FaultInjected(XmlRelError):
+    """The error raised by a scheduled statement failure (default)."""
+
+
+class SimulatedCrash(Exception):
+    """Raised by a scheduled crash.
+
+    Deliberately *not* an :class:`~repro.errors.XmlRelError`: a real
+    crash is not a library error callers could handle mid-flight, and
+    keeping it outside the hierarchy ensures no library ``except``
+    clause accidentally swallows it.
+    """
+
+
+def synthetic_busy() -> sqlite3.OperationalError:
+    """A busy error indistinguishable (by message) from the real one."""
+    return sqlite3.OperationalError("database is locked")
+
+
+class FaultInjectingDatabase(Database):
+    """A database that fails on cue."""
+
+    def __init__(self, path: str = ":memory:", **kwargs) -> None:
+        super().__init__(path, **kwargs)
+        self.statements_seen = 0
+        self.statement_log: list[str] = []
+        self._fail_at: dict[int, BaseException] = {}
+        self._busy_remaining = 0
+        self._busy_pattern: re.Pattern | None = None
+        self._crash_at: int | None = None
+        self._crashed = False
+
+    # -- fault scheduling ---------------------------------------------------------
+
+    def fail_on(self, n: int, error: BaseException | None = None) -> None:
+        """Fail the *n*-th upcoming data statement (counted from the
+        current position) with *error* (default :class:`FaultInjected`)."""
+        self._fail_at[self.statements_seen + n] = (
+            error
+            if error is not None
+            else FaultInjected(f"injected failure at statement {n}")
+        )
+
+    def busy_next(self, times: int, pattern: str | None = None) -> None:
+        """Raise synthetic busy errors for the next *times* attempts of
+        statements matching *pattern* (default: every statement)."""
+        self._busy_remaining = times
+        self._busy_pattern = re.compile(pattern) if pattern else None
+
+    def crash_on(self, n: int) -> None:
+        """Simulate a crash at the *n*-th upcoming data statement:
+        discard uncommitted work and refuse service until
+        :meth:`recover`."""
+        self._crash_at = self.statements_seen + n
+
+    def reset_faults(self) -> None:
+        """Clear every scheduled fault (the counter keeps running)."""
+        self._fail_at.clear()
+        self._busy_remaining = 0
+        self._busy_pattern = None
+        self._crash_at = None
+
+    def recover(self) -> None:
+        """Bring a crashed connection back (sqlite's journal recovery
+        already happened: the rollback ran at crash time)."""
+        self._crashed = False
+        self._crash_at = None
+
+    # -- the hook ------------------------------------------------------------------
+
+    def _before_statement(self, sql: str) -> None:
+        if self._crashed:
+            raise StorageError(
+                "database connection crashed (simulated); call recover()"
+            )
+        if self._busy_remaining > 0 and (
+            self._busy_pattern is None or self._busy_pattern.search(sql)
+        ):
+            self._busy_remaining -= 1
+            raise synthetic_busy()
+        self.statements_seen += 1
+        self.statement_log.append(sql)
+        n = self.statements_seen
+        if self._crash_at is not None and n >= self._crash_at:
+            self._crashed = True
+            self._crash_at = None
+            if self._conn.in_transaction:
+                # What journal recovery does on the next open: the
+                # uncommitted transaction never happened.
+                self._conn.execute("ROLLBACK")
+            raise SimulatedCrash(f"simulated crash at statement {n}")
+        error = self._fail_at.pop(n, None)
+        if error is not None:
+            raise error
+
+    def _raw_execute(self, sql: str, params: Sequence = ()):
+        self._before_statement(sql)
+        return super()._raw_execute(sql, params)
+
+    def _raw_executemany(self, sql: str, rows) -> None:
+        self._before_statement(sql)
+        super()._raw_executemany(sql, rows)

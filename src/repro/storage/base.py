@@ -23,9 +23,10 @@ from dataclasses import dataclass
 from typing import ClassVar
 
 from repro.errors import StorageError, UnsupportedQueryError
-from repro.relational.catalog import Catalog
+from repro.relational.catalog import Catalog, DocumentRecord
 from repro.relational.database import Database
 from repro.relational.schema import Table
+from repro.reliability.audit import IntegrityReport
 from repro.storage.numbering import (
     NodeRecord,
     build_document,
@@ -53,6 +54,12 @@ class MappingScheme(abc.ABC):
 
     #: Registry name of the scheme (e.g. ``"edge"``).
     name: ClassVar[str] = ""
+
+    #: Whether the scheme stores every numbered node (the audit then
+    #: demands an exact catalog count match).  Inlining legitimately
+    #: drops insignificant whitespace text, so it stores fewer rows
+    #: than the catalog's node count and sets this False.
+    lossless_node_count: ClassVar[bool] = True
 
     def __init__(self, db: Database) -> None:
         self.db = db
@@ -88,10 +95,13 @@ class MappingScheme(abc.ABC):
             (r.name for r in records if r.is_element and r.parent_pre == 0),
             "",
         )
-        doc_id = self.catalog.register(
-            name, self.name, root_tag or "", len(records)
-        )
+        # The catalog row and the shredded rows commit (or roll back)
+        # together: a fault mid-shred must never leave a catalog entry
+        # pointing at a partial document.
         with self.db.transaction():
+            doc_id = self.catalog.register(
+                name, self.name, root_tag or "", len(records)
+            )
             self._insert_records(doc_id, records, document)
         # Refresh planner statistics: several translations (XRel's
         # path-table-driven plans in particular) rely on the optimizer
@@ -155,11 +165,13 @@ class MappingScheme(abc.ABC):
     # -- deletion -----------------------------------------------------------------------
 
     def delete_document(self, doc_id: int) -> None:
-        """Remove all rows of *doc_id* and its catalog entry."""
+        """Remove all rows of *doc_id* and its catalog entry —
+        atomically, so a fault mid-delete leaves the document fully
+        present (rows *and* catalog entry)."""
         self.catalog.get(doc_id)
         with self.db.transaction():
             self._delete_rows(doc_id)
-        self.catalog.remove(doc_id)
+            self.catalog.remove(doc_id)
 
     @abc.abstractmethod
     def _delete_rows(self, doc_id: int) -> None:
@@ -183,6 +195,88 @@ class MappingScheme(abc.ABC):
             self.reconstruct_subtree(doc_id, pre)
             for pre in self.query_pres(doc_id, xpath)
         ]
+
+    # -- integrity audit --------------------------------------------------------------------
+
+    def verify_document(self, doc_id: int) -> IntegrityReport:
+        """Audit the stored invariants of document *doc_id*.
+
+        The shredded-XML analogue of ``PRAGMA integrity_check``: the
+        generic checks below (catalog consistency, unique/resolvable
+        node ids, reconstructability) run for every scheme, then
+        :meth:`_audit_document` adds the mapping-specific invariants
+        (interval containment, Dewey prefix closure, edge connectivity,
+        path referential integrity, ...).  Returns a structured
+        :class:`~repro.reliability.audit.IntegrityReport`; auditing a
+        corrupted document reports issues instead of raising.
+        """
+        record = self.catalog.get(doc_id)
+        report = IntegrityReport(doc_id=doc_id, scheme=self.name)
+        records = self._generic_audit(record, report)
+        self._audit_document(doc_id, record, report, records)
+        return report
+
+    def _generic_audit(
+        self, record: DocumentRecord, report: IntegrityReport
+    ) -> list[NodeRecord]:
+        doc_id = record.doc_id
+        report.ran("fetch")
+        try:
+            records = self.fetch_records(doc_id)
+        except Exception as error:  # corrupt rows may break any layer
+            report.add("fetch", f"fetching stored records failed: {error}")
+            return []
+        report.ran("catalog-count")
+        mismatch = (
+            len(records) != record.node_count
+            if self.lossless_node_count
+            else len(records) > record.node_count
+        )
+        if mismatch:
+            report.add(
+                "catalog-count",
+                f"catalog records {record.node_count} nodes but "
+                f"{len(records)} rows were fetched",
+            )
+        report.ran("unique-ids")
+        pres = [r.pre for r in records]
+        if len(set(pres)) != len(pres):
+            seen: set[int] = set()
+            duplicates = {p for p in pres if p in seen or seen.add(p)}
+            report.add(
+                "unique-ids",
+                f"duplicate node ids: {sorted(duplicates)[:10]}",
+            )
+        report.ran("parents-resolve")
+        known = set(pres)
+        for r in records:
+            if r.parent_pre and r.parent_pre not in known:
+                report.add(
+                    "parents-resolve",
+                    f"node {r.pre} references missing parent "
+                    f"{r.parent_pre}",
+                )
+        report.ran("reconstruct")
+        if records and not report.failed("parents-resolve"):
+            try:
+                build_document(records)
+            except Exception as error:  # corrupt rows may break any layer
+                report.add(
+                    "reconstruct",
+                    f"document does not rebuild from its rows: {error}",
+                )
+        elif not records:
+            report.add("reconstruct", "document has no stored rows")
+        return records
+
+    def _audit_document(
+        self,
+        doc_id: int,
+        record: DocumentRecord,
+        report: IntegrityReport,
+        records: list[NodeRecord],
+    ) -> None:
+        """Scheme-specific invariant checks (override per mapping)."""
 
     # -- accounting -----------------------------------------------------------------------
 

@@ -206,6 +206,37 @@ class BinaryScheme(MappingScheme):
                 (doc_id,),
             )
 
+    def _audit_document(self, doc_id, record, report, records) -> None:
+        from repro.storage.edge import audit_edge_structure
+
+        report.ran("binary-catalog")
+        for label, table_name in self.partitions().items():
+            if not self.db.table_exists(table_name):
+                report.add(
+                    "binary-catalog",
+                    f"partition {table_name!r} of label {label!r} is "
+                    "registered but the table does not exist",
+                )
+                continue
+            mismatched = self.db.scalar(
+                f"SELECT COUNT(*) FROM {quote_identifier(table_name)} "
+                "WHERE doc_id = ? AND label != ?",
+                (doc_id, label),
+            )
+            if mismatched:
+                report.add(
+                    "binary-catalog",
+                    f"{mismatched} row(s) in partition {table_name!r} "
+                    f"carry a label other than {label!r}",
+                )
+        if self.partitions():
+            rows = self.db.query(
+                f"SELECT source, target FROM {EDGES_VIEW} "
+                "WHERE doc_id = ?",
+                (doc_id,),
+            )
+            audit_edge_structure(rows, report)
+
     def translator(self):
         from repro.query.translate_binary import BinaryTranslator
 

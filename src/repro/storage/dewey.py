@@ -146,6 +146,37 @@ class DeweyScheme(MappingScheme):
     def _delete_rows(self, doc_id: int) -> None:
         self.db.execute("DELETE FROM dewey WHERE doc_id = ?", (doc_id,))
 
+    def _audit_document(self, doc_id, record, report, records) -> None:
+        rows = self.db.query(
+            "SELECT label, parent_label, depth FROM dewey "
+            "WHERE doc_id = ? ORDER BY label",
+            (doc_id,),
+        )
+        labels = {label for label, __, __ in rows}
+        report.ran("dewey-prefix-closed")
+        report.ran("dewey-depth")
+        for label, parent_label, depth in rows:
+            expected_parent = dewey_parent(label)
+            if parent_label != expected_parent:
+                report.add(
+                    "dewey-prefix-closed",
+                    f"label {label!r} records parent {parent_label!r}, "
+                    f"expected {expected_parent!r}",
+                )
+            elif parent_label is not None and parent_label not in labels:
+                report.add(
+                    "dewey-prefix-closed",
+                    f"label {label!r} has no stored ancestor "
+                    f"{parent_label!r} (prefix closure broken)",
+                )
+            components = label.count(DEWEY_SEPARATOR) + 1
+            if depth != components:
+                report.add(
+                    "dewey-depth",
+                    f"label {label!r} has {components} component(s) "
+                    f"but depth {depth}",
+                )
+
     def translator(self):
         from repro.query.translate_dewey import DeweyTranslator
 

@@ -184,7 +184,43 @@ class EdgeScheme(MappingScheme):
     def _delete_rows(self, doc_id: int) -> None:
         self.db.execute("DELETE FROM edge WHERE doc_id = ?", (doc_id,))
 
+    def _audit_document(self, doc_id, record, report, records) -> None:
+        rows = self.db.query(
+            "SELECT source, target FROM edge WHERE doc_id = ?", (doc_id,)
+        )
+        audit_edge_structure(rows, report)
+
     def translator(self):
         from repro.query.translate_edge import EdgeTranslator
 
         return EdgeTranslator(self)
+
+
+def audit_edge_structure(
+    rows: list[tuple[int, int]], report
+) -> None:
+    """Shared edge/binary invariant: the (source → target) graph is a
+    forest rooted at source 0 — connected (every row reachable from 0)
+    and therefore acyclic, since target ids are unique."""
+    report.ran("edge-connected")
+    children: dict[int, list[int]] = {}
+    targets = set()
+    for source, target in rows:
+        children.setdefault(source, []).append(target)
+        targets.add(target)
+    reached: set[int] = set()
+    stack = list(children.get(0, []))
+    while stack:
+        node = stack.pop()
+        if node in reached:
+            continue
+        reached.add(node)
+        stack.extend(children.get(node, []))
+    stranded = targets - reached
+    if stranded:
+        report.add(
+            "edge-connected",
+            f"{len(stranded)} row(s) unreachable from the document "
+            f"root (cycle or dangling source): "
+            f"{sorted(stranded)[:10]}",
+        )

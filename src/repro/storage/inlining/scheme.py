@@ -48,6 +48,10 @@ class InliningScheme(MappingScheme):
 
     name = "inlining"
 
+    #: Insignificant whitespace text is (legitimately) not stored, so
+    #: fetched rows may undercount the catalog's node count.
+    lossless_node_count = False
+
     def __init__(
         self,
         db: Database,
@@ -328,6 +332,38 @@ class InliningScheme(MappingScheme):
                 "WHERE doc_id = ?",
                 (doc_id,),
             )
+
+    def _audit_document(self, doc_id, record, report, records) -> None:
+        report.ran("inline-schema")
+        if self.mapping is None:
+            report.add("inline-schema", "no DTD mapping installed")
+            return
+        persisted = self.db.query_one(
+            "SELECT strategy FROM inline_schema ORDER BY schema_id LIMIT 1"
+        )
+        if persisted is None:
+            report.add(
+                "inline-schema",
+                "mapping in memory but no persisted inline_schema row",
+            )
+        # Every relation row must anchor to a known parent: parent_pre 0
+        # (the root's holder) or the pre of a stored element.
+        report.ran("inline-parents")
+        known = {r.pre for r in records}
+        for relation in self.mapping.relations.values():
+            rows = self.db.query(
+                f"SELECT {relation.root.pre_column}, parent_pre "
+                f"FROM {quote_identifier(relation.table.name)} "
+                "WHERE doc_id = ?",
+                (doc_id,),
+            )
+            for pre, parent_pre in rows:
+                if parent_pre and parent_pre not in known:
+                    report.add(
+                        "inline-parents",
+                        f"row {pre} of {relation.table.name} references "
+                        f"missing parent {parent_pre}",
+                    )
 
     def translator(self):
         from repro.query.translate_inlining import InliningTranslator

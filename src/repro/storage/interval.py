@@ -141,6 +141,63 @@ class IntervalScheme(MappingScheme):
     def _delete_rows(self, doc_id: int) -> None:
         self.db.execute("DELETE FROM accel WHERE doc_id = ?", (doc_id,))
 
+    def _audit_document(self, doc_id, record, report, records) -> None:
+        rows = self.db.query(
+            "SELECT pre, size, level, parent_pre FROM accel "
+            "WHERE doc_id = ? ORDER BY pre",
+            (doc_id,),
+        )
+        by_pre = {pre: (size, level, parent_pre)
+                  for pre, size, level, parent_pre in rows}
+        report.ran("interval-bounds")
+        report.ran("interval-containment")
+        report.ran("interval-levels")
+        for pre, size, level, parent_pre in rows:
+            if size < 0 or level < 1:
+                report.add(
+                    "interval-bounds",
+                    f"node {pre} has size={size}, level={level}",
+                )
+                continue
+            if parent_pre == 0:
+                continue
+            parent = by_pre.get(parent_pre)
+            if parent is None:
+                continue  # flagged by the generic parents-resolve check
+            p_size, p_level, __ = parent
+            # A child's region must nest strictly inside its parent's:
+            # parent_pre < pre and pre + size <= parent_pre + p_size.
+            if not (parent_pre < pre and pre + size <= parent_pre + p_size):
+                report.add(
+                    "interval-containment",
+                    f"region [{pre}, {pre + size}] of node {pre} is not "
+                    f"contained in parent [{parent_pre}, "
+                    f"{parent_pre + p_size}]",
+                )
+            if level != p_level + 1:
+                report.add(
+                    "interval-levels",
+                    f"node {pre} has level {level}; its parent "
+                    f"{parent_pre} has level {p_level}",
+                )
+        # Sibling regions must not partially overlap (well-nestedness):
+        # walking in pre order with a stack of open regions, every new
+        # region either nests in the top or starts after it ends.
+        report.ran("interval-nesting")
+        stack: list[tuple[int, int]] = []  # (pre, end)
+        for pre, size, level, parent_pre in rows:
+            end = pre + size
+            while stack and stack[-1][1] < pre:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                report.add(
+                    "interval-nesting",
+                    f"region [{pre}, {end}] crosses open region "
+                    f"[{stack[-1][0]}, {stack[-1][1]}]",
+                )
+                continue
+            stack.append((pre, end))
+
     def translator(self):
         from repro.query.translate_interval import IntervalTranslator
 

@@ -289,6 +289,56 @@ class UniversalScheme(MappingScheme):
             "DELETE FROM universal_paths WHERE doc_id = ?", (doc_id,)
         )
 
+    def _audit_document(self, doc_id, record, report, records) -> None:
+        labels = self.label_columns()
+        paths = dict(
+            self.db.query(
+                "SELECT path_id, pathexp FROM universal_paths "
+                "WHERE doc_id = ?",
+                (doc_id,),
+            )
+        )
+        report.ran("universal-labels")
+        for pathexp in paths.values():
+            for label in pathexp.split(PATH_SEP):
+                if label and label not in labels:
+                    report.add(
+                        "universal-labels",
+                        f"path {pathexp!r} uses label {label!r} with no "
+                        "column assignment in universal_labels",
+                    )
+        rows = self.db.query(
+            f"SELECT * FROM {UNIVERSAL} WHERE doc_id = ?", (doc_id,)
+        )
+        column_names = [
+            d[0] for d in self.db.execute(
+                f"SELECT * FROM {UNIVERSAL} LIMIT 0"
+            ).description
+        ]
+        report.ran("universal-paths")
+        report.ran("universal-ids")
+        for row in rows:
+            values = dict(zip(column_names, row))
+            path_id = values["path_id"]
+            pathexp = paths.get(path_id)
+            if pathexp is None:
+                report.add(
+                    "universal-paths",
+                    f"row references path_id {path_id} absent from "
+                    "universal_paths",
+                )
+                continue
+            for label in pathexp.split(PATH_SEP):
+                if not label or label not in labels:
+                    continue
+                id_col = self.column_triple(labels[label])[1]
+                if id_col in values and values[id_col] is None:
+                    report.add(
+                        "universal-ids",
+                        f"row on path {pathexp!r} has NULL id for "
+                        f"label {label!r}",
+                    )
+
     def translator(self):
         from repro.query.translate_universal import UniversalTranslator
 

@@ -235,6 +235,82 @@ class XRelScheme(MappingScheme):
                 f"DELETE FROM {table} WHERE doc_id = ?", (doc_id,)
             )
 
+    def _audit_document(self, doc_id, record, report, records) -> None:
+        path_ids = {
+            pid
+            for (pid,) in self.db.query(
+                "SELECT path_id FROM xrel_paths WHERE doc_id = ?",
+                (doc_id,),
+            )
+        }
+        report.ran("xrel-paths")
+        report.ran("xrel-regions")
+        for table in ("xrel_element", "xrel_attribute", "xrel_text"):
+            rows = self.db.query(
+                f"SELECT path_id, start, end FROM {table} "
+                "WHERE doc_id = ?",
+                (doc_id,),
+            )
+            for path_id, start, end in rows:
+                if path_id not in path_ids:
+                    report.add(
+                        "xrel-paths",
+                        f"{table} row at start={start} references "
+                        f"path_id {path_id} absent from xrel_paths",
+                    )
+                if end < start:
+                    report.add(
+                        "xrel-regions",
+                        f"{table} row has inverted region "
+                        f"[{start}, {end}]",
+                    )
+        # Element regions must be well nested: in start order, each
+        # region either nests inside the innermost open one or begins
+        # after it closes — and attributes must sit inside an element.
+        elements = self.db.query(
+            "SELECT start, end FROM xrel_element "
+            "WHERE doc_id = ? ORDER BY start",
+            (doc_id,),
+        )
+        report.ran("xrel-nesting")
+        stack: list[tuple[int, int]] = []
+        for start, end in elements:
+            while stack and stack[-1][1] < start:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                report.add(
+                    "xrel-nesting",
+                    f"element region [{start}, {end}] crosses open "
+                    f"region [{stack[-1][0]}, {stack[-1][1]}]",
+                )
+                continue
+            stack.append((start, end))
+        report.ran("xrel-attribute-containment")
+        attributes = self.db.query(
+            "SELECT start, end FROM xrel_attribute "
+            "WHERE doc_id = ? ORDER BY start",
+            (doc_id,),
+        )
+        # One merged sweep in start order: elements (which open first at
+        # equal starts) push regions, attributes check the innermost.
+        events = sorted(
+            [(s, 0, e) for s, e in elements]
+            + [(s, 1, e) for s, e in attributes]
+        )
+        stack = []
+        for start, is_attr, end in events:
+            while stack and stack[-1] < start:
+                stack.pop()
+            if is_attr:
+                if not stack or end > stack[-1]:
+                    report.add(
+                        "xrel-attribute-containment",
+                        f"attribute region [{start}, {end}] lies in no "
+                        "element region",
+                    )
+            else:
+                stack.append(end)
+
     def translator(self):
         from repro.query.translate_xrel import XRelTranslator
 

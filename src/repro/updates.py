@@ -73,27 +73,32 @@ def insert_subtree(
             f"scheme '{scheme.name}' does not implement updates"
         )
     records, contents = _number_fragment(scheme, fragment)
-    if isinstance(scheme, BinaryScheme):
-        stats = _insert_binary(scheme, doc_id, parent_pre, index,
-                               records, contents)
-    elif isinstance(scheme, EdgeScheme):
-        stats = _insert_edge(scheme, doc_id, parent_pre, index,
-                             records, contents)
-    elif isinstance(scheme, IntervalScheme):
-        stats = _insert_interval(scheme, doc_id, parent_pre, index,
+    # One transaction covers the row surgery, the parent's cached
+    # content refresh AND the catalog's node count: a fault anywhere
+    # leaves the document exactly as it was (the per-scheme helpers'
+    # own transactions become savepoints inside this one).
+    with scheme.db.transaction():
+        if isinstance(scheme, BinaryScheme):
+            stats = _insert_binary(scheme, doc_id, parent_pre, index,
+                                   records, contents)
+        elif isinstance(scheme, EdgeScheme):
+            stats = _insert_edge(scheme, doc_id, parent_pre, index,
                                  records, contents)
-    elif isinstance(scheme, DeweyScheme):
-        stats = _insert_dewey(scheme, doc_id, parent_pre, index,
-                              records, contents)
-    else:
-        raise UpdateError(
-            f"scheme '{scheme.name}' does not implement updates"
+        elif isinstance(scheme, IntervalScheme):
+            stats = _insert_interval(scheme, doc_id, parent_pre, index,
+                                     records, contents)
+        elif isinstance(scheme, DeweyScheme):
+            stats = _insert_dewey(scheme, doc_id, parent_pre, index,
+                                  records, contents)
+        else:
+            raise UpdateError(
+                f"scheme '{scheme.name}' does not implement updates"
+            )
+        _refresh_parent_content(scheme, doc_id, parent_pre)
+        record = scheme.catalog.get(doc_id)
+        scheme.catalog.update_node_count(
+            doc_id, record.node_count + len(records)
         )
-    _refresh_parent_content(scheme, doc_id, parent_pre)
-    record = scheme.catalog.get(doc_id)
-    scheme.catalog.update_node_count(
-        doc_id, record.node_count + len(records)
-    )
     return stats
 
 
@@ -103,24 +108,27 @@ def delete_subtree(
     """Delete the subtree rooted at node *pre*."""
     scheme.catalog.get(doc_id)
     parent_pre = _parent_of(scheme, doc_id, pre)
-    if isinstance(scheme, BinaryScheme):
-        stats = _delete_binary(scheme, doc_id, pre)
-    elif isinstance(scheme, EdgeScheme):
-        stats = _delete_edge(scheme, doc_id, pre)
-    elif isinstance(scheme, IntervalScheme):
-        stats = _delete_interval(scheme, doc_id, pre)
-    elif isinstance(scheme, DeweyScheme):
-        stats = _delete_dewey(scheme, doc_id, pre)
-    else:
-        raise UpdateError(
-            f"scheme '{scheme.name}' does not implement updates"
+    # Same atomicity contract as insert_subtree: rows, cached content
+    # and catalog count move together or not at all.
+    with scheme.db.transaction():
+        if isinstance(scheme, BinaryScheme):
+            stats = _delete_binary(scheme, doc_id, pre)
+        elif isinstance(scheme, EdgeScheme):
+            stats = _delete_edge(scheme, doc_id, pre)
+        elif isinstance(scheme, IntervalScheme):
+            stats = _delete_interval(scheme, doc_id, pre)
+        elif isinstance(scheme, DeweyScheme):
+            stats = _delete_dewey(scheme, doc_id, pre)
+        else:
+            raise UpdateError(
+                f"scheme '{scheme.name}' does not implement updates"
+            )
+        if parent_pre:
+            _refresh_parent_content(scheme, doc_id, parent_pre)
+        record = scheme.catalog.get(doc_id)
+        scheme.catalog.update_node_count(
+            doc_id, max(0, record.node_count - stats.rows_deleted)
         )
-    if parent_pre:
-        _refresh_parent_content(scheme, doc_id, parent_pre)
-    record = scheme.catalog.get(doc_id)
-    scheme.catalog.update_node_count(
-        doc_id, max(0, record.node_count - stats.rows_deleted)
-    )
     return stats
 
 

@@ -81,6 +81,17 @@ class TestStoreFacade:
         assert store.documents()[0].name == str(path)
         assert len(store.query_pres(doc_id, "//book")) == 2
 
+    def test_store_file_missing_path(self, store, tmp_path):
+        missing = str(tmp_path / "no-such.xml")
+        with pytest.raises(XmlRelError, match="cannot read XML file"):
+            store.store_file(missing)
+
+    def test_store_file_bad_encoding(self, store, tmp_path):
+        path = tmp_path / "latin.xml"
+        path.write_bytes("<a>café</a>".encode("latin-1"))
+        with pytest.raises(XmlRelError, match="cannot read XML file"):
+            store.store_file(str(path))
+
     def test_keep_whitespace_flag(self, store):
         lean = store.store_text(BIB_XML, keep_whitespace=False)
         fat = store.store_text(BIB_XML, keep_whitespace=True)
