@@ -9,7 +9,9 @@ import os
 
 import pytest
 
+from repro.bench import report as bench_report
 from repro.core.registry import available_schemes, create_scheme
+from repro.obs import Tracer, write_chrome_trace, write_jsonl
 from repro.relational.database import DURABILITY_PROFILES, Database
 from repro.workloads import (
     auction_dtd,
@@ -37,10 +39,34 @@ if PROFILE not in DURABILITY_PROFILES:
         f"{sorted(DURABILITY_PROFILES)}"
     )
 
+#: ``XMLREL_TRACE=/path/to/trace.jsonl`` turns on session-wide tracing:
+#: every benchmark database reports spans/statement events/metrics into
+#: one tracer, experiment reports are folded in as point events, and the
+#: session-finish hook writes the JSON Lines log to the given path plus
+#: a Chrome-trace sibling (``<path>.chrome.json``) for
+#: ``chrome://tracing``.  Unset (the default) the tracer is disabled and
+#: the suite measures the untraced hot paths.
+TRACE_PATH = os.environ.get("XMLREL_TRACE")
+SESSION_TRACER = Tracer(enabled=bool(TRACE_PATH))
+
+if TRACE_PATH:
+    @bench_report.add_sink
+    def _trace_report(record):
+        SESSION_TRACER.event(
+            "experiment-report",
+            **{k: v for k, v in record.items() if k != "text"},
+        )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if TRACE_PATH:
+        write_jsonl(SESSION_TRACER, TRACE_PATH)
+        write_chrome_trace(SESSION_TRACER, TRACE_PATH + ".chrome.json")
+
 
 def bench_database(path=":memory:"):
     """A database under the suite-wide durability profile."""
-    return Database(path, profile=PROFILE)
+    return Database(path, profile=PROFILE, tracer=SESSION_TRACER)
 
 
 def scheme_kwargs(name, dtd_factory=auction_dtd):

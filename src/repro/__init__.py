@@ -19,6 +19,13 @@ Quickstart::
 from repro.core.compare import compare_schemes
 from repro.core.registry import available_schemes, create_scheme
 from repro.core.store import XmlRelStore, open_store
+from repro.obs import (
+    Explanation,
+    MetricsRegistry,
+    QueryReport,
+    Tracer,
+    format_span_tree,
+)
 from repro.errors import (
     StorageError,
     TransientStorageError,
@@ -41,10 +48,14 @@ __version__ = "1.0.0"
 __all__ = [
     "DURABILITY_PROFILES",
     "Database",
+    "Explanation",
     "IntegrityIssue",
     "IntegrityReport",
+    "MetricsRegistry",
+    "QueryReport",
     "RetryPolicy",
     "StorageError",
+    "Tracer",
     "TransientStorageError",
     "UnsupportedQueryError",
     "XPathSyntaxError",
@@ -57,6 +68,7 @@ __all__ = [
     "deep_equal",
     "evaluate",
     "evaluate_nodes",
+    "format_span_tree",
     "open_store",
     "parse_document",
     "parse_fragment",

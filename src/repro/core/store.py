@@ -17,8 +17,12 @@ through the scheme's XPath→SQL translator; results come back either as
 
 from __future__ import annotations
 
+import time
+
 from repro.core.registry import create_scheme
 from repro.errors import XmlRelError
+from repro.obs.report import Explanation, QueryReport
+from repro.obs.trace import Tracer
 from repro.relational.catalog import DocumentRecord
 from repro.relational.database import Database
 from repro.relational.retry import RetryPolicy
@@ -43,6 +47,7 @@ class XmlRelStore:
         scheme: str = "interval",
         profile: str = "bulk_load",
         retry: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
         **kwargs,
     ) -> "XmlRelStore":
         """Open (creating if needed) a store at *path* using *scheme*.
@@ -51,11 +56,20 @@ class XmlRelStore:
         ``durable`` / ``paranoid`` — see
         :data:`repro.relational.database.DURABILITY_PROFILES`), *retry*
         an optional :class:`~repro.relational.retry.RetryPolicy` for
-        transient busy/locked errors.  ``kwargs`` pass through to the
-        scheme (e.g. ``dtd=``/``strategy=`` for ``inlining``).
+        transient busy/locked errors, *tracer* an optional
+        :class:`~repro.obs.trace.Tracer` that records spans, statement
+        events, and metrics for everything this store does (tracing is
+        off without one).  ``kwargs`` pass through to the scheme (e.g.
+        ``dtd=``/``strategy=`` for ``inlining``).
         """
-        db = Database(path, profile=profile, retry=retry)
+        db = Database(path, profile=profile, retry=retry, tracer=tracer)
         return cls(db, create_scheme(scheme, db, **kwargs))
+
+    @property
+    def tracer(self) -> Tracer:
+        """The observability sink this store reports into (the shared
+        disabled tracer unless one was passed to :meth:`open`)."""
+        return self.db.tracer
 
     def close(self) -> None:
         self.db.close()
@@ -85,9 +99,12 @@ class XmlRelStore:
         keep_whitespace: bool = True,
     ) -> int:
         """Parse and store XML *text*."""
-        document = parse_document(
-            text, ParseOptions(keep_whitespace=keep_whitespace)
-        )
+        with self.tracer.span("parse") as span:
+            document = parse_document(
+                text, ParseOptions(keep_whitespace=keep_whitespace)
+            )
+            if span:
+                span.set(chars=len(text), document=name)
         return self.store(document, name)
 
     def store_file(self, path: str, name: str | None = None) -> int:
@@ -149,6 +166,54 @@ class XmlRelStore:
         """The generated SQL (and parameters) for *xpath* — inspection and
         the plan-complexity experiment."""
         return self.scheme.translator().sql_for(doc_id, xpath)
+
+    # -- introspection -------------------------------------------------------------
+
+    def explain(self, doc_id: int, xpath: str) -> Explanation:
+        """Translate *xpath* and ask the engine how it would run it.
+
+        Returns the generated SQL plus the ``EXPLAIN QUERY PLAN`` detail
+        lines — index usage (experiment E11) without touching scheme
+        internals and without executing the query.  Top-level unions are
+        not explainable (each arm runs as its own statement); explain an
+        arm instead.
+        """
+        sql, params = self.sql_for(doc_id, xpath)
+        plan = self.db.explain_plan(sql, params)
+        return Explanation(
+            xpath=str(xpath),
+            scheme=self.scheme.name,
+            sql=sql,
+            params=tuple(params),
+            plan=tuple(plan),
+        )
+
+    def query_report(self, doc_id: int, xpath: str) -> QueryReport:
+        """Run *xpath* and return the full per-query cost record:
+        translation time, SQL length, structural join count, plan lines,
+        execution time, and the matching ids."""
+        translator = self.scheme.translator()
+        started = time.perf_counter()
+        statement = translator.translate(doc_id, xpath)
+        sql, params = statement.render()
+        translate_seconds = time.perf_counter() - started
+        plan = self.db.explain_plan(sql, params)
+        started = time.perf_counter()
+        rows = self.db.query(sql, params)
+        execute_seconds = time.perf_counter() - started
+        pres = tuple(row[0] for row in rows)
+        return QueryReport(
+            xpath=str(xpath),
+            scheme=self.scheme.name,
+            sql=sql,
+            params=tuple(params),
+            join_count=statement.join_count,
+            plan=tuple(plan),
+            translate_seconds=translate_seconds,
+            execute_seconds=execute_seconds,
+            row_count=len(pres),
+            pres=pres,
+        )
 
     # -- retrieval -----------------------------------------------------------------
 

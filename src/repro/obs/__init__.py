@@ -1,0 +1,60 @@
+"""``repro.obs`` — zero-dependency observability for the engine.
+
+The package instruments the whole store/translate/execute pipeline:
+
+* :class:`Tracer` / :class:`Span` — hierarchical spans with monotonic
+  timings (:mod:`repro.obs.trace`),
+* :class:`MetricsRegistry` — counters, gauges, and percentile
+  histograms (:mod:`repro.obs.metrics`),
+* exporters — human-readable span tree, JSON Lines, Chrome trace
+  (:mod:`repro.obs.export`),
+* :class:`QueryReport` / :class:`Explanation` — per-query cost records
+  (:mod:`repro.obs.report`).
+
+Quickstart::
+
+    from repro import XmlRelStore
+    from repro.obs import Tracer, format_span_tree
+
+    tracer = Tracer(slow_query_threshold=0.05)
+    with XmlRelStore.open(scheme="interval", tracer=tracer) as store:
+        doc_id = store.store_text("<bib><book/></bib>")
+        store.query_pres(doc_id, "//book")
+    print(format_span_tree(tracer))
+    print(tracer.metrics.snapshot_json(indent=2))
+"""
+
+from repro.obs.export import (
+    format_span_tree,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    load_snapshot,
+)
+from repro.obs.report import Explanation, QueryReport
+from repro.obs.trace import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Explanation",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "QueryReport",
+    "Span",
+    "Tracer",
+    "format_span_tree",
+    "load_snapshot",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,133 @@
+"""Exporters for recorded traces.
+
+Three formats, all derived from the same :class:`~repro.obs.trace.Tracer`
+state:
+
+* :func:`format_span_tree` — an indented, human-readable tree with
+  millisecond durations (what you print after a session),
+* :func:`to_jsonl` — one JSON object per finished span / point event,
+  in completion order (machine-readable log; what CI archives),
+* :func:`to_chrome_trace` — the Chrome Trace Event format
+  (``chrome://tracing`` / Perfetto "load trace" compatible): complete
+  (``"ph": "X"``) events with microsecond timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.trace import Span, Tracer
+
+#: Attributes rendered inline in the span tree (in this order).
+_TREE_ATTRS = ("scheme", "xpath", "rows", "retries", "params", "error")
+
+
+def _format_attrs(span: Span) -> str:
+    parts = []
+    for key in _TREE_ATTRS:
+        if key in span.attributes:
+            parts.append(f"{key}={span.attributes[key]}")
+    statement = span.attributes.get("sql")
+    if statement:
+        first_line = str(statement).strip().splitlines()[0]
+        if len(first_line) > 60:
+            first_line = first_line[:57] + "..."
+        parts.append(f"sql={first_line!r}")
+    return f"  [{', '.join(parts)}]" if parts else ""
+
+
+def format_span_tree(tracer: Tracer) -> str:
+    """Render the tracer's span forest as an indented text tree."""
+    lines: list[str] = []
+    for root in tracer.roots:
+        for span in root.walk():
+            indent = "  " * span.depth
+            lines.append(
+                f"{indent}{span.name}  {span.duration * 1000:.3f} ms"
+                f"{_format_attrs(span)}"
+            )
+    return "\n".join(lines)
+
+
+def span_to_dict(tracer: Tracer, span: Span) -> dict:
+    """One finished span as a flat JSON-able record."""
+    return {
+        "type": "span",
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "depth": span.depth,
+        "start": round(tracer.relative(span.start), 9),
+        "duration": round(span.duration, 9),
+        "attributes": span.attributes,
+    }
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """All finished spans (completion order) + point events, one JSON
+    object per line."""
+    lines = [
+        json.dumps(span_to_dict(tracer, span), default=str)
+        for span in tracer.finished
+    ]
+    lines.extend(
+        json.dumps({"type": "event", **event}, default=str)
+        for event in tracer.events
+    )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(tracer: Tracer, path: str) -> str:
+    """Write :func:`to_jsonl` output to *path*; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_jsonl(tracer))
+    return path
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """The trace as a Chrome Trace Event JSON object.
+
+    Load the serialized form in ``chrome://tracing`` or
+    https://ui.perfetto.dev to see the pipeline phases on a timeline.
+    """
+    events = []
+    for span in tracer.finished:
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": tracer.relative(span.start) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 1,
+                "tid": 1,
+                "args": {
+                    str(k): str(v) for k, v in span.attributes.items()
+                },
+            }
+        )
+    for event in tracer.events:
+        args = {
+            str(k): str(v)
+            for k, v in event.items()
+            if k not in ("name", "ts", "parent_id")
+        }
+        events.append(
+            {
+                "name": event["name"],
+                "ph": "i",
+                "ts": event["ts"] * 1e6,
+                "s": "t",
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> str:
+    """Serialize :func:`to_chrome_trace` to *path*; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(tracer), handle)
+    return path

@@ -1,0 +1,172 @@
+"""Counters, gauges, and histograms for the storage engine.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments:
+
+* :class:`Counter` — monotonically increasing totals (statements
+  executed, rows shredded, transactions committed, retries, injected
+  faults),
+* :class:`Gauge` — last-written values (current savepoint depth),
+* :class:`Histogram` — distributions with percentile summaries
+  (per-statement latency).
+
+``snapshot()`` renders everything into plain JSON-able dicts;
+``snapshot_json()``/``load_snapshot`` round-trip through JSON so a
+benchmark run can persist its metrics next to the trace.  No locks: the
+registry is as single-threaded as the tracer that owns it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-value-wins measurement (plus its high-water mark)."""
+
+    name: str
+    value: float = 0.0
+    high_water: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+
+#: Percentiles reported in every histogram summary.
+PERCENTILES = (50, 90, 99)
+
+#: Observations kept per histogram; beyond this the reservoir keeps the
+#: first MAX_OBSERVATIONS samples (the summary still counts and sums
+#: everything).  Statement counts in this repo are far below the cap.
+MAX_OBSERVATIONS = 65536
+
+
+@dataclass
+class Histogram:
+    """A distribution with exact percentiles over retained samples."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float | None = None
+    max: float | None = None
+    observations: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self.observations) < MAX_OBSERVATIONS:
+            self.observations.append(value)
+
+    def percentile(self, p: float) -> float | None:
+        """The *p*-th percentile (nearest-rank) of retained samples."""
+        if not self.observations:
+            return None
+        ordered = sorted(self.observations)
+        rank = max(0, min(len(ordered) - 1,
+                          round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        """JSON-able summary: count/total/min/max/mean plus percentiles."""
+        summary = {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": (self.total / self.count) if self.count else None,
+        }
+        for p in PERCENTILES:
+            summary[f"p{p}"] = self.percentile(p)
+        return summary
+
+
+class MetricsRegistry:
+    """A namespace of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access (create on first use) -----------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    # -- reading --------------------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
+        counter = self._counters.get(name)
+        return counter.value if counter else 0
+
+    def is_empty(self) -> bool:
+        """True when no instrument was ever touched."""
+        return not (self._counters or self._gauges or self._histograms)
+
+    def snapshot(self) -> dict:
+        """Everything as plain JSON-able dicts (sorted names)."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: {
+                    "value": self._gauges[name].value,
+                    "high_water": self._gauges[name].high_water,
+                }
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].summary()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def snapshot_json(self, indent: int | None = None) -> str:
+        """The snapshot serialized as JSON (the metrics exporter)."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+def load_snapshot(text: str) -> dict:
+    """Parse a snapshot produced by :meth:`MetricsRegistry.snapshot_json`.
+
+    Returns the same structure :meth:`~MetricsRegistry.snapshot` built, so
+    ``load_snapshot(registry.snapshot_json()) == registry.snapshot()``.
+    """
+    return json.loads(text)

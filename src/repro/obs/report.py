@@ -1,0 +1,89 @@
+"""Per-query introspection records.
+
+:class:`Explanation` answers "what SQL does this XPath become, and how
+will the engine run it?" without executing the query
+(:meth:`repro.XmlRelStore.explain`).  :class:`QueryReport` additionally
+runs the query and carries the paper's per-query cost signals —
+translation time, SQL length, structural join count (experiment E8),
+plan lines (experiment E11), execution time, and result cardinality
+(:meth:`repro.XmlRelStore.query_report`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Translated SQL plus the engine's query plan for one XPath."""
+
+    xpath: str
+    scheme: str
+    sql: str
+    params: tuple
+    #: ``EXPLAIN QUERY PLAN`` detail lines (index usage, scan order).
+    plan: tuple[str, ...]
+
+    def uses_index(self, name: str) -> bool:
+        """True when any plan line mentions index *name*."""
+        return any(name in line for line in self.plan)
+
+    def format(self) -> str:
+        lines = [
+            f"xpath:  {self.xpath}",
+            f"scheme: {self.scheme}",
+            "sql:",
+        ]
+        lines.extend("    " + line for line in self.sql.splitlines())
+        if self.params:
+            lines.append(f"params: {list(self.params)!r}")
+        lines.append("plan:")
+        lines.extend("    " + line for line in self.plan)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class QueryReport:
+    """Everything measured about one executed query."""
+
+    xpath: str
+    scheme: str
+    sql: str
+    params: tuple
+    #: Structural joins in the generated statement (experiment E8).
+    join_count: int
+    #: ``EXPLAIN QUERY PLAN`` detail lines.
+    plan: tuple[str, ...]
+    #: Seconds spent in XPath→SQL translation (plan + render).
+    translate_seconds: float
+    #: Seconds spent executing the SQL and fetching ids.
+    execute_seconds: float
+    #: Number of matching nodes.
+    row_count: int
+    #: The matching ``pre`` ids, in document order.
+    pres: tuple[int, ...] = field(default=(), repr=False)
+
+    @property
+    def sql_length(self) -> int:
+        """Length of the generated SQL text (plan-complexity proxy)."""
+        return len(self.sql)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.translate_seconds + self.execute_seconds
+
+    def format(self) -> str:
+        return "\n".join(
+            [
+                f"xpath:     {self.xpath}",
+                f"scheme:    {self.scheme}",
+                f"rows:      {self.row_count}",
+                f"joins:     {self.join_count}",
+                f"sql chars: {self.sql_length}",
+                f"translate: {self.translate_seconds * 1000:.3f} ms",
+                f"execute:   {self.execute_seconds * 1000:.3f} ms",
+                "plan:",
+                *("    " + line for line in self.plan),
+            ]
+        )

@@ -1,0 +1,269 @@
+"""Hierarchical tracing for the store/translate/execute pipeline.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — one per
+pipeline phase (``store`` → ``shred``/``insert``, ``query`` →
+``translate``/``execute``/``reconstruct``) down to individual SQL
+statements (``sql.statement`` spans emitted by
+:class:`~repro.relational.database.Database`).  Spans carry monotonic
+timings (:func:`time.perf_counter`), arbitrary attributes, and
+parent/child nesting; point events (no duration) share the same record
+stream.
+
+Everything is in-process and zero-dependency: the tracer is a plain
+object handed to :meth:`repro.XmlRelStore.open` (``tracer=``) and
+threaded down through the :class:`~repro.relational.database.Database`.
+A *disabled* tracer (``Tracer(enabled=False)``, or the module-level
+:data:`NULL_TRACER` default) records nothing and keeps no per-call
+state, so the instrumented hot paths cost one attribute check when
+tracing is off.
+
+The tracer is deliberately single-threaded (one span stack); give each
+thread/connection its own tracer if you need concurrent traces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass
+class Span:
+    """One timed phase: a named interval with attributes and children."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float | None = None
+    attributes: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    #: Nesting depth: 0 for a root span.
+    depth: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def set(self, **attributes) -> "Span":
+        """Attach attributes; chainable."""
+        self.attributes.update(attributes)
+        return self
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _NullSpan:
+    """The span handed out by a disabled tracer: accepts the full Span
+    surface, records nothing, and is shared (no per-call allocation)."""
+
+    __slots__ = ()
+
+    name = ""
+    span_id = -1
+    parent_id = None
+    start = 0.0
+    end = 0.0
+    depth = 0
+    duration = 0.0
+    finished = True
+
+    @property
+    def attributes(self) -> dict:
+        return {}
+
+    @property
+    def children(self) -> list:
+        return []
+
+    def set(self, **attributes) -> "_NullSpan":
+        return self
+
+    def walk(self):
+        return iter(())
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def __bool__(self) -> bool:
+        # Lets instrumentation write `if span:` to guard enabled-only work.
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager pairing ``start_span``/``end_span``."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None and "error" not in self._span.attributes:
+            self._span.attributes["error"] = f"{type(exc).__name__}: {exc}"
+        self._tracer.end_span(self._span)
+        return None
+
+
+class Tracer:
+    """Collects spans and point events for one pipeline/session.
+
+    Use :meth:`span` as a context manager for well-scoped phases, or the
+    explicit :meth:`start_span`/:meth:`end_span` pair where the interval
+    does not map onto a ``with`` block.  Finished spans are kept both as
+    a tree (:attr:`roots`) and in completion order (:attr:`finished`);
+    the exporters in :mod:`repro.obs.export` consume either.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        slow_query_threshold: float | None = None,
+        max_sql_length: int = 2000,
+    ) -> None:
+        #: Master switch; a disabled tracer records nothing.
+        self.enabled = enabled
+        #: Statements slower than this (seconds) get their
+        #: ``EXPLAIN QUERY PLAN`` captured into the statement span.
+        #: ``None`` disables plan capture; ``0.0`` captures every plan.
+        self.slow_query_threshold = slow_query_threshold
+        #: SQL text longer than this is truncated in span attributes.
+        self.max_sql_length = max_sql_length
+        #: Metrics accumulated alongside the spans.
+        self.metrics = MetricsRegistry()
+        #: Completed root spans, in start order.
+        self.roots: list[Span] = []
+        #: All completed spans, in completion order.
+        self.finished: list[Span] = []
+        #: Point events (dicts with ``name``/``ts``/attributes).
+        self.events: list[dict] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+
+    # -- span lifecycle -----------------------------------------------------------
+
+    def start_span(self, name: str, **attributes) -> Span:
+        """Open a span nested under the current one (explicit form)."""
+        if not self.enabled:
+            return NULL_SPAN  # type: ignore[return-value]
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            start=time.perf_counter(),
+            attributes=dict(attributes),
+            depth=len(self._stack),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        """Close *span* (and any unclosed children left on the stack)."""
+        if not self.enabled or span is NULL_SPAN:
+            return
+        while self._stack:
+            top = self._stack.pop()
+            top.end = time.perf_counter()
+            parent = self._stack[-1] if self._stack else None
+            if parent is not None:
+                parent.children.append(top)
+            else:
+                self.roots.append(top)
+            self.finished.append(top)
+            if top is span:
+                return
+        # span was not on the stack (double end): record it standalone.
+        if span.end is None:
+            span.end = time.perf_counter()
+
+    def span(self, name: str, **attributes):
+        """Context manager form of :meth:`start_span`/:meth:`end_span`.
+
+        .. code-block:: python
+
+            with tracer.span("store", scheme="interval") as span:
+                ...
+                span.set(rows=result.total_rows)
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanContext(self, self.start_span(name, **attributes))
+
+    # -- point events -------------------------------------------------------------
+
+    def event(self, name: str, **attributes) -> None:
+        """Record an instantaneous event under the current span."""
+        if not self.enabled:
+            return
+        parent = self._stack[-1] if self._stack else None
+        self.events.append(
+            {
+                "name": name,
+                "ts": time.perf_counter() - self._epoch,
+                "parent_id": parent.span_id if parent else None,
+                **attributes,
+            }
+        )
+
+    # -- helpers -------------------------------------------------------------------
+
+    def clip_sql(self, sql: str) -> str:
+        """Truncate statement text for span attributes."""
+        if len(sql) <= self.max_sql_length:
+            return sql
+        return sql[: self.max_sql_length] + f"... [{len(sql)} chars]"
+
+    def relative(self, t: float) -> float:
+        """Convert a perf_counter reading to seconds since tracer start."""
+        return t - self._epoch
+
+    @property
+    def current_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def max_depth(self) -> int:
+        """Deepest nesting level across finished spans (root = 1)."""
+        return max((s.depth + 1 for s in self.finished), default=0)
+
+    def spans_named(self, name: str) -> list[Span]:
+        """All finished spans called *name*, in completion order."""
+        return [s for s in self.finished if s.name == name]
+
+    def reset(self) -> None:
+        """Drop all recorded spans, events, and metrics."""
+        self.roots.clear()
+        self.finished.clear()
+        self.events.clear()
+        self._stack.clear()
+        self.metrics = MetricsRegistry()
+        self._epoch = time.perf_counter()
+
+
+#: Shared disabled tracer — the default for every Database/XmlRelStore.
+NULL_TRACER = Tracer(enabled=False)

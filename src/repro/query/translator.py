@@ -68,16 +68,42 @@ class BaseTranslator(abc.ABC):
         translating each arm separately and merging the id sets — the
         XPath union semantics (distinct, document order) are exactly a
         sorted set merge on the shared ids.
+
+        Under an enabled :class:`~repro.obs.trace.Tracer` the run is
+        recorded as a ``query`` span with ``translate`` and ``execute``
+        children (individual ``sql.statement`` spans nest under
+        ``execute``).
         """
-        if isinstance(xpath, str):
-            arms = _union_arms(parse_xpath(xpath))
-            if arms is not None:
-                merged: set[int] = set()
-                for arm in arms:
-                    merged.update(self.query_pres(doc_id, arm))
-                return sorted(merged)
-        sql, params = self.sql_for(doc_id, xpath)
-        return [row[0] for row in self.db.query(sql, params)]
+        tracer = self.db.tracer
+        with tracer.span("query") as query_span:
+            if query_span:
+                query_span.set(
+                    scheme=self.scheme.name, xpath=str(xpath)
+                )
+                tracer.metrics.counter("query.executed").inc()
+            if isinstance(xpath, str):
+                arms = _union_arms(parse_xpath(xpath))
+                if arms is not None:
+                    merged: set[int] = set()
+                    for arm in arms:
+                        merged.update(self.query_pres(doc_id, arm))
+                    if query_span:
+                        query_span.set(
+                            rows=len(merged), union_arms=len(arms)
+                        )
+                    return sorted(merged)
+            with tracer.span("translate") as translate_span:
+                statement = self.translate(doc_id, xpath)
+                sql, params = statement.render()
+                if translate_span:
+                    translate_span.set(
+                        sql_length=len(sql), joins=statement.join_count
+                    )
+            with tracer.span("execute"):
+                rows = self.db.query(sql, params)
+            if query_span:
+                query_span.set(rows=len(rows))
+            return [row[0] for row in rows]
 
     def join_count(
         self, doc_id: int, xpath: str | LocationPath | PathPlan

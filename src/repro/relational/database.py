@@ -6,6 +6,14 @@ transactions, transient-error retries, batched inserts, and the
 introspection helpers the benchmark harness uses (row counts, byte
 accounting for experiment E1).
 
+When opened with a :class:`~repro.obs.trace.Tracer` every data statement
+is additionally instrumented: a ``sql.statement`` span records the SQL
+text, parameter/batch count, duration, row count, and per-statement
+retry attempts, and statements slower than the tracer's
+``slow_query_threshold`` get their ``EXPLAIN QUERY PLAN`` captured into
+the span.  With the default (disabled) tracer the hot path pays a single
+boolean check.
+
 Durability profiles
 -------------------
 
@@ -34,6 +42,7 @@ from contextlib import contextmanager
 from collections.abc import Callable, Iterable, Iterator, Sequence
 
 from repro.errors import StorageError, TransientStorageError
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.relational.retry import RetryPolicy, is_transient_error, with_retries
 from repro.relational.schema import Table, quote_identifier
 
@@ -79,6 +88,7 @@ class Database:
         path: str = ":memory:",
         profile: str = "bulk_load",
         retry: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if profile not in DURABILITY_PROFILES:
             raise StorageError(
@@ -88,6 +98,10 @@ class Database:
         self.path = path
         self.profile = profile
         self.retry = retry
+        #: Observability sink; the shared disabled tracer by default, so
+        #: instrumented paths cost one ``enabled`` check when off.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._last_statement_span = None
         self._txn_depth = 0
         self._savepoint_seq = 0
         self._conn = sqlite3.connect(path)
@@ -139,6 +153,88 @@ class Database:
             )
         return StorageError(f"SQL error: {error}\nin: {sql}")
 
+    def _traced_statement(
+        self,
+        sql: str,
+        params: Sequence,
+        runner: Callable,
+        kind: str,
+        batch_size: int | None = None,
+    ):
+        """Run one statement under a ``sql.statement`` span.
+
+        Records duration, SQL text, parameter count, retry-attempt
+        count (wired through :func:`with_retries`' ``on_retry`` hook),
+        and — above the tracer's ``slow_query_threshold`` — the
+        statement's ``EXPLAIN QUERY PLAN`` lines.
+        """
+        tracer = self.tracer
+        metrics = tracer.metrics
+        retries = 0
+
+        def on_retry(attempt: int, error: BaseException) -> None:
+            nonlocal retries
+            retries += 1
+            metrics.counter("db.retries").inc()
+            metrics.counter("db.transient_errors").inc()
+
+        span = tracer.start_span(
+            "sql.statement",
+            kind=kind,
+            sql=tracer.clip_sql(sql),
+            params=batch_size if batch_size is not None else len(params),
+        )
+        self._last_statement_span = span
+        try:
+            result = runner(on_retry)
+        except sqlite3.Error as error:
+            metrics.counter("db.errors").inc()
+            if is_transient_error(error):
+                metrics.counter("db.transient_errors").inc()
+            span.set(retries=retries, error=str(error))
+            tracer.end_span(span)
+            raise self._convert_error(error, sql) from error
+        except BaseException:
+            metrics.counter("db.errors").inc()
+            span.set(retries=retries)
+            tracer.end_span(span)
+            raise
+        tracer.end_span(span)
+        span.set(retries=retries)
+        metrics.counter("db.statements").inc()
+        metrics.histogram("db.statement_seconds").observe(span.duration)
+        if batch_size is not None:
+            span.set(rows=batch_size)
+            metrics.counter("db.rows_written").inc(batch_size)
+        elif (
+            getattr(result, "rowcount", -1) >= 0
+            and not sql.lstrip()[:6].upper().startswith("SELECT")
+        ):
+            span.set(rows=result.rowcount)
+        threshold = tracer.slow_query_threshold
+        if threshold is not None and span.duration >= threshold:
+            span.set(plan=self._capture_plan(sql, params))
+            metrics.counter("db.slow_statements").inc()
+        return result
+
+    def _capture_plan(self, sql: str, params: Sequence) -> list[str]:
+        """Best-effort ``EXPLAIN QUERY PLAN`` lines for a slow statement.
+
+        Runs on the raw connection — outside retry, tracing, and fault
+        injection — so plan capture can never recurse or fault.
+        """
+        head = sql.lstrip()[:10].upper()
+        if not head.startswith(("SELECT", "INSERT", "UPDATE", "DELETE",
+                                "WITH")):
+            return []
+        try:
+            rows = self._conn.execute(
+                f"EXPLAIN QUERY PLAN {sql}", params
+            ).fetchall()
+        except sqlite3.Error:
+            return []
+        return [row[-1] for row in rows]
+
     def execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
         """Execute one statement, returning the cursor.
 
@@ -147,32 +243,54 @@ class Database:
         surface as :class:`~repro.errors.TransientStorageError` once
         exhausted; other engine errors raise :class:`StorageError`.
         """
-        try:
-            return with_retries(self.retry, self._raw_execute, sql, params)
-        except sqlite3.Error as error:
-            raise self._convert_error(error, sql) from error
+        if not self.tracer.enabled:
+            try:
+                return with_retries(self.retry, self._raw_execute, sql,
+                                    params)
+            except sqlite3.Error as error:
+                raise self._convert_error(error, sql) from error
+        return self._traced_statement(
+            sql,
+            params,
+            lambda on_retry: with_retries(
+                self.retry, self._raw_execute, sql, params,
+                on_retry=on_retry,
+            ),
+            kind="execute",
+        )
 
     def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
-        if self.retry is not None:
-            # A batch can fail partway; re-running it naively would
-            # duplicate the rows already applied.  Materialize the rows
-            # (so the iterable is replayable) and scope each attempt to
-            # a savepoint that the retry loop rewinds.
+        # Materialize the batch up front.  Callers pass one-shot
+        # generators; both the retry loop (re-running an attempt after a
+        # partial consumption must see the full batch, never a silently
+        # empty/short remainder) and the instrumentation (batch size)
+        # need a replayable sequence.
+        if not isinstance(rows, (list, tuple)):
             rows = list(rows)
 
+        if self.retry is not None:
+            # A batch can fail partway; re-running it naively would
+            # duplicate the rows already applied.  Scope each attempt
+            # to a savepoint that the retry loop rewinds.
             def attempt() -> None:
                 with self.transaction():
                     self._raw_executemany(sql, rows)
 
+            def runner(on_retry):
+                return with_retries(self.retry, attempt, on_retry=on_retry)
+        else:
+            def runner(on_retry):
+                return self._raw_executemany(sql, rows)
+
+        if not self.tracer.enabled:
             try:
-                with_retries(self.retry, attempt)
+                runner(None)
             except sqlite3.Error as error:
                 raise self._convert_error(error, sql) from error
             return
-        try:
-            self._raw_executemany(sql, rows)
-        except sqlite3.Error as error:
-            raise self._convert_error(error, sql) from error
+        self._traced_statement(
+            sql, (), runner, kind="executemany", batch_size=len(rows)
+        )
 
     def executescript(self, script: str) -> None:
         try:
@@ -182,7 +300,17 @@ class Database:
 
     def query(self, sql: str, params: Sequence = ()) -> list[tuple]:
         """Execute and fetch all rows."""
-        return self.execute(sql, params).fetchall()
+        cursor = self.execute(sql, params)
+        rows = cursor.fetchall()
+        if self.tracer.enabled:
+            # The statement span ended inside execute(); result
+            # cardinality is only known now, so attach it post hoc (the
+            # span object stays mutable until exported).
+            span = self._last_statement_span
+            if span is not None:
+                span.set(rows=len(rows))
+            self.tracer.metrics.counter("db.rows_fetched").inc(len(rows))
+        return rows
 
     def query_one(self, sql: str, params: Sequence = ()) -> tuple | None:
         """Execute and fetch the first row (or None)."""
@@ -203,8 +331,17 @@ class Database:
         hook (a crash test double must still be able to roll back) but
         honours the retry policy — BEGIN is where ``SQLITE_BUSY``
         surfaces under contention."""
+        on_retry = None
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+
+            def on_retry(attempt, error):
+                metrics.counter("db.retries").inc()
+                metrics.counter("db.transient_errors").inc()
+
         try:
-            with_retries(self.retry, self._conn.execute, sql)
+            with_retries(self.retry, self._conn.execute, sql,
+                         on_retry=on_retry)
         except sqlite3.Error as error:
             raise self._convert_error(error, sql) from error
 
@@ -217,6 +354,7 @@ class Database:
         retried inner block) rolls back cleanly without killing the
         enclosing transaction.
         """
+        metrics = self.tracer.metrics if self.tracer.enabled else None
         if self._txn_depth == 0:
             self._control("BEGIN")
             self._txn_depth = 1
@@ -226,14 +364,22 @@ class Database:
                 self._txn_depth = 0
                 if self._conn.in_transaction:
                     self._conn.execute("ROLLBACK")
+                if metrics is not None:
+                    metrics.counter("db.rollbacks").inc()
                 raise
             self._txn_depth = 0
             self._control("COMMIT")
+            if metrics is not None:
+                metrics.counter("db.transactions").inc()
         else:
             self._savepoint_seq += 1
             name = f"xmlrel_sp_{self._savepoint_seq}"
             self._control(f"SAVEPOINT {name}")
             self._txn_depth += 1
+            if metrics is not None:
+                metrics.counter("db.savepoints").inc()
+                # High-water mark of nesting depth (depth 1 = outermost).
+                metrics.gauge("db.savepoint_depth").set(self._txn_depth)
             try:
                 yield
             except BaseException:

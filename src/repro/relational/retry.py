@@ -94,6 +94,7 @@ def with_retries(
     fn: Callable,
     *args,
     classify: Callable[[BaseException], bool] = is_transient_error,
+    on_retry: Callable[[int, BaseException], None] | None = None,
     **kwargs,
 ):
     """Run ``fn(*args, **kwargs)``, retrying transient failures.
@@ -102,6 +103,12 @@ def with_retries(
     survives every attempt is re-raised as-is (callers convert it to
     :class:`~repro.errors.TransientStorageError` with context); with no
     policy the callable runs exactly once.
+
+    *on_retry* (if given) is invoked as ``on_retry(attempt, error)``
+    before each backoff — i.e. once per failed attempt that will be
+    retried — which is how the statement instrumentation in
+    :class:`~repro.relational.database.Database` counts retries per
+    statement without the retry loop knowing about tracing.
     """
     attempts = policy.max_attempts if policy is not None else 1
     for attempt in range(1, attempts + 1):
@@ -110,5 +117,7 @@ def with_retries(
         except BaseException as error:
             if not classify(error) or attempt == attempts:
                 raise
+            if on_retry is not None:
+                on_retry(attempt, error)
             policy.backoff(attempt)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -99,6 +99,13 @@ class FaultInjectingDatabase(Database):
 
     # -- the hook ------------------------------------------------------------------
 
+    def _count_fault(self, kind: str) -> None:
+        """Feed the injected fault into the observability metrics, so a
+        traced chaos run reports how many faults it actually suffered."""
+        if self.tracer.enabled:
+            self.tracer.metrics.counter("faults.injected").inc()
+            self.tracer.metrics.counter(f"faults.{kind}").inc()
+
     def _before_statement(self, sql: str) -> None:
         if self._crashed:
             raise StorageError(
@@ -108,6 +115,7 @@ class FaultInjectingDatabase(Database):
             self._busy_pattern is None or self._busy_pattern.search(sql)
         ):
             self._busy_remaining -= 1
+            self._count_fault("busy")
             raise synthetic_busy()
         self.statements_seen += 1
         self.statement_log.append(sql)
@@ -119,9 +127,11 @@ class FaultInjectingDatabase(Database):
                 # What journal recovery does on the next open: the
                 # uncommitted transaction never happened.
                 self._conn.execute("ROLLBACK")
+            self._count_fault("crash")
             raise SimulatedCrash(f"simulated crash at statement {n}")
         error = self._fail_at.pop(n, None)
         if error is not None:
+            self._count_fault("error")
             raise error
 
     def _raw_execute(self, sql: str, params: Sequence = ()):

@@ -88,31 +88,50 @@ class MappingScheme(abc.ABC):
 
     def store(self, document: Document, name: str = "document") -> ShredResult:
         """Shred *document* into rows; returns ids and row accounting."""
-        records = number_document(document)
-        if not records:
-            raise StorageError("refusing to store an empty document")
-        root_tag = next(
-            (r.name for r in records if r.is_element and r.parent_pre == 0),
-            "",
-        )
-        # The catalog row and the shredded rows commit (or roll back)
-        # together: a fault mid-shred must never leave a catalog entry
-        # pointing at a partial document.
-        with self.db.transaction():
-            doc_id = self.catalog.register(
-                name, self.name, root_tag or "", len(records)
+        tracer = self.db.tracer
+        with tracer.span("store") as span:
+            if span:
+                span.set(scheme=self.name, document=name)
+            with tracer.span("shred") as shred_span:
+                records = number_document(document)
+                if shred_span:
+                    shred_span.set(nodes=len(records))
+            if not records:
+                raise StorageError("refusing to store an empty document")
+            root_tag = next(
+                (
+                    r.name
+                    for r in records
+                    if r.is_element and r.parent_pre == 0
+                ),
+                "",
             )
-            self._insert_records(doc_id, records, document)
-        # Refresh planner statistics: several translations (XRel's
-        # path-table-driven plans in particular) rely on the optimizer
-        # knowing the relative table sizes.
-        self.db.analyze()
-        row_counts = {
-            table: self._doc_row_count(table, doc_id)
-            for table in self.table_names()
-            if table != "xmlrel_documents"
-        }
-        return ShredResult(doc_id, len(records), row_counts)
+            # The catalog row and the shredded rows commit (or roll
+            # back) together: a fault mid-shred must never leave a
+            # catalog entry pointing at a partial document.
+            with tracer.span("insert"):
+                with self.db.transaction():
+                    doc_id = self.catalog.register(
+                        name, self.name, root_tag or "", len(records)
+                    )
+                    self._insert_records(doc_id, records, document)
+            # Refresh planner statistics: several translations (XRel's
+            # path-table-driven plans in particular) rely on the
+            # optimizer knowing the relative table sizes.
+            with tracer.span("analyze"):
+                self.db.analyze()
+            row_counts = {
+                table: self._doc_row_count(table, doc_id)
+                for table in self.table_names()
+                if table != "xmlrel_documents"
+            }
+            if span:
+                span.set(doc_id=doc_id, rows=sum(row_counts.values()))
+                tracer.metrics.counter("store.documents").inc()
+                tracer.metrics.counter("store.nodes_shredded").inc(
+                    len(records)
+                )
+            return ShredResult(doc_id, len(records), row_counts)
 
     def _doc_row_count(self, table: str, doc_id: int) -> int:
         try:
@@ -191,10 +210,18 @@ class MappingScheme(abc.ABC):
 
     def query_nodes(self, doc_id: int, xpath: str) -> list[Node]:
         """Run an XPath query via SQL and reconstruct each result node."""
-        return [
-            self.reconstruct_subtree(doc_id, pre)
-            for pre in self.query_pres(doc_id, xpath)
-        ]
+        tracer = self.db.tracer
+        with tracer.span("query.nodes") as span:
+            pres = self.query_pres(doc_id, xpath)
+            with tracer.span("reconstruct") as reconstruct_span:
+                nodes = [
+                    self.reconstruct_subtree(doc_id, pre) for pre in pres
+                ]
+                if reconstruct_span:
+                    reconstruct_span.set(nodes=len(nodes))
+            if span:
+                span.set(scheme=self.name, rows=len(nodes))
+            return nodes
 
     # -- integrity audit --------------------------------------------------------------------
 

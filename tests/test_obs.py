@@ -1,0 +1,363 @@
+"""Observability layer: spans, statement events, metrics, exporters,
+query introspection, and the bounded-overhead guarantee."""
+
+import json
+import time
+
+import pytest
+
+from repro import Tracer, XmlRelStore
+from repro.bench import report as bench_report
+from repro.bench.harness import ExperimentResult
+from repro.obs import (
+    NULL_TRACER,
+    Explanation,
+    MetricsRegistry,
+    QueryReport,
+    format_span_tree,
+    load_snapshot,
+    to_chrome_trace,
+    to_jsonl,
+)
+from repro.relational.database import Database
+from repro.relational.retry import RetryPolicy
+from repro.reliability.faults import FaultInjectingDatabase
+
+from .conftest import BIB_XML
+
+
+def traced_session(**tracer_kwargs):
+    """One stored document + one query under a fresh tracer."""
+    tracer = Tracer(**tracer_kwargs)
+    with XmlRelStore.open(scheme="interval", tracer=tracer) as store:
+        doc_id = store.store_text(BIB_XML, "bib")
+        pres = store.query_pres(doc_id, "/bib/book/title")
+    assert len(pres) == 2
+    return tracer
+
+
+class TestSpans:
+    def test_store_and_query_nest_at_least_three_levels(self):
+        tracer = traced_session()
+        assert tracer.max_depth() >= 3
+        # The pipeline phases are all present...
+        names = {span.name for span in tracer.finished}
+        assert {"parse", "store", "shred", "insert", "analyze",
+                "query", "translate", "execute",
+                "sql.statement"} <= names
+        # ...and SQL statements nest under the insert and execute phases.
+        insert = tracer.spans_named("insert")[0]
+        assert any(c.name == "sql.statement" for c in insert.children)
+        execute = tracer.spans_named("execute")[0]
+        assert any(c.name == "sql.statement" for c in execute.children)
+
+    def test_timings_are_monotonic_and_contained(self):
+        tracer = traced_session()
+        for root in tracer.roots:
+            for span in root.walk():
+                assert span.finished
+                assert span.duration >= 0.0
+                previous_start = span.start
+                for child in span.children:
+                    # Children run inside the parent's interval, in
+                    # start order.
+                    assert child.start >= span.start
+                    assert child.end <= span.end + 1e-9
+                    assert child.start >= previous_start
+                    previous_start = child.start
+                    assert child.depth == span.depth + 1
+
+    def test_statement_spans_carry_sql_rows_and_duration(self):
+        tracer = traced_session()
+        statements = tracer.spans_named("sql.statement")
+        assert statements
+        for span in statements:
+            assert span.attributes["sql"]
+            assert span.attributes["params"] >= 0
+            assert span.attributes["retries"] == 0
+        select = [
+            s for s in statements
+            if s.attributes["sql"].startswith("SELECT DISTINCT")
+        ]
+        assert select and select[-1].attributes["rows"] == 2
+
+    def test_query_span_reports_scheme_xpath_and_rows(self):
+        tracer = traced_session()
+        query = tracer.spans_named("query")[0]
+        assert query.attributes["scheme"] == "interval"
+        assert query.attributes["xpath"] == "/bib/book/title"
+        assert query.attributes["rows"] == 2
+
+    def test_span_tree_renders_every_phase(self):
+        tracer = traced_session()
+        tree = format_span_tree(tracer)
+        for name in ("store", "insert", "query", "sql.statement"):
+            assert name in tree
+        assert "ms" in tree
+
+
+class TestDisabledTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = traced_session(enabled=False)
+        assert tracer.finished == []
+        assert tracer.roots == []
+        assert tracer.events == []
+        assert tracer.metrics.is_empty()
+
+    def test_default_store_uses_shared_null_tracer(self):
+        with XmlRelStore.open(scheme="edge") as store:
+            assert store.tracer is NULL_TRACER
+            doc_id = store.store_text(BIB_XML)
+            store.query_pres(doc_id, "//title")
+        assert NULL_TRACER.finished == []
+        assert NULL_TRACER.metrics.is_empty()
+
+
+class TestStatementRetries:
+    def policy(self):
+        return RetryPolicy(
+            max_attempts=5, base_delay=0.001, sleep=lambda _d: None,
+            seed=3,
+        )
+
+    def test_busy_burst_counts_retries_on_the_statement_span(self):
+        tracer = Tracer()
+        db = FaultInjectingDatabase(retry=self.policy(), tracer=tracer)
+        db.execute("CREATE TABLE t (x)")
+        db.busy_next(3)
+        db.execute("INSERT INTO t VALUES (1)")
+        span = tracer.spans_named("sql.statement")[-1]
+        assert span.attributes["retries"] == 3
+        assert tracer.metrics.counter_value("db.retries") == 3
+        assert tracer.metrics.counter_value("db.transient_errors") == 3
+        assert tracer.metrics.counter_value("faults.injected") == 3
+        assert tracer.metrics.counter_value("faults.busy") == 3
+
+    def test_exhausted_retries_mark_the_span_as_errored(self):
+        tracer = Tracer()
+        db = FaultInjectingDatabase(retry=self.policy(), tracer=tracer)
+        db.execute("CREATE TABLE t (x)")
+        db.busy_next(99)
+        with pytest.raises(Exception):
+            db.execute("INSERT INTO t VALUES (1)")
+        span = tracer.spans_named("sql.statement")[-1]
+        assert span.attributes["retries"] == 4  # max_attempts - 1
+        assert "error" in span.attributes
+        assert tracer.metrics.counter_value("db.errors") == 1
+
+    def test_executemany_generator_retry_inserts_full_batch(self):
+        # The satellite fix: a one-shot generator must be materialized
+        # before the first attempt, so a mid-batch transient failure and
+        # retry can never insert an empty or short batch.
+        tracer = Tracer()
+        db = FaultInjectingDatabase(retry=self.policy(), tracer=tracer)
+        db.execute("CREATE TABLE t (x)")
+        db.busy_next(2)
+        db.executemany(
+            "INSERT INTO t VALUES (?)", ((i,) for i in range(50))
+        )
+        assert db.scalar("SELECT COUNT(*) FROM t") == 50
+        span = [
+            s for s in tracer.spans_named("sql.statement")
+            if s.attributes.get("kind") == "executemany"
+        ][-1]
+        assert span.attributes["rows"] == 50
+        assert span.attributes["retries"] == 2
+
+    def test_executemany_without_retry_still_materializes(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x)")
+        rows = iter([(1,), (2,), (3,)])
+        db.executemany("INSERT INTO t VALUES (?)", rows)
+        assert db.scalar("SELECT COUNT(*) FROM t") == 3
+
+
+class TestSlowQueryCapture:
+    def test_threshold_zero_captures_a_plan_for_selects(self):
+        tracer = Tracer(slow_query_threshold=0.0)
+        with XmlRelStore.open(scheme="interval", tracer=tracer) as store:
+            doc_id = store.store_text(BIB_XML)
+            store.query_pres(doc_id, "//title")
+        slow = [
+            s for s in tracer.spans_named("sql.statement")
+            if s.attributes.get("plan")
+        ]
+        assert slow, "no statement captured a plan at threshold 0"
+        assert any(
+            "accel" in line for span in slow
+            for line in span.attributes["plan"]
+        )
+        assert tracer.metrics.counter_value("db.slow_statements") > 0
+
+    def test_high_threshold_captures_nothing(self):
+        tracer = Tracer(slow_query_threshold=60.0)
+        with XmlRelStore.open(scheme="interval", tracer=tracer) as store:
+            doc_id = store.store_text(BIB_XML)
+            store.query_pres(doc_id, "//title")
+        assert all(
+            "plan" not in s.attributes
+            for s in tracer.spans_named("sql.statement")
+        )
+        assert tracer.metrics.counter_value("db.slow_statements") == 0
+
+
+class TestMetrics:
+    def test_session_metrics_have_nonzero_core_counters(self):
+        tracer = traced_session()
+        snapshot = tracer.metrics.snapshot()
+        assert snapshot["counters"]["db.statements"] > 0
+        assert snapshot["counters"]["store.documents"] == 1
+        assert snapshot["counters"]["store.nodes_shredded"] > 0
+        assert snapshot["counters"]["db.rows_written"] > 0
+        assert snapshot["counters"]["db.transactions"] >= 1
+        assert snapshot["counters"]["query.executed"] == 1
+        latency = snapshot["histograms"]["db.statement_seconds"]
+        assert latency["count"] == snapshot["counters"]["db.statements"]
+        assert latency["p50"] is not None
+        assert latency["min"] <= latency["p50"] <= latency["max"]
+
+    def test_snapshot_round_trips_through_json(self):
+        tracer = traced_session()
+        registry = tracer.metrics
+        registry.gauge("custom.depth").set(3)
+        registry.gauge("custom.depth").set(2)
+        assert registry.gauge("custom.depth").high_water == 3
+        restored = load_snapshot(registry.snapshot_json())
+        assert restored == registry.snapshot()
+
+    def test_histogram_percentiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(50) == pytest.approx(50, abs=1)
+        assert histogram.percentile(99) == pytest.approx(99, abs=1)
+        assert histogram.summary()["count"] == 100
+
+
+class TestExporters:
+    def test_jsonl_lines_parse_and_cover_every_span(self):
+        tracer = traced_session()
+        lines = to_jsonl(tracer).splitlines()
+        records = [json.loads(line) for line in lines]
+        spans = [r for r in records if r["type"] == "span"]
+        assert len(spans) == len(tracer.finished)
+        for record in spans:
+            assert record["duration"] >= 0.0
+            assert record["start"] >= 0.0
+
+    def test_chrome_trace_is_valid_and_ordered(self):
+        tracer = traced_session()
+        trace = to_chrome_trace(tracer)
+        # Round-trip through JSON: the export must be serializable.
+        trace = json.loads(json.dumps(trace))
+        events = trace["traceEvents"]
+        assert events
+        assert all(e["ph"] in ("X", "i") for e in events)
+        timestamps = [e["ts"] for e in events]
+        assert timestamps == sorted(timestamps)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {"name", "ts", "dur", "pid", "tid"} <= set(complete[0])
+
+
+class TestQueryIntrospection:
+    def test_explain_returns_sql_and_plan(self):
+        with XmlRelStore.open(scheme="interval") as store:
+            doc_id = store.store_text(BIB_XML)
+            explanation = store.explain(doc_id, "/bib/book/title")
+        assert isinstance(explanation, Explanation)
+        assert explanation.sql.startswith("SELECT")
+        assert explanation.plan
+        assert explanation.uses_index("accel_name")
+        assert "plan:" in explanation.format()
+
+    def test_query_report_carries_cost_signals(self):
+        with XmlRelStore.open(scheme="interval") as store:
+            doc_id = store.store_text(BIB_XML)
+            report = store.query_report(doc_id, "/bib/book/title")
+        assert isinstance(report, QueryReport)
+        assert report.row_count == 2 and len(report.pres) == 2
+        assert report.join_count == 2
+        assert report.sql_length == len(report.sql) > 0
+        assert report.translate_seconds >= 0.0
+        assert report.execute_seconds >= 0.0
+        assert report.plan
+        assert "joins:" in report.format()
+
+    def test_explain_works_on_every_schemaless_scheme(self):
+        from .conftest import SCHEMALESS_SCHEMES
+
+        for name in SCHEMALESS_SCHEMES:
+            with XmlRelStore.open(scheme=name) as store:
+                doc_id = store.store_text(BIB_XML)
+                explanation = store.explain(doc_id, "/bib/book")
+                assert explanation.scheme == name
+                assert explanation.plan, name
+
+
+class TestBenchReportEmit:
+    def result(self):
+        result = ExperimentResult(
+            experiment="E0", title="t", workload="w", expectation="e"
+        )
+        result.add_row("edge", seconds=1.5)
+        return result
+
+    def test_sink_receives_report_record(self, tmp_path, capsys):
+        captured = []
+        sink = bench_report.add_sink(captured.append)
+        try:
+            path = bench_report.write_report(
+                self.result(), directory=str(tmp_path)
+            )
+        finally:
+            bench_report.remove_sink(sink)
+        assert captured and captured[0]["kind"] == "experiment-report"
+        assert captured[0]["experiment"] == "E0"
+        assert captured[0]["path"] == path
+        json.dumps({k: v for k, v in captured[0].items()})
+        # stdout rendering is preserved.
+        assert "E0: t" in capsys.readouterr().out
+
+    def test_stdout_can_be_muted_without_losing_sinks(
+        self, tmp_path, capsys
+    ):
+        captured = []
+        sink = bench_report.add_sink(captured.append)
+        bench_report.set_stdout(False)
+        try:
+            bench_report.write_report(
+                self.result(), directory=str(tmp_path)
+            )
+        finally:
+            bench_report.set_stdout(True)
+            bench_report.remove_sink(sink)
+        assert captured
+        assert capsys.readouterr().out == ""
+
+
+class TestOverheadGuard:
+    def _session_seconds(self, tracer):
+        started = time.perf_counter()
+        with XmlRelStore.open(scheme="interval", tracer=tracer) as store:
+            doc_id = store.store_text(BIB_XML, "bib")
+            for _ in range(20):
+                store.query_pres(doc_id, "/bib/book/title")
+        return time.perf_counter() - started
+
+    def test_traced_run_stays_within_overhead_factor(self):
+        # The CI guard: tracing every span and statement must stay
+        # within a fixed factor of the untraced run.  Best-of-3 on both
+        # sides smooths scheduler noise; the factor is deliberately
+        # generous — the budget in DESIGN.md is ~10%, the guard trips on
+        # an order-of-magnitude regression, not jitter.
+        untraced = min(
+            self._session_seconds(None) for _ in range(3)
+        )
+        traced = min(
+            self._session_seconds(Tracer()) for _ in range(3)
+        )
+        assert traced <= untraced * 3.0 + 0.05, (
+            f"tracing overhead too high: traced={traced:.4f}s "
+            f"untraced={untraced:.4f}s"
+        )
