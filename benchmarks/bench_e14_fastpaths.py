@@ -1,0 +1,198 @@
+"""E14 — hot-path fast lanes: plan cache, batched publishing, bulk load.
+
+Three measurements, each against the slow path it replaces:
+
+* **warm vs cold translation** — repeated XPath queries with the plan
+  cache primed vs cleared before every call (cold pays
+  parse → plan → AST → render each time);
+* **reconstruction round-trips** — ``query_nodes`` must issue the same
+  number of SQL statements regardless of result cardinality (verified
+  by counting ``sql.statement`` spans, not by timing);
+* **bulk vs per-document loading** — 100 documents through one
+  :class:`~repro.storage.base.BulkSession` (one transaction, one
+  deferred ``ANALYZE``) vs 100 standalone stores.
+
+Besides the usual markdown table, the run writes the machine-readable
+``benchmarks/results/BENCH_PR3.json`` consumed by the CI bench-smoke
+job.
+"""
+
+import json
+import os
+import time
+
+from repro.bench import ExperimentResult, write_report
+from repro.core.registry import create_scheme
+from repro.obs import Tracer
+from repro.relational.database import Database
+from repro.storage.base import BulkSession
+from repro.workloads import generate_auction
+from repro.xml.parser import parse_document
+
+from benchmarks.conftest import PROFILE, SEED
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_PR3.json"
+)
+
+#: Translation-heavy queries of the auction workload: deep paths,
+#: predicates, and a multi-arm union — the shapes whose parse/plan/render
+#: cost the cache amortizes.
+CACHED_QUERIES = (
+    "/site/people/person[@id = 'person0']/name",
+    "/site/open_auctions/open_auction/bidder[1]/increase",
+    "/site/regions/africa/item/name | /site/regions/asia/item/name"
+    " | /site/closed_auctions/closed_auction/price",
+)
+
+QUERY_REPETITIONS = 40
+BULK_DOCUMENTS = 100
+
+
+def _bulk_corpus():
+    return [
+        parse_document(
+            f"<bib><book year='{1990 + i % 20}' id='b{i}'>"
+            f"<title>Title {i}</title>"
+            f"<author><last>Author{i}</last></author>"
+            f"<price>{10 + i}</price></book></bib>"
+        )
+        for i in range(BULK_DOCUMENTS)
+    ]
+
+
+def test_e14_fastpaths(tmp_path):
+    document = generate_auction(0.05, seed=SEED)
+
+    # -- warm vs cold plan translation --------------------------------------
+    db = Database(profile=PROFILE)
+    scheme = create_scheme("interval", db)
+    doc_id = scheme.store(document, "auction").doc_id
+
+    def run_queries():
+        for xpath in CACHED_QUERIES:
+            scheme.query_pres(doc_id, xpath)
+
+    cold_seconds = 0.0
+    for __ in range(QUERY_REPETITIONS):
+        db.plan_cache.clear()
+        started = time.perf_counter()
+        run_queries()
+        cold_seconds += time.perf_counter() - started
+    run_queries()  # prime the cache
+    warm_seconds = 0.0
+    for __ in range(QUERY_REPETITIONS):
+        started = time.perf_counter()
+        run_queries()
+        warm_seconds += time.perf_counter() - started
+    queries_run = QUERY_REPETITIONS * len(CACHED_QUERIES)
+    cold_qps = queries_run / cold_seconds
+    warm_qps = queries_run / warm_seconds
+    warm_speedup = cold_seconds / warm_seconds
+    cache_stats = db.plan_cache.stats()
+    db.close()
+
+    # -- reconstruction round-trips -----------------------------------------
+    tracer = Tracer()
+    traced_db = Database(profile=PROFILE, tracer=tracer)
+    traced_scheme = create_scheme("interval", traced_db)
+    traced_id = traced_scheme.store(document, "auction").doc_id
+
+    def statements_for(xpath):
+        before = len(tracer.spans_named("sql.statement"))
+        nodes = traced_scheme.query_nodes(traced_id, xpath)
+        after = len(tracer.spans_named("sql.statement"))
+        return len(nodes), after - before
+
+    narrow_results, narrow_stmts = statements_for(
+        "/site/regions/africa/item/name"
+    )
+    wide_results, wide_stmts = statements_for("/site/people/person/name")
+    traced_db.close()
+
+    # -- bulk vs per-document loading ---------------------------------------
+    corpus = _bulk_corpus()
+
+    per_doc_db = Database(profile=PROFILE)
+    per_doc_scheme = create_scheme("interval", per_doc_db)
+    started = time.perf_counter()
+    for position, doc in enumerate(corpus):
+        per_doc_scheme.store(doc, f"doc-{position}")
+    per_doc_seconds = time.perf_counter() - started
+    per_doc_count = len(per_doc_scheme.catalog.list())
+    per_doc_db.close()
+
+    bulk_db = Database(profile=PROFILE)
+    bulk_scheme = create_scheme("interval", bulk_db)
+    started = time.perf_counter()
+    with BulkSession(bulk_scheme) as session:
+        for position, doc in enumerate(corpus):
+            session.store(doc, f"doc-{position}")
+    bulk_seconds = time.perf_counter() - started
+    bulk_count = len(bulk_scheme.catalog.list())
+    bulk_db.close()
+
+    bulk_dps = BULK_DOCUMENTS / bulk_seconds
+    per_doc_dps = BULK_DOCUMENTS / per_doc_seconds
+    bulk_speedup = per_doc_seconds / bulk_seconds
+
+    # -- report ---------------------------------------------------------------
+    result = ExperimentResult(
+        experiment="E14",
+        title="Hot-path fast lanes (plan cache, batching, bulk load)",
+        workload=(
+            f"auction sf=0.05; {queries_run} queries; "
+            f"{BULK_DOCUMENTS}-document corpus"
+        ),
+        expectation=(
+            "warm cached queries >= 2x cold; statement count flat in "
+            "result cardinality; bulk load >= 2x per-document stores"
+        ),
+    )
+    result.add_row(
+        "queries/sec", cold=cold_qps, warm=warm_qps, speedup=warm_speedup
+    )
+    result.add_row(
+        "docs/sec", cold=per_doc_dps, warm=bulk_dps, speedup=bulk_speedup
+    )
+    result.add_row(
+        "stmts/query", cold=narrow_stmts, warm=wide_stmts, speedup=1.0
+    )
+    write_report(result)
+
+    payload = {
+        "experiment": "E14",
+        "scheme": "interval",
+        "profile": PROFILE,
+        "plan_cache": {
+            "queries_per_sec_cold": cold_qps,
+            "queries_per_sec_warm": warm_qps,
+            "warm_speedup": warm_speedup,
+            "hits": cache_stats["hits"],
+            "misses": cache_stats["misses"],
+        },
+        "reconstruction": {
+            "narrow_results": narrow_results,
+            "narrow_statements": narrow_stmts,
+            "wide_results": wide_results,
+            "wide_statements": wide_stmts,
+        },
+        "bulk_load": {
+            "documents": BULK_DOCUMENTS,
+            "docs_per_sec_bulk": bulk_dps,
+            "docs_per_sec_per_doc": per_doc_dps,
+            "bulk_speedup": bulk_speedup,
+        },
+    }
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    # -- acceptance -----------------------------------------------------------
+    assert warm_speedup >= 2.0, payload["plan_cache"]
+    assert cache_stats["hits"] >= queries_run
+    assert wide_results > narrow_results
+    assert narrow_stmts == wide_stmts, payload["reconstruction"]
+    assert per_doc_count == bulk_count == BULK_DOCUMENTS
+    assert bulk_speedup >= 2.0, payload["bulk_load"]

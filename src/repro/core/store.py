@@ -26,8 +26,9 @@ from repro.obs.trace import Tracer
 from repro.relational.catalog import DocumentRecord
 from repro.relational.database import Database
 from repro.relational.retry import RetryPolicy
+from repro.relational.sql import bind_doc_id
 from repro.reliability.audit import IntegrityReport
-from repro.storage.base import MappingScheme, ShredResult
+from repro.storage.base import BulkSession, MappingScheme, ShredResult
 from repro.xml.dom import Document, Node
 from repro.xml.parser import ParseOptions, parse_document
 from repro.xml.serialize import serialize
@@ -123,6 +124,44 @@ class XmlRelStore:
             ) from error
         return self.store_text(text, name or path)
 
+    # -- bulk loading -------------------------------------------------------------
+
+    def bulk_session(self) -> BulkSession:
+        """A context manager batching many stores into one transaction.
+
+        .. code-block:: python
+
+            with store.bulk_session() as session:
+                for document in corpus:
+                    session.store(document)
+            doc_ids = session.doc_ids
+
+        All documents commit atomically on exit; ``ANALYZE`` runs once at
+        session close instead of once per document.  An exception rolls
+        back the entire batch.
+        """
+        return BulkSession(self.scheme)
+
+    def store_many(
+        self,
+        documents: list[Document],
+        names: list[str] | None = None,
+    ) -> list[int]:
+        """Store *documents* through one :meth:`bulk_session`; returns
+        their doc_ids in order."""
+        if names is not None and len(names) != len(documents):
+            raise XmlRelError(
+                f"{len(documents)} document(s) but {len(names)} name(s)"
+            )
+        with self.bulk_session() as session:
+            for position, document in enumerate(documents):
+                name = (
+                    names[position] if names is not None
+                    else f"document-{position}"
+                )
+                session.store(document, name)
+        return session.doc_ids
+
     # -- catalog ------------------------------------------------------------------
 
     def documents(self) -> list[DocumentRecord]:
@@ -191,28 +230,32 @@ class XmlRelStore:
     def query_report(self, doc_id: int, xpath: str) -> QueryReport:
         """Run *xpath* and return the full per-query cost record:
         translation time, SQL length, structural join count, plan lines,
-        execution time, and the matching ids."""
+        execution time, plan-cache state, and the matching ids."""
         translator = self.scheme.translator()
         started = time.perf_counter()
-        statement = translator.translate(doc_id, xpath)
-        sql, params = statement.render()
+        plan_entry, cache_hit = translator.cached_translation(doc_id, xpath)
         translate_seconds = time.perf_counter() - started
-        plan = self.db.explain_plan(sql, params)
+        params = bind_doc_id(plan_entry.params, doc_id)
+        plan = self.db.explain_plan(plan_entry.sql, params)
         started = time.perf_counter()
-        rows = self.db.query(sql, params)
+        rows = self.db.query(plan_entry.sql, params)
         execute_seconds = time.perf_counter() - started
         pres = tuple(row[0] for row in rows)
+        cache_stats = self.db.plan_cache.stats()
         return QueryReport(
             xpath=str(xpath),
             scheme=self.scheme.name,
-            sql=sql,
+            sql=plan_entry.sql,
             params=tuple(params),
-            join_count=statement.join_count,
+            join_count=plan_entry.join_count,
             plan=tuple(plan),
             translate_seconds=translate_seconds,
             execute_seconds=execute_seconds,
             row_count=len(pres),
             pres=pres,
+            cache_hit=cache_hit,
+            cache_hits=cache_stats["hits"],
+            cache_misses=cache_stats["misses"],
         )
 
     # -- retrieval -----------------------------------------------------------------

@@ -4,7 +4,9 @@ A :class:`MetricsRegistry` is a flat namespace of named instruments:
 
 * :class:`Counter` — monotonically increasing totals (statements
   executed, rows shredded, transactions committed, retries, injected
-  faults),
+  faults, ``plan_cache.hits``/``plan_cache.misses`` from the XPath→SQL
+  translation cache, ``bulk.sessions``/``bulk.documents`` from bulk
+  loading),
 * :class:`Gauge` — last-written values (current savepoint depth),
 * :class:`Histogram` — distributions with percentile summaries
   (per-statement latency).

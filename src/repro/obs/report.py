@@ -63,6 +63,12 @@ class QueryReport:
     row_count: int
     #: The matching ``pre`` ids, in document order.
     pres: tuple[int, ...] = field(default=(), repr=False)
+    #: True when the translation came from the plan cache.
+    cache_hit: bool = False
+    #: Lifetime plan-cache hits of the store's database.
+    cache_hits: int = 0
+    #: Lifetime plan-cache misses of the store's database.
+    cache_misses: int = 0
 
     @property
     def sql_length(self) -> int:
@@ -83,6 +89,8 @@ class QueryReport:
                 f"sql chars: {self.sql_length}",
                 f"translate: {self.translate_seconds * 1000:.3f} ms",
                 f"execute:   {self.execute_seconds * 1000:.3f} ms",
+                f"plan cache: {'hit' if self.cache_hit else 'miss'} "
+                f"({self.cache_hits} hits / {self.cache_misses} misses)",
                 "plan:",
                 *("    " + line for line in self.plan),
             ]

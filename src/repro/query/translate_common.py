@@ -36,6 +36,7 @@ from repro.relational.sql import (
     And,
     Col,
     Comparison,
+    DocParam,
     Exists,
     Func,
     Like,
@@ -189,7 +190,7 @@ class TableTranslator(BaseTranslator):
                     f"{step.axis} from an attribute context"
                 )
             alias = f"n{i}"
-            conditions = [Col("doc_id", alias).eq(Param(doc_id))]
+            conditions = [Col("doc_id", alias).eq(DocParam())]
             conditions += self.axis_conditions(step, alias, prev)
             conditions += self.test_conditions(step.test, step.axis, alias)
             for predicate in step.predicates:
@@ -296,7 +297,7 @@ class TableTranslator(BaseTranslator):
             Select()
             .from_table(self.position_table(step), sibling)
             .select(Raw("COUNT(*)"))
-            .where(Col("doc_id", sibling).eq(Param(doc_id)))
+            .where(Col("doc_id", sibling).eq(DocParam()))
             .where(self.same_parent(sibling, alias))
             .where(Col("ordinal", sibling).lt(Col("ordinal", alias)))
         )
@@ -313,7 +314,7 @@ class TableTranslator(BaseTranslator):
             Select()
             .from_table(self.position_table(step), sibling)
             .select(Raw("COUNT(*)"))
-            .where(Col("doc_id", sibling).eq(Param(doc_id)))
+            .where(Col("doc_id", sibling).eq(DocParam()))
             .where(self.same_parent(sibling, alias))
             .where(Col("ordinal", sibling).gt(Col("ordinal", alias)))
         )
@@ -337,7 +338,7 @@ class TableTranslator(BaseTranslator):
         for depth, name in enumerate(path.element_names):
             current = f"{alias}_c{depth}"
             conditions = And((
-                Col("doc_id", current).eq(Param(doc_id)),
+                Col("doc_id", current).eq(DocParam()),
                 self.child_link(prev, current),
                 Col("kind", current).eq(Raw(str(ELEMENT))),
                 Col(self.name_column, current).eq(Param(name)),
@@ -349,7 +350,7 @@ class TableTranslator(BaseTranslator):
             self._attach(
                 sub, self.attribute_table(path.target_name or ""), final,
                 And((
-                    Col("doc_id", final).eq(Param(doc_id)),
+                    Col("doc_id", final).eq(DocParam()),
                     self.child_link(prev, final),
                     Col("kind", final).eq(Raw(str(ATTRIBUTE))),
                     Col(self.name_column, final).eq(
@@ -362,7 +363,7 @@ class TableTranslator(BaseTranslator):
             self._attach(
                 sub, self.text_table(), final,
                 And((
-                    Col("doc_id", final).eq(Param(doc_id)),
+                    Col("doc_id", final).eq(DocParam()),
                     self.child_link(prev, final),
                     Col("kind", final).eq(Raw(str(TEXT))),
                 )),
@@ -402,7 +403,7 @@ class TableTranslator(BaseTranslator):
         for depth, name in enumerate(path.element_names):
             current = f"{alias}_v{depth}"
             conditions = And((
-                Col("doc_id", current).eq(Param(doc_id)),
+                Col("doc_id", current).eq(DocParam()),
                 self.child_link(prev, current),
                 Col("kind", current).eq(Raw(str(ELEMENT))),
                 Col(self.name_column, current).eq(Param(name)),
@@ -419,14 +420,14 @@ class TableTranslator(BaseTranslator):
         final = f"{alias}_vt"
         if path.target == "attribute":
             conditions = And((
-                Col("doc_id", final).eq(Param(doc_id)),
+                Col("doc_id", final).eq(DocParam()),
                 self.child_link(prev, final),
                 Col("kind", final).eq(Raw(str(ATTRIBUTE))),
                 Col(self.name_column, final).eq(Param(path.target_name)),
             ))
         else:  # text()
             conditions = And((
-                Col("doc_id", final).eq(Param(doc_id)),
+                Col("doc_id", final).eq(DocParam()),
                 self.child_link(prev, final),
                 Col("kind", final).eq(Raw(str(TEXT))),
             ))
@@ -481,7 +482,7 @@ class TableTranslator(BaseTranslator):
             Select()
             .from_table(table, inner)
             .select(Col(parent_column, inner))
-            .where(Col("doc_id", inner).eq(Param(doc_id)))
+            .where(Col("doc_id", inner).eq(DocParam()))
             .where(Col("kind", inner).eq(Raw(str(kind))))
             .where(Col(self.name_column, inner).eq(Param(name)))
             .where(Col(value_column, inner).eq(Param(literal or "")))

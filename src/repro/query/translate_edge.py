@@ -32,7 +32,7 @@ from repro.query.translate_common import ATTRIBUTE, TableTranslator
 from repro.relational.sql import (
     And,
     Col,
-    Param,
+    DocParam,
     Raw,
     Select,
     SqlExpr,
@@ -175,7 +175,7 @@ class EdgeTranslator(TableTranslator):
                 .from_table(self.closure_table(), "e")
                 .select(Col("source", "e"), alias="pre")
                 .join(prev_cte, "p", Col("target", "e").eq(Col("pre", "p")))
-                .where(Col("doc_id", "e").eq(Param(doc_id)))
+                .where(Col("doc_id", "e").eq(DocParam()))
                 .where(Col("source", "e").gt(Raw("0")))
             )
         recursive = (
@@ -183,7 +183,7 @@ class EdgeTranslator(TableTranslator):
             .from_table(self.closure_table(), "e")
             .select(Col("source", "e"), alias="pre")
             .join(closure, "r", Col("target", "e").eq(Col("pre", "r")))
-            .where(Col("doc_id", "e").eq(Param(doc_id)))
+            .where(Col("doc_id", "e").eq(DocParam()))
             .where(Col("source", "e").gt(Raw("0")))
         )
         return Union((base, recursive), all=True)
@@ -197,7 +197,7 @@ class EdgeTranslator(TableTranslator):
             .from_table(self.closure_table(), "e")
             .select(Col("target", "e"), alias="pre")
             .join(closure, "r", Col("target", "e").eq(Col("pre", "r")))
-            .where(Col("doc_id", "e").eq(Param(doc_id)))
+            .where(Col("doc_id", "e").eq(DocParam()))
         )
         self._apply_tests_and_predicates(query, step, "e", doc_id)
         return query
@@ -217,7 +217,7 @@ class EdgeTranslator(TableTranslator):
                 self.closure_table(),
                 "prow",
                 And((
-                    Col("doc_id", "prow").eq(Param(doc_id)),
+                    Col("doc_id", "prow").eq(DocParam()),
                     Col("target", "prow").eq(Col("pre", "p")),
                 )),
             )
@@ -225,7 +225,7 @@ class EdgeTranslator(TableTranslator):
                 self.closure_table(),
                 "e",
                 And((
-                    Col("doc_id", "e").eq(Param(doc_id)),
+                    Col("doc_id", "e").eq(DocParam()),
                     Col("source", "e").eq(Col("source", "prow")),
                     getattr(Col("ordinal", "e"), comparison_op)(
                         Col("ordinal", "prow")
@@ -250,7 +250,7 @@ class EdgeTranslator(TableTranslator):
             .from_table(self.closure_table(), "e")
             .select(Col("target", "e"))
             .join(closure, "r", Col("source", "e").eq(Col("pre", "r")))
-            .where(Col("doc_id", "e").eq(Param(doc_id)))
+            .where(Col("doc_id", "e").eq(DocParam()))
         )
         return Union((base, recursive), all=True)
 
@@ -262,7 +262,7 @@ class EdgeTranslator(TableTranslator):
             Select()
             .from_table(self.step_table(step), "e")
             .select(Col("target", "e"), alias="pre")
-            .where(Col("doc_id", "e").eq(Param(doc_id)))
+            .where(Col("doc_id", "e").eq(DocParam()))
         )
         if step.axis in (AXIS_CHILD, AXIS_ATTRIBUTE):
             # Children of desc-or-self == proper descendants.
@@ -286,7 +286,7 @@ class EdgeTranslator(TableTranslator):
         query = (
             Select()
             .from_table(self.step_table(step), "e")
-            .where(Col("doc_id", "e").eq(Param(doc_id)))
+            .where(Col("doc_id", "e").eq(DocParam()))
         )
         if step.axis == AXIS_PARENT:
             if prev_cte is None:
@@ -303,7 +303,7 @@ class EdgeTranslator(TableTranslator):
                 self.closure_table(),
                 "c",
                 And((
-                    Col("doc_id", "c").eq(Param(doc_id)),
+                    Col("doc_id", "c").eq(DocParam()),
                     Col("target", "c").eq(Col("pre", "p")),
                     Col("source", "c").eq(Col("target", "e")),
                 )),

@@ -43,10 +43,10 @@ from repro.relational.sql import (
     And,
     Col,
     Comparison,
+    DocParam,
     Exists,
     Not,
     Or,
-    Param,
     Raw,
     ScalarSubquery,
     Select,
@@ -147,7 +147,7 @@ class InliningTranslator(BaseTranslator):
         select = (
             Select()
             .from_table(relation.table.name, alias)
-            .where(Col("doc_id", alias).eq(Param(doc_id)))
+            .where(Col("doc_id", alias).eq(DocParam()))
         )
         if not position.is_root:
             select.where(
@@ -414,7 +414,7 @@ class InliningTranslator(BaseTranslator):
             Select()
             .select(Raw("COUNT(*)"))
             .from_table(branch.relation.table.name, sibling)
-            .where(Col("doc_id", sibling).eq(Param(doc_id)))
+            .where(Col("doc_id", sibling).eq(DocParam()))
             .where(
                 Col("parent_pre", sibling).eq(
                     Col("parent_pre", branch.alias)
@@ -471,7 +471,7 @@ class InliningTranslator(BaseTranslator):
                 return Raw("0")
             new_alias = self._new_alias()
             link = And((
-                Col("doc_id", new_alias).eq(Param(doc_id)),
+                Col("doc_id", new_alias).eq(DocParam()),
                 Col("parent_pre", new_alias).eq(
                     Col(position.pre_column, alias)
                 ),

@@ -35,6 +35,7 @@ from repro.relational.sql import (
     Arith,
     Col,
     Comparison,
+    DocParam,
     Exists,
     Like,
     Not,
@@ -69,7 +70,7 @@ class UniversalTranslator(BaseTranslator):
                     Col("path_id", "p").eq(Col("path_id", "u")),
                 )),
             )
-            .where(Col("doc_id", "u").eq(Param(doc_id)))
+            .where(Col("doc_id", "u").eq(DocParam()))
         )
         final_label = segments[-1][1]
         if final_label not in known:
@@ -240,7 +241,7 @@ class UniversalTranslator(BaseTranslator):
                     Col("path_id", "p2").eq(Col("path_id", "u2")),
                 )),
             )
-            .where(Col("doc_id", "u2").eq(Param(doc_id)))
+            .where(Col("doc_id", "u2").eq(DocParam()))
             .where(
                 Col(anchor_id, "u2").eq(Col(anchor_id, "u"))
             )

@@ -44,6 +44,7 @@ from repro.relational.sql import (
     Arith,
     Col,
     Comparison,
+    DocParam,
     Exists,
     Func,
     Like,
@@ -135,13 +136,13 @@ class XRelTranslator(BaseTranslator):
             # drives the plan; the node table then probes its
             # (doc_id, path_id) index — never a region-only scan.
             path_conditions = And((
-                Col("doc_id", paths_alias).eq(Param(doc_id)),
+                Col("doc_id", paths_alias).eq(DocParam()),
                 self._path_condition(
                     pattern, exact, paths_alias, prev_paths, doc_id
                 ),
             ))
             node_conditions: list[SqlExpr] = [
-                Col("doc_id", alias).eq(Param(doc_id)),
+                Col("doc_id", alias).eq(DocParam()),
                 Col("path_id", alias).eq(Col("path_id", paths_alias)),
             ]
             if prev_alias is not None:
@@ -242,7 +243,7 @@ class XRelTranslator(BaseTranslator):
                 Select()
                 .from_table("xrel_paths", "pm")
                 .select(Col("path_id", "pm"))
-                .where(Col("doc_id", "pm").eq(Param(doc_id)))
+                .where(Col("doc_id", "pm").eq(DocParam()))
                 .where(
                     Func(
                         "xrel_path_match",
@@ -355,7 +356,7 @@ class XRelTranslator(BaseTranslator):
             Select()
             .select(Raw("1"))
             .from_table("xrel_paths", target_paths)
-            .where(Col("doc_id", target_paths).eq(Param(doc_id)))
+            .where(Col("doc_id", target_paths).eq(DocParam()))
             .where(
                 Comparison(
                     "=",
@@ -369,7 +370,7 @@ class XRelTranslator(BaseTranslator):
                 table,
                 target,
                 And((
-                    Col("doc_id", target).eq(Param(doc_id)),
+                    Col("doc_id", target).eq(DocParam()),
                     Col("path_id", target).eq(Col("path_id", target_paths)),
                     Col("start", target).gt(Col("start", alias)),
                     Col("end", target).le(Col("end", alias)),

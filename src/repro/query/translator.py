@@ -5,7 +5,8 @@ from __future__ import annotations
 import abc
 
 from repro.query.plan import PathPlan, plan_path
-from repro.relational.sql import Select, Union, WithQuery
+from repro.relational.plancache import CachedPlan
+from repro.relational.sql import Select, Union, WithQuery, bind_doc_id
 from repro.xpath.ast import BinaryOp, Expr, LocationPath
 from repro.xpath.parser import parse_xpath
 
@@ -32,7 +33,15 @@ class BaseTranslator(abc.ABC):
     """Translate the XPath subset to SQL over one scheme's relations.
 
     Concrete translators implement :meth:`translate`; everything else
-    (planning, rendering, execution, join counting) is shared.
+    (planning, caching, rendering, execution, join counting) is shared.
+
+    Translation output is document-independent: translators emit the
+    :class:`~repro.relational.sql.DocParam` placeholder instead of a
+    baked document id, so the rendered ``(sql, params)`` pair is a
+    reusable template.  String XPaths are cached in the database's
+    :class:`~repro.relational.plancache.PlanCache` keyed by
+    ``(scheme, plan_epoch, xpath)`` — repeated queries skip
+    parse → plan → AST → render entirely.
     """
 
     def __init__(self, scheme) -> None:
@@ -51,13 +60,82 @@ class BaseTranslator(abc.ABC):
     ) -> Renderable:
         """Build the SQL statement answering *xpath* over document
         *doc_id*.  The statement's first output column is the matching
-        node's ``pre`` id; rows arrive in document order, distinct."""
+        node's ``pre`` id; rows arrive in document order, distinct.
+
+        The document id is emitted as the
+        :class:`~repro.relational.sql.DocParam` placeholder, so the
+        rendered statement is reusable across documents (the *doc_id*
+        argument is kept for API symmetry and scheme-specific checks).
+        """
 
     def sql_for(
         self, doc_id: int, xpath: str | LocationPath | PathPlan
     ) -> tuple[str, list]:
-        """The rendered ``(sql, params)`` for *xpath*."""
-        return self.translate(doc_id, xpath).render()
+        """The rendered ``(sql, params)`` for *xpath*, with the document
+        id bound."""
+        sql, params = self.translate(doc_id, xpath).render()
+        return sql, bind_doc_id(params, doc_id)
+
+    # -- plan caching -------------------------------------------------------------
+
+    def plans_for(
+        self, doc_id: int, xpath: str | LocationPath | PathPlan
+    ) -> tuple[tuple[CachedPlan, ...], bool]:
+        """The executable plans for *xpath* plus whether they came from
+        the cache.
+
+        A plain path yields one plan; a top-level union (``p1 | p2``)
+        yields one plan per arm.  Only string XPaths are cached (ASTs
+        and pre-built plans are already past the expensive phase).  The
+        cache key includes the scheme's ``plan_epoch`` so schemes whose
+        translations depend on stored data invalidate by bumping it.
+        """
+        cache = self.db.plan_cache
+        tracer = self.db.tracer
+        key = None
+        if isinstance(xpath, str):
+            key = (self.scheme.name, self.scheme.plan_epoch, xpath)
+            plans = cache.get(key)
+            if plans is not None:
+                if tracer.enabled:
+                    tracer.metrics.counter("plan_cache.hits").inc()
+                return plans, True
+            if tracer.enabled:
+                tracer.metrics.counter("plan_cache.misses").inc()
+        with tracer.span("translate") as translate_span:
+            arms = _union_arms(parse_xpath(xpath)) if key else None
+            if arms is None:
+                statements = [self.translate(doc_id, xpath)]
+            else:
+                statements = [self.translate(doc_id, arm) for arm in arms]
+            plans = tuple(
+                CachedPlan(sql, tuple(params), statement.join_count)
+                for statement in statements
+                for sql, params in (statement.render(),)
+            )
+            if translate_span:
+                translate_span.set(
+                    sql_length=sum(len(p.sql) for p in plans),
+                    joins=sum(p.join_count for p in plans),
+                )
+        if key is not None:
+            cache.put(key, plans)
+        return plans, False
+
+    def cached_translation(
+        self, doc_id: int, xpath: str | LocationPath | PathPlan
+    ) -> tuple[CachedPlan, bool]:
+        """The single cached plan for a non-union *xpath* plus whether it
+        was a cache hit (top-level unions raise, as with
+        :meth:`translate`)."""
+        plans, hit = self.plans_for(doc_id, xpath)
+        if len(plans) > 1:
+            # Replicate translate()'s behaviour for union expressions:
+            # planning a union as a single statement raises.
+            self.translate(doc_id, xpath)
+        return plans[0], hit
+
+    # -- execution ----------------------------------------------------------------
 
     def query_pres(
         self, doc_id: int, xpath: str | LocationPath | PathPlan
@@ -67,12 +145,14 @@ class BaseTranslator(abc.ABC):
         Top-level unions (``p1 | p2``) are supported for every scheme by
         translating each arm separately and merging the id sets — the
         XPath union semantics (distinct, document order) are exactly a
-        sorted set merge on the shared ids.
+        sorted set merge on the shared ids.  The whole union counts as
+        *one* executed query: each arm runs as a ``query.arm`` child
+        span, not its own top-level ``query``.
 
         Under an enabled :class:`~repro.obs.trace.Tracer` the run is
         recorded as a ``query`` span with ``translate`` and ``execute``
         children (individual ``sql.statement`` spans nest under
-        ``execute``).
+        ``execute``); a cache hit skips the ``translate`` child.
         """
         tracer = self.db.tracer
         with tracer.span("query") as query_span:
@@ -81,29 +161,35 @@ class BaseTranslator(abc.ABC):
                     scheme=self.scheme.name, xpath=str(xpath)
                 )
                 tracer.metrics.counter("query.executed").inc()
-            if isinstance(xpath, str):
-                arms = _union_arms(parse_xpath(xpath))
-                if arms is not None:
-                    merged: set[int] = set()
-                    for arm in arms:
-                        merged.update(self.query_pres(doc_id, arm))
-                    if query_span:
-                        query_span.set(
-                            rows=len(merged), union_arms=len(arms)
-                        )
-                    return sorted(merged)
-            with tracer.span("translate") as translate_span:
-                statement = self.translate(doc_id, xpath)
-                sql, params = statement.render()
-                if translate_span:
-                    translate_span.set(
-                        sql_length=len(sql), joins=statement.join_count
+            plans, cache_hit = self.plans_for(doc_id, xpath)
+            if len(plans) == 1:
+                plan = plans[0]
+                with tracer.span("execute"):
+                    rows = self.db.query(
+                        plan.sql, bind_doc_id(plan.params, doc_id)
                     )
-            with tracer.span("execute"):
-                rows = self.db.query(sql, params)
+                if query_span:
+                    query_span.set(rows=len(rows), cache_hit=cache_hit)
+                return [row[0] for row in rows]
+            merged: set[int] = set()
+            for index, plan in enumerate(plans):
+                with tracer.span("query.arm") as arm_span:
+                    if arm_span:
+                        arm_span.set(arm=index)
+                    with tracer.span("execute"):
+                        rows = self.db.query(
+                            plan.sql, bind_doc_id(plan.params, doc_id)
+                        )
+                    if arm_span:
+                        arm_span.set(rows=len(rows))
+                    merged.update(row[0] for row in rows)
             if query_span:
-                query_span.set(rows=len(rows))
-            return [row[0] for row in rows]
+                query_span.set(
+                    rows=len(merged),
+                    union_arms=len(plans),
+                    cache_hit=cache_hit,
+                )
+            return sorted(merged)
 
     def join_count(
         self, doc_id: int, xpath: str | LocationPath | PathPlan

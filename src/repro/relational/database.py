@@ -43,6 +43,7 @@ from collections.abc import Callable, Iterable, Iterator, Sequence
 
 from repro.errors import StorageError, TransientStorageError
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.relational.plancache import PlanCache
 from repro.relational.retry import RetryPolicy, is_transient_error, with_retries
 from repro.relational.schema import Table, quote_identifier
 
@@ -101,6 +102,10 @@ class Database:
         #: Observability sink; the shared disabled tracer by default, so
         #: instrumented paths cost one ``enabled`` check when off.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Shared LRU of rendered XPath→SQL translations; every scheme on
+        #: this database translates through it (see
+        #: :mod:`repro.relational.plancache`).
+        self.plan_cache = PlanCache()
         self._last_statement_span = None
         self._txn_depth = 0
         self._savepoint_seq = 0

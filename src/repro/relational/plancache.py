@@ -1,0 +1,88 @@
+"""A bounded LRU cache for rendered XPath→SQL translations.
+
+Repeated queries over the same scheme skip parse → plan → AST → render
+entirely: the cache stores the rendered ``(sql, params-template)`` pairs
+(one per top-level union arm) keyed by ``(scheme, plan_epoch, xpath)``.
+
+The parameter templates contain the :data:`repro.relational.sql.DOC_ID`
+placeholder instead of a concrete document id, so one cached plan serves
+every document in the store (see
+:func:`repro.relational.sql.bind_doc_id`).
+
+Invalidation is by *epoch*: schemes whose translations depend on stored
+data (universal's label columns, binary's partition tables) bump their
+``plan_epoch`` on schema-affecting stores/deletes/updates, which makes
+every older key unreachable; the LRU bound then ages the stale entries
+out.  Data-independent schemes never need to invalidate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """One rendered, executable statement of a translation.
+
+    ``params`` is a template: :data:`~repro.relational.sql.DOC_ID`
+    placeholders mark where the document id goes at execution time.
+    """
+
+    sql: str
+    params: tuple
+    join_count: int
+
+
+class PlanCache:
+    """Bounded LRU mapping cache keys to ``tuple[CachedPlan, ...]``.
+
+    A plain (non-union) XPath caches as a 1-tuple; a top-level union
+    caches one plan per arm.  Hit/miss/eviction counts are kept here so
+    they are observable even without an enabled tracer.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, tuple[CachedPlan, ...]] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> tuple[CachedPlan, ...] | None:
+        plans = self._entries.get(key)
+        if plans is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return plans
+
+    def put(self, key: tuple, plans: tuple[CachedPlan, ...]) -> None:
+        self._entries[key] = plans
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they are cumulative)."""
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Cumulative counters plus the current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }

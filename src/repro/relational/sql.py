@@ -72,6 +72,44 @@ class Param(SqlExpr):
         return "?"
 
 
+class _DocIdSentinel:
+    """The placeholder value :class:`DocParam` leaves in a rendered
+    parameter list.  :func:`bind_doc_id` swaps it for a concrete id."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # readable in cached plan dumps
+        return "<doc_id>"
+
+
+#: Singleton placeholder for the document id in rendered parameter lists.
+DOC_ID = _DocIdSentinel()
+
+
+@dataclass(frozen=True)
+class DocParam(SqlExpr):
+    """The document-id bind parameter.
+
+    Translators emit ``DocParam()`` instead of ``Param(doc_id)`` so a
+    rendered ``(sql, params)`` pair is a reusable *template*: the SQL text
+    and parameter shape depend only on the XPath (and scheme), never on
+    which document is queried.  That is what makes the translation cache
+    sound — one cached plan serves every document.  The rendered
+    parameter slot holds the :data:`DOC_ID` sentinel until
+    :func:`bind_doc_id` substitutes the real id at execution time.
+    """
+
+    def render(self, params: list) -> str:
+        params.append(DOC_ID)
+        return "?"
+
+
+def bind_doc_id(params: list | tuple, doc_id: int) -> list:
+    """A copy of *params* with every :data:`DOC_ID` placeholder replaced
+    by the concrete *doc_id*."""
+    return [doc_id if p is DOC_ID else p for p in params]
+
+
 @dataclass(frozen=True)
 class Raw(SqlExpr):
     """A raw SQL fragment — for constants like ``1`` or ``COUNT(*)``.

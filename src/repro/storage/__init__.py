@@ -14,10 +14,11 @@ interface; the registry in :mod:`repro.core.registry` exposes them by name:
 ========== ===========================================================
 """
 
-from repro.storage.base import MappingScheme, ShredResult
+from repro.storage.base import BulkSession, MappingScheme, ShredResult
 from repro.storage.numbering import NodeRecord, number_document
 
 __all__ = [
+    "BulkSession",
     "MappingScheme",
     "NodeRecord",
     "ShredResult",

@@ -36,6 +36,18 @@ from repro.storage.numbering import (
 from repro.xml.dom import Document, Node
 
 
+#: Batched-fetch statements bind a handful of parameters per subtree
+#: root; chunking at this many roots keeps every statement comfortably
+#: under SQLite's bind-variable limit.
+ROOT_BATCH = 100
+
+
+def iter_batches(items: list, size: int = ROOT_BATCH):
+    """Yield *items* in order as chunks of at most *size*."""
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
 @dataclass(frozen=True)
 class ShredResult:
     """Outcome of storing one document."""
@@ -61,9 +73,23 @@ class MappingScheme(abc.ABC):
     #: than the catalog's node count and sets this False.
     lossless_node_count: ClassVar[bool] = True
 
+    #: Whether XPath→SQL translation consults *stored data* (universal's
+    #: label columns, binary's partition tables) rather than being a pure
+    #: function of the XPath.  Such schemes must invalidate cached plans
+    #: whenever a store/delete/update can change that data — see
+    #: :meth:`invalidate_plans`.
+    translation_depends_on_data: ClassVar[bool] = False
+
     def __init__(self, db: Database) -> None:
         self.db = db
         self.catalog = Catalog(db)
+        #: Generation counter mixed into every plan-cache key.  Bumping
+        #: it (see :meth:`invalidate_plans`) makes all older cached
+        #: translations for this scheme unreachable.
+        self.plan_epoch = 0
+        #: Set by :class:`BulkSession` so corpus loads pay one ANALYZE
+        #: at session close instead of one per document.
+        self._defer_analyze = False
         self.create_schema()
 
     # -- schema ----------------------------------------------------------------
@@ -114,17 +140,20 @@ class MappingScheme(abc.ABC):
                     doc_id = self.catalog.register(
                         name, self.name, root_tag or "", len(records)
                     )
-                    self._insert_records(doc_id, records, document)
+                    # Row accounting comes from the insert side itself —
+                    # no per-table COUNT(*) rescans after every store.
+                    row_counts = self._insert_records(
+                        doc_id, records, document
+                    )
+            if self.translation_depends_on_data:
+                self.invalidate_plans()
             # Refresh planner statistics: several translations (XRel's
             # path-table-driven plans in particular) rely on the
-            # optimizer knowing the relative table sizes.
-            with tracer.span("analyze"):
-                self.db.analyze()
-            row_counts = {
-                table: self._doc_row_count(table, doc_id)
-                for table in self.table_names()
-                if table != "xmlrel_documents"
-            }
+            # optimizer knowing the relative table sizes.  A bulk-load
+            # session defers this to its close.
+            if not self._defer_analyze:
+                with tracer.span("analyze"):
+                    self.db.analyze()
             if span:
                 span.set(doc_id=doc_id, rows=sum(row_counts.values()))
                 tracer.metrics.counter("store.documents").inc()
@@ -133,23 +162,13 @@ class MappingScheme(abc.ABC):
                 )
             return ShredResult(doc_id, len(records), row_counts)
 
-    def _doc_row_count(self, table: str, doc_id: int) -> int:
-        try:
-            return int(
-                self.db.scalar(
-                    f"SELECT COUNT(*) FROM {table} WHERE doc_id = ?",
-                    (doc_id,),
-                )
-            )
-        except StorageError:
-            # Table without a doc_id column (e.g. a shared dictionary).
-            return int(self.db.row_count(table))
-
     @abc.abstractmethod
     def _insert_records(
         self, doc_id: int, records: list[NodeRecord], document: Document
-    ) -> None:
-        """Insert the rows for one document (inside a transaction)."""
+    ) -> dict[str, int]:
+        """Insert the rows for one document (inside a transaction) and
+        return per-table inserted-row counts — the accounting that feeds
+        :class:`ShredResult` without rescanning any table."""
 
     # -- retrieval -----------------------------------------------------------------
 
@@ -163,6 +182,58 @@ class MappingScheme(abc.ABC):
         Derived numbering fields a scheme does not store may be zeroed —
         reconstruction only relies on pre/parent_pre/kind/name/value.
         """
+
+    def fetch_records_many(
+        self, doc_id: int, pres: list[int]
+    ) -> dict[int, list[NodeRecord]]:
+        """Fetch the subtree records of many roots at once.
+
+        Returns ``{root_pre: records}`` where each record list is in pre
+        order and starts with the root itself (the
+        :func:`~repro.storage.numbering.build_subtree` contract).  Roots
+        with no stored node are simply absent from the result.  Roots
+        may nest — a record then appears in every enclosing root's list,
+        exactly as per-root :meth:`fetch_records` calls would return it.
+
+        Schemes override this with a set-oriented implementation (one
+        range-scan union, one shared recursive CTE, ...) so that
+        :meth:`query_nodes` issues O(1) SQL statements for N results
+        instead of N+1.  This base fallback just loops.
+        """
+        groups: dict[int, list[NodeRecord]] = {}
+        for pre in pres:
+            records = self.fetch_records(doc_id, root_pre=pre)
+            if records:
+                groups[pre] = records
+        return groups
+
+    @staticmethod
+    def _subtree_slices(
+        records: list[NodeRecord], pres: list[int]
+    ) -> dict[int, list[NodeRecord]]:
+        """Carve per-root subtree record lists out of one full-document
+        fetch by parent closure — the batched path for schemes whose
+        storage has no range/prefix subtree handle (universal, inlining).
+        """
+        children: dict[int, list[NodeRecord]] = {}
+        by_pre: dict[int, NodeRecord] = {}
+        for record in records:
+            by_pre[record.pre] = record
+            children.setdefault(record.parent_pre, []).append(record)
+        groups: dict[int, list[NodeRecord]] = {}
+        for root in pres:
+            root_record = by_pre.get(root)
+            if root_record is None:
+                continue
+            subtree = [root_record]
+            stack = [root]
+            while stack:
+                for child in children.get(stack.pop(), ()):
+                    subtree.append(child)
+                    stack.append(child.pre)
+            subtree.sort(key=lambda r: r.pre)
+            groups[root] = subtree
+        return groups
 
     def reconstruct(self, doc_id: int) -> Document:
         """Rebuild the full document from its rows."""
@@ -181,6 +252,30 @@ class MappingScheme(abc.ABC):
             )
         return build_subtree(records)
 
+    def reconstruct_subtrees(
+        self, doc_id: int, pres: list[int]
+    ) -> list[Node]:
+        """Rebuild many subtrees through one batched fetch.
+
+        Equivalent to ``[reconstruct_subtree(doc_id, p) for p in pres]``
+        (same nodes, same order, same error on a missing root) but goes
+        through :meth:`fetch_records_many`, so the round-trip count does
+        not grow with ``len(pres)``.
+        """
+        unique = list(dict.fromkeys(pres))
+        groups = (
+            self.fetch_records_many(doc_id, unique) if unique else {}
+        )
+        nodes: dict[int, Node] = {}
+        for pre in unique:
+            records = groups.get(pre)
+            if not records:
+                raise StorageError(
+                    f"no stored node with pre={pre} in document {doc_id}"
+                )
+            nodes[pre] = build_subtree(records)
+        return [nodes[pre] for pre in pres]
+
     # -- deletion -----------------------------------------------------------------------
 
     def delete_document(self, doc_id: int) -> None:
@@ -191,6 +286,8 @@ class MappingScheme(abc.ABC):
         with self.db.transaction():
             self._delete_rows(doc_id)
             self.catalog.remove(doc_id)
+        if self.translation_depends_on_data:
+            self.invalidate_plans()
 
     @abc.abstractmethod
     def _delete_rows(self, doc_id: int) -> None:
@@ -203,22 +300,37 @@ class MappingScheme(abc.ABC):
         """The XPath→SQL translator for this scheme
         (:class:`repro.query.translator.BaseTranslator`)."""
 
+    def invalidate_plans(self) -> None:
+        """Make every cached translation for this scheme unreachable.
+
+        Bumps :attr:`plan_epoch`, which is part of every plan-cache key;
+        the LRU bound ages the stale entries out.  Called automatically
+        on stores/deletes/updates when :attr:`translation_depends_on_data`
+        is set — universal translations bake in the known label columns
+        and binary translations the known partition tables, so a cached
+        plan could otherwise miss data added after it was rendered.
+        """
+        self.plan_epoch += 1
+
     def query_pres(self, doc_id: int, xpath: str) -> list[int]:
         """Run an XPath query via SQL; return matching ``pre`` ids sorted
         in document order."""
         return self.translator().query_pres(doc_id, xpath)
 
     def query_nodes(self, doc_id: int, xpath: str) -> list[Node]:
-        """Run an XPath query via SQL and reconstruct each result node."""
+        """Run an XPath query via SQL and reconstruct each result node.
+
+        Reconstruction is set-oriented: one batched fetch for all result
+        subtrees (:meth:`fetch_records_many`) instead of one round-trip
+        per node.
+        """
         tracer = self.db.tracer
         with tracer.span("query.nodes") as span:
             pres = self.query_pres(doc_id, xpath)
             with tracer.span("reconstruct") as reconstruct_span:
-                nodes = [
-                    self.reconstruct_subtree(doc_id, pre) for pre in pres
-                ]
+                nodes = self.reconstruct_subtrees(doc_id, pres)
                 if reconstruct_span:
-                    reconstruct_span.set(nodes=len(nodes))
+                    reconstruct_span.set(nodes=len(nodes), batched=True)
             if span:
                 span.set(scheme=self.name, rows=len(nodes))
             return nodes
@@ -323,3 +435,72 @@ class MappingScheme(abc.ABC):
     def unsupported(self, feature: str) -> UnsupportedQueryError:
         """Build a scheme-tagged unsupported-feature error."""
         return UnsupportedQueryError(feature, scheme=self.name)
+
+
+class BulkSession:
+    """A corpus-load fast lane: many stores, one transaction, one ANALYZE.
+
+    Per-document :meth:`MappingScheme.store` pays a COMMIT and an
+    ``ANALYZE`` per document — fine for single documents, quadratic-feeling
+    for corpus loads.  A bulk session wraps every store in one enclosing
+    transaction (each store still gets its own savepoint) and defers the
+    planner-statistics refresh to session close:
+
+    .. code-block:: python
+
+        with BulkSession(scheme) as session:
+            for document in corpus:
+                session.store(document, name)
+        doc_ids = session.doc_ids
+
+    The load is atomic: an exception inside the ``with`` block rolls back
+    *every* document of the session (and the catalog rows with them).
+    Row accounting comes from the insert side (see
+    :meth:`MappingScheme._insert_records`), so closing a session never
+    rescans any table.
+    """
+
+    def __init__(self, scheme: MappingScheme) -> None:
+        self.scheme = scheme
+        self.results: list[ShredResult] = []
+        self._txn = None
+
+    @property
+    def doc_ids(self) -> list[int]:
+        """Ids of the documents stored so far, in store order."""
+        return [result.doc_id for result in self.results]
+
+    def __enter__(self) -> "BulkSession":
+        if self._txn is not None:
+            raise StorageError("bulk session already active")
+        self.scheme._defer_analyze = True
+        self._txn = self.scheme.db.transaction()
+        self._txn.__enter__()
+        return self
+
+    def store(
+        self, document: Document, name: str = "document"
+    ) -> ShredResult:
+        """Store one document inside the session's transaction."""
+        if self._txn is None:
+            raise StorageError(
+                "bulk session is not active (use it as a context manager)"
+            )
+        result = self.scheme.store(document, name)
+        self.results.append(result)
+        return result
+
+    def __exit__(self, exc_type, exc, tb):
+        txn, self._txn = self._txn, None
+        self.scheme._defer_analyze = False
+        handled = txn.__exit__(exc_type, exc, tb)
+        if exc_type is None:
+            tracer = self.scheme.db.tracer
+            with tracer.span("analyze"):
+                self.scheme.db.analyze()
+            if tracer.enabled:
+                tracer.metrics.counter("bulk.sessions").inc()
+                tracer.metrics.counter("bulk.documents").inc(
+                    len(self.results)
+                )
+        return handled

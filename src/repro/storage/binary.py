@@ -33,7 +33,11 @@ from repro.relational.schema import (
     quote_identifier,
 )
 from repro.storage.base import MappingScheme
-from repro.storage.edge import edge_label, order_edge_rows
+from repro.storage.edge import (
+    edge_label,
+    fetch_edge_subtrees,
+    order_edge_rows,
+)
 from repro.storage.interval import element_content
 from repro.storage.numbering import NodeRecord
 from repro.xml.dom import Document
@@ -91,6 +95,12 @@ class BinaryScheme(MappingScheme):
 
     name = "binary"
 
+    # Translation consults the partition catalog (label-selective steps
+    # compile to their partition table; unknown labels fall back to the
+    # view), so cached plans go stale when a store/update adds a
+    # partition.
+    translation_depends_on_data = True
+
     def tables(self):
         return [LABELS_TABLE]
 
@@ -142,7 +152,7 @@ class BinaryScheme(MappingScheme):
 
     def _insert_records(
         self, doc_id: int, records: list[NodeRecord], document: Document
-    ) -> None:
+    ) -> dict[str, int]:
         contents = element_content(records)
         by_label: dict[str, list[tuple]] = {}
         for r in records:
@@ -159,6 +169,7 @@ class BinaryScheme(MappingScheme):
                     contents.get(r.pre),
                 )
             )
+        row_counts: dict[str, int] = {}
         for label, rows in by_label.items():
             table_name = self._ensure_partition(label)
             self.db.executemany(
@@ -167,6 +178,10 @@ class BinaryScheme(MappingScheme):
                 "content) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                 rows,
             )
+            row_counts[table_name] = (
+                row_counts.get(table_name, 0) + len(rows)
+            )
+        return row_counts
 
     def fetch_records(
         self, doc_id: int, root_pre: int | None = None
@@ -197,6 +212,13 @@ class BinaryScheme(MappingScheme):
                 (doc_id, root_pre, doc_id),
             )
         return order_edge_rows(rows, root_pre)
+
+    def fetch_records_many(
+        self, doc_id: int, pres: list[int]
+    ) -> dict[int, list[NodeRecord]]:
+        if not self.partitions():
+            return {}
+        return fetch_edge_subtrees(self.db, EDGES_VIEW, doc_id, pres)
 
     def _delete_rows(self, doc_id: int) -> None:
         for table_name in self.partitions().values():

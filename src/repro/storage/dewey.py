@@ -22,7 +22,7 @@ scheme's full renumbering.
 from __future__ import annotations
 
 from repro.relational.schema import Column, INTEGER, Index, Table, TEXT
-from repro.storage.base import MappingScheme
+from repro.storage.base import MappingScheme, iter_batches
 from repro.storage.interval import element_content
 from repro.storage.numbering import (
     DEWEY_SEPARATOR,
@@ -76,7 +76,7 @@ class DeweyScheme(MappingScheme):
 
     def _insert_records(
         self, doc_id: int, records: list[NodeRecord], document: Document
-    ) -> None:
+    ) -> dict[str, int]:
         contents = element_content(records)
         rows = (
             (
@@ -94,6 +94,34 @@ class DeweyScheme(MappingScheme):
             for r in records
         )
         self.db.insert_rows(DEWEY_TABLE, rows)
+        return {DEWEY_TABLE.name: len(records)}
+
+    @staticmethod
+    def _rows_to_records(rows) -> list[NodeRecord]:
+        """Convert label-ordered dewey rows to records, recovering each
+        node's parent pre from the labels seen so far (a subtree root's
+        parent is outside the fetched set and maps to 0)."""
+        records = []
+        parent_of: dict[str, int] = {}
+        for pre, label, depth, kind, name, value, ordinal in rows:
+            parent_label = dewey_parent(label)
+            parent_pre = parent_of.get(parent_label or "", 0)
+            parent_of[label] = pre
+            records.append(
+                NodeRecord(
+                    pre=pre,
+                    post=0,
+                    size=0,
+                    level=depth,
+                    kind=kind,
+                    name=name,
+                    value=value,
+                    parent_pre=parent_pre,
+                    ordinal=ordinal,
+                    dewey=label,
+                )
+            )
+        return records
 
     def fetch_records(
         self, doc_id: int, root_pre: int | None = None
@@ -121,27 +149,34 @@ class DeweyScheme(MappingScheme):
                 "ORDER BY label",
                 (doc_id, label, lo, hi),
             )
-        records = []
-        parent_of: dict[str, int] = {}
-        for pre, label, depth, kind, name, value, ordinal in rows:
-            parent_label = dewey_parent(label)
-            parent_pre = parent_of.get(parent_label or "", 0)
-            parent_of[label] = pre
-            records.append(
-                NodeRecord(
-                    pre=pre,
-                    post=0,
-                    size=0,
-                    level=depth,
-                    kind=kind,
-                    name=name,
-                    value=value,
-                    parent_pre=parent_pre,
-                    ordinal=ordinal,
-                    dewey=label,
-                )
+        return self._rows_to_records(rows)
+
+    def fetch_records_many(
+        self, doc_id: int, pres: list[int]
+    ) -> dict[int, list[NodeRecord]]:
+        # One self-join per batch: each root row's label opens its own
+        # prefix range (self OR strict-prefix), tagging every fetched row
+        # with the root's pre.  Parent recovery runs per root group, as
+        # the per-root fetch would.
+        groups: dict[int, list[NodeRecord]] = {}
+        for batch in iter_batches(pres):
+            marks = ", ".join("?" for _ in batch)
+            rows = self.db.query(
+                "SELECT r.pre, d.pre, d.label, d.depth, d.kind, d.name, "
+                "d.value, d.ordinal "
+                "FROM dewey AS r JOIN dewey AS d ON d.doc_id = r.doc_id "
+                "AND (d.label = r.label OR (d.label > r.label || ? "
+                "AND d.label < r.label || ?)) "
+                f"WHERE r.doc_id = ? AND r.pre IN ({marks}) "
+                "ORDER BY r.pre, d.label",
+                [DEWEY_SEPARATOR, PREFIX_RANGE_END, doc_id, *batch],
             )
-        return records
+            per_root: dict[int, list[tuple]] = {}
+            for root, *node_row in rows:
+                per_root.setdefault(root, []).append(tuple(node_row))
+            for root, node_rows in per_root.items():
+                groups[root] = self._rows_to_records(node_rows)
+        return groups
 
     def _delete_rows(self, doc_id: int) -> None:
         self.db.execute("DELETE FROM dewey WHERE doc_id = ?", (doc_id,))

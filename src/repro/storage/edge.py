@@ -22,7 +22,7 @@ mapping's published weakness and the subject of experiment E4.
 from __future__ import annotations
 
 from repro.relational.schema import Column, INTEGER, Index, Table, TEXT
-from repro.storage.base import MappingScheme
+from repro.storage.base import MappingScheme, iter_batches
 from repro.storage.interval import element_content
 from repro.storage.numbering import NodeRecord
 from repro.xml.dom import Document, NodeKind
@@ -123,6 +123,46 @@ def order_edge_rows(
     return records
 
 
+def fetch_edge_subtrees(
+    db, relation: str, doc_id: int, pres: list[int]
+) -> dict[int, list[NodeRecord]]:
+    """Batched subtree fetch over an edge-shaped *relation* (the ``edge``
+    table, or binary's ``binary_edges`` view).
+
+    One recursive CTE per batch, seeded by *all* roots at once; the seed
+    tags each row with its root and the recursive arm propagates the tag,
+    so the result groups per root without per-root round-trips.  A record
+    under two nested roots comes back once per root — exactly what
+    per-root fetches would return.
+    """
+    groups: dict[int, list[NodeRecord]] = {}
+    for batch in iter_batches(pres):
+        marks = ", ".join("?" for _ in batch)
+        rows = db.query(
+            f"""
+            WITH RECURSIVE subtree(root, target, source, ordinal, label,
+                                   kind, value) AS (
+              SELECT target, target, source, ordinal, label, kind, value
+              FROM {relation} WHERE doc_id = ? AND target IN ({marks})
+              UNION ALL
+              SELECT s.root, e.target, e.source, e.ordinal, e.label,
+                     e.kind, e.value
+              FROM {relation} e JOIN subtree s ON e.source = s.target
+              WHERE e.doc_id = ?
+            )
+            SELECT root, target, source, ordinal, label, kind, value
+            FROM subtree ORDER BY root, target
+            """,
+            [doc_id, *batch, doc_id],
+        )
+        per_root: dict[int, list[tuple]] = {}
+        for root, *edge_row in rows:
+            per_root.setdefault(root, []).append(tuple(edge_row))
+        for root, edge_rows in per_root.items():
+            groups[root] = order_edge_rows(edge_rows, root)
+    return groups
+
+
 class EdgeScheme(MappingScheme):
     """The single-edge-table mapping."""
 
@@ -133,7 +173,7 @@ class EdgeScheme(MappingScheme):
 
     def _insert_records(
         self, doc_id: int, records: list[NodeRecord], document: Document
-    ) -> None:
+    ) -> dict[str, int]:
         contents = element_content(records)
         rows = (
             (
@@ -149,6 +189,7 @@ class EdgeScheme(MappingScheme):
             for r in records
         )
         self.db.insert_rows(EDGE_TABLE, rows)
+        return {EDGE_TABLE.name: len(records)}
 
     def fetch_records(
         self, doc_id: int, root_pre: int | None = None
@@ -180,6 +221,11 @@ class EdgeScheme(MappingScheme):
                 (doc_id, root_pre, doc_id),
             )
         return order_edge_rows(rows, root_pre)
+
+    def fetch_records_many(
+        self, doc_id: int, pres: list[int]
+    ) -> dict[int, list[NodeRecord]]:
+        return fetch_edge_subtrees(self.db, "edge", doc_id, pres)
 
     def _delete_rows(self, doc_id: int) -> None:
         self.db.execute("DELETE FROM edge WHERE doc_id = ?", (doc_id,))

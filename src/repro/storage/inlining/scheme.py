@@ -131,7 +131,7 @@ class InliningScheme(MappingScheme):
 
     def _insert_records(
         self, doc_id: int, records: list[NodeRecord], document: Document
-    ) -> None:
+    ) -> dict[str, int]:
         mapping = self.require_mapping()
         for node in document.iter():
             if isinstance(node, (Comment, ProcessingInstruction)):
@@ -192,6 +192,7 @@ class InliningScheme(MappingScheme):
                     )
 
         store_instance(root, 0)
+        row_counts: dict[str, int] = {}
         for table_name, table_rows in rows.items():
             relation = next(
                 r for r in mapping.relations.values()
@@ -207,6 +208,8 @@ class InliningScheme(MappingScheme):
                     for row in table_rows
                 ],
             )
+            row_counts[table_name] = len(table_rows)
+        return row_counts
 
     def _allows_any(self, element: str) -> bool:
         mapping = self.require_mapping()
@@ -270,6 +273,16 @@ class InliningScheme(MappingScheme):
                 keep.add(record.pre)
                 subtree.append(record)
         return subtree
+
+    def fetch_records_many(
+        self, doc_id: int, pres: list[int]
+    ) -> dict[int, list[NodeRecord]]:
+        # Inlined rows have no subtree handle: reconstructing any node's
+        # subtree already reads the document's relations, so one full
+        # fetch feeds every root's slice.
+        if not pres:
+            return {}
+        return self._subtree_slices(self.fetch_records(doc_id), pres)
 
     def _row_records(self, relation, row: dict) -> list[NodeRecord]:
         records: list[NodeRecord] = []

@@ -19,7 +19,7 @@ of text-only elements, giving value predicates a single-column compare.
 from __future__ import annotations
 
 from repro.relational.schema import Column, INTEGER, Index, Table, TEXT
-from repro.storage.base import MappingScheme
+from repro.storage.base import MappingScheme, iter_batches
 from repro.storage.numbering import NodeRecord
 from repro.xml.dom import Document, NodeKind
 
@@ -83,7 +83,7 @@ class IntervalScheme(MappingScheme):
 
     def _insert_records(
         self, doc_id: int, records: list[NodeRecord], document: Document
-    ) -> None:
+    ) -> dict[str, int]:
         contents = element_content(records)
         rows = (
             (
@@ -102,6 +102,7 @@ class IntervalScheme(MappingScheme):
             for r in records
         )
         self.db.insert_rows(ACCEL_TABLE, rows)
+        return {ACCEL_TABLE.name: len(records)}
 
     def fetch_records(
         self, doc_id: int, root_pre: int | None = None
@@ -137,6 +138,44 @@ class IntervalScheme(MappingScheme):
                 pre, post, size, level, kind, name, value, parent_pre, ordinal,
             ) in rows
         ]
+
+    def fetch_records_many(
+        self, doc_id: int, pres: list[int]
+    ) -> dict[int, list[NodeRecord]]:
+        # One self-join per batch: root rows (by pre) joined against the
+        # contiguous pre-range of their region tag every subtree record
+        # with its root — no per-root round-trips.
+        groups: dict[int, list[NodeRecord]] = {}
+        for batch in iter_batches(pres):
+            marks = ", ".join("?" for _ in batch)
+            rows = self.db.query(
+                "SELECT r.pre, a.pre, a.post, a.size, a.level, a.kind, "
+                "a.name, a.value, a.parent_pre, a.ordinal "
+                "FROM accel AS r JOIN accel AS a ON a.doc_id = r.doc_id "
+                "AND a.pre >= r.pre AND a.pre <= r.pre + r.size "
+                f"WHERE r.doc_id = ? AND r.pre IN ({marks}) "
+                "ORDER BY r.pre, a.pre",
+                [doc_id, *batch],
+            )
+            for (
+                root, pre, post, size, level, kind, name, value,
+                parent_pre, ordinal,
+            ) in rows:
+                groups.setdefault(root, []).append(
+                    NodeRecord(
+                        pre=pre,
+                        post=post,
+                        size=size,
+                        level=level,
+                        kind=kind,
+                        name=name,
+                        value=value,
+                        parent_pre=parent_pre,
+                        ordinal=ordinal,
+                        dewey="",
+                    )
+                )
+        return groups
 
     def _delete_rows(self, doc_id: int) -> None:
         self.db.execute("DELETE FROM accel WHERE doc_id = ?", (doc_id,))

@@ -100,6 +100,11 @@ class UniversalScheme(MappingScheme):
 
     name = "universal"
 
+    # Translation bakes in the known label columns (an unknown final
+    # label compiles to an always-false plan), so cached plans must be
+    # invalidated whenever a store/delete can change the label set.
+    translation_depends_on_data = True
+
     def tables(self):
         return [LABELS_TABLE, PATHS_TABLE]
 
@@ -155,7 +160,7 @@ class UniversalScheme(MappingScheme):
 
     def _insert_records(
         self, doc_id: int, records: list[NodeRecord], document: Document
-    ) -> None:
+    ) -> dict[str, int]:
         contents = element_content(records)
         by_pre = {r.pre: r for r in records}
         children_of: dict[int, list[NodeRecord]] = {}
@@ -198,23 +203,35 @@ class UniversalScheme(MappingScheme):
                 row[val_col] = value_of(record)
             rows.append(row)
 
+        known_before = len(known)
         for record in records:
             if not children_of.get(record.pre):
                 emit(record)
-        for pathexp, path_id in path_ids.items():
-            self.db.execute(
-                "INSERT INTO universal_paths (doc_id, path_id, pathexp) "
-                "VALUES (?, ?, ?)",
-                (doc_id, path_id, pathexp),
-            )
+        self.db.executemany(
+            "INSERT INTO universal_paths (doc_id, path_id, pathexp) "
+            "VALUES (?, ?, ?)",
+            [
+                (doc_id, path_id, pathexp)
+                for pathexp, path_id in path_ids.items()
+            ],
+        )
+        # Rows sharing a column signature (same path shape) insert as one
+        # batch instead of one statement per row.
+        by_shape: dict[tuple[str, ...], list[dict[str, object]]] = {}
         for row in rows:
-            columns = list(row)
+            by_shape.setdefault(tuple(row), []).append(row)
+        for columns, shaped_rows in by_shape.items():
             marks = ", ".join("?" for _ in columns)
-            self.db.execute(
+            self.db.executemany(
                 f"INSERT INTO {UNIVERSAL} ({', '.join(columns)}) "
                 f"VALUES ({marks})",
-                [row[c] for c in columns],
+                [[row[c] for c in columns] for row in shaped_rows],
             )
+        return {
+            UNIVERSAL: len(rows),
+            PATHS_TABLE.name: len(path_ids),
+            LABELS_TABLE.name: len(known) - known_before,
+        }
 
     # -- retrieval -----------------------------------------------------------------------
 
@@ -280,6 +297,15 @@ class UniversalScheme(MappingScheme):
                     subtree.append(record)
             return subtree
         return records
+
+    def fetch_records_many(
+        self, doc_id: int, pres: list[int]
+    ) -> dict[int, list[NodeRecord]]:
+        # The universal table has no subtree handle cheaper than reading
+        # the document's rows; one full fetch feeds every root's slice.
+        if not pres:
+            return {}
+        return self._subtree_slices(self.fetch_records(doc_id), pres)
 
     def _delete_rows(self, doc_id: int) -> None:
         self.db.execute(

@@ -26,8 +26,10 @@ other mappings use for single-column value predicates.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
+
 from repro.relational.schema import Column, INTEGER, Index, Table, TEXT
-from repro.storage.base import MappingScheme
+from repro.storage.base import MappingScheme, iter_batches
 from repro.storage.interval import element_content
 from repro.storage.numbering import NodeRecord
 from repro.xml.dom import Document, NodeKind
@@ -132,7 +134,7 @@ class XRelScheme(MappingScheme):
 
     def _insert_records(
         self, doc_id: int, records: list[NodeRecord], document: Document
-    ) -> None:
+    ) -> dict[str, int]:
         contents = element_content(records)
         path_of: dict[int, str] = {0: ""}
         path_ids: dict[str, int] = {}
@@ -170,37 +172,17 @@ class XRelScheme(MappingScheme):
         self.db.insert_rows(ELEMENT_TABLE, element_rows)
         self.db.insert_rows(ATTRIBUTE_TABLE, attribute_rows)
         self.db.insert_rows(TEXT_TABLE, text_rows)
+        return {
+            PATHS_TABLE.name: len(path_ids),
+            ELEMENT_TABLE.name: len(element_rows),
+            ATTRIBUTE_TABLE.name: len(attribute_rows),
+            TEXT_TABLE.name: len(text_rows),
+        }
 
-    def fetch_records(
-        self, doc_id: int, root_pre: int | None = None
-    ) -> list[NodeRecord]:
-        condition, params = "", [doc_id]
-        if root_pre is not None:
-            # The subtree root may live in any of the three node tables.
-            root_end = (
-                "COALESCE("
-                "(SELECT end FROM xrel_element WHERE doc_id = ? AND start = ?), "
-                "(SELECT end FROM xrel_attribute WHERE doc_id = ? AND start = ?), "
-                "(SELECT end FROM xrel_text WHERE doc_id = ? AND start = ?))"
-            )
-            condition = f" AND start >= ? AND start <= {root_end}"
-            params = [doc_id, root_pre] + [doc_id, root_pre] * 3
-        rows = self.db.query(
-            f"""
-            SELECT start, end, ordinal, {int(NodeKind.ELEMENT)} AS kind,
-                   name, content AS value
-            FROM xrel_element WHERE doc_id = ?{condition}
-            UNION ALL
-            SELECT start, end, ordinal, {int(NodeKind.ATTRIBUTE)}, name,
-                   value FROM xrel_attribute WHERE doc_id = ?{condition}
-            UNION ALL
-            SELECT start, end, ordinal, kind, name, value
-            FROM xrel_text WHERE doc_id = ?{condition}
-            ORDER BY start
-            """,
-            params * 3,
-        )
-        # Parents are recovered from region nesting with a stack.
+    @staticmethod
+    def _rows_to_records(rows) -> list[NodeRecord]:
+        """Convert start-ordered region rows to records, recovering each
+        node's parent from region nesting with a stack."""
         records: list[NodeRecord] = []
         stack: list[tuple[int, int]] = []  # (start, end)
         for start, end, ordinal, kind, name, value in rows:
@@ -227,6 +209,82 @@ class XRelScheme(MappingScheme):
             if is_element:
                 stack.append((start, end))
         return records
+
+    def _node_union_sql(self, condition: str) -> str:
+        """The three-table node UNION with *condition* appended to every
+        arm, ordered by region start (= pre, unique across tables)."""
+        return f"""
+            SELECT start, end, ordinal, {int(NodeKind.ELEMENT)} AS kind,
+                   name, content AS value
+            FROM xrel_element WHERE doc_id = ?{condition}
+            UNION ALL
+            SELECT start, end, ordinal, {int(NodeKind.ATTRIBUTE)}, name,
+                   value FROM xrel_attribute WHERE doc_id = ?{condition}
+            UNION ALL
+            SELECT start, end, ordinal, kind, name, value
+            FROM xrel_text WHERE doc_id = ?{condition}
+            ORDER BY start
+            """
+
+    def fetch_records(
+        self, doc_id: int, root_pre: int | None = None
+    ) -> list[NodeRecord]:
+        condition, params = "", [doc_id]
+        if root_pre is not None:
+            # The subtree root may live in any of the three node tables.
+            root_end = (
+                "COALESCE("
+                "(SELECT end FROM xrel_element WHERE doc_id = ? AND start = ?), "
+                "(SELECT end FROM xrel_attribute WHERE doc_id = ? AND start = ?), "
+                "(SELECT end FROM xrel_text WHERE doc_id = ? AND start = ?))"
+            )
+            condition = f" AND start >= ? AND start <= {root_end}"
+            params = [doc_id, root_pre] + [doc_id, root_pre] * 3
+        rows = self.db.query(self._node_union_sql(condition), params * 3)
+        # Parents are recovered from region nesting with a stack.
+        return self._rows_to_records(rows)
+
+    def fetch_records_many(
+        self, doc_id: int, pres: list[int]
+    ) -> dict[int, list[NodeRecord]]:
+        # Two statements per batch: resolve the root regions (a root may
+        # live in any node table), then fetch every subtree row with one
+        # OR-of-ranges union and carve per-root slices out of the
+        # start-ordered result (regions are contiguous start blocks).
+        groups: dict[int, list[NodeRecord]] = {}
+        for batch in iter_batches(pres):
+            marks = ", ".join("?" for _ in batch)
+            region_rows = self.db.query(
+                f"SELECT start, end FROM xrel_element "
+                f"WHERE doc_id = ? AND start IN ({marks}) "
+                "UNION ALL "
+                f"SELECT start, end FROM xrel_attribute "
+                f"WHERE doc_id = ? AND start IN ({marks}) "
+                "UNION ALL "
+                f"SELECT start, end FROM xrel_text "
+                f"WHERE doc_id = ? AND start IN ({marks})",
+                [doc_id, *batch] * 3,
+            )
+            spans = sorted(region_rows)
+            if not spans:
+                continue
+            ors = " OR ".join(
+                "(start >= ? AND start <= ?)" for _ in spans
+            )
+            arm_params = [doc_id]
+            for span in spans:
+                arm_params.extend(span)
+            rows = self.db.query(
+                self._node_union_sql(f" AND ({ors})"), arm_params * 3
+            )
+            starts = [row[0] for row in rows]
+            for root_start, root_end in spans:
+                lo = bisect_left(starts, root_start)
+                hi = bisect_right(starts, root_end)
+                records = self._rows_to_records(rows[lo:hi])
+                if records:
+                    groups[root_start] = records
+        return groups
 
     def _delete_rows(self, doc_id: int) -> None:
         for table in ("xrel_paths", "xrel_element", "xrel_attribute",

@@ -99,6 +99,10 @@ def insert_subtree(
         scheme.catalog.update_node_count(
             doc_id, record.node_count + len(records)
         )
+    if scheme.translation_depends_on_data:
+        # e.g. binary's _ensure_partition may have added a partition,
+        # changing what label-selective steps compile to.
+        scheme.invalidate_plans()
     return stats
 
 
@@ -129,6 +133,8 @@ def delete_subtree(
         scheme.catalog.update_node_count(
             doc_id, max(0, record.node_count - stats.rows_deleted)
         )
+    if scheme.translation_depends_on_data:
+        scheme.invalidate_plans()
     return stats
 
 

@@ -1,0 +1,310 @@
+"""Hot-path fast lanes: plan cache, batched reconstruction, bulk loads.
+
+Three families of differential tests pin the fast lanes to the slow
+paths they replace:
+
+* batched ``query_nodes`` / ``fetch_records_many`` must be byte-identical
+  to per-``pre`` subtree reconstruction, for every scheme, on real
+  workload documents;
+* cached translations must execute identically to cold ones — including
+  after the data-dependent schemes (universal, binary) change shape
+  under an update or delete;
+* a bulk-load session must produce the same stored documents as
+  per-document stores, atomically.
+"""
+
+import pytest
+
+from repro import XmlRelStore, parse_document, parse_fragment, serialize
+from repro.errors import StorageError, UnsupportedQueryError
+from repro.obs.trace import Tracer
+from repro.updates import insert_subtree
+from repro.workloads import (
+    AUCTION_QUERIES,
+    DBLP_QUERIES,
+    auction_dtd,
+    dblp_dtd,
+    generate_auction,
+    generate_dblp,
+)
+from tests.conftest import BIB_XML, SCHEMALESS_SCHEMES
+
+ALL_SCHEMES = SCHEMALESS_SCHEMES + ["inlining"]
+
+SCALE = 0.05
+SEED = 42
+
+
+@pytest.fixture(scope="module")
+def auction_doc():
+    return generate_auction(SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def dblp_doc():
+    return generate_dblp(40, seed=SEED)
+
+
+def open_scheme_store(name, workload="auction", tracer=None):
+    kwargs = {}
+    if name == "inlining":
+        kwargs["dtd"] = (
+            auction_dtd() if workload == "auction" else dblp_dtd()
+        )
+    return XmlRelStore.open(scheme=name, tracer=tracer, **kwargs)
+
+
+class TestBatchedReconstruction:
+    @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+    def test_auction_queries_identical(self, scheme_name, auction_doc):
+        with open_scheme_store(scheme_name, "auction") as store:
+            doc_id = store.store(auction_doc, "auction")
+            matched = 0
+            for spec in AUCTION_QUERIES:
+                try:
+                    pres = store.query_pres(doc_id, spec.xpath)
+                except UnsupportedQueryError:
+                    continue
+                batched = [
+                    serialize(n) for n in store.query(doc_id, spec.xpath)
+                ]
+                per_pre = [
+                    serialize(store.reconstruct_subtree(doc_id, pre))
+                    for pre in pres
+                ]
+                assert batched == per_pre, spec.key
+                matched += len(pres)
+            assert matched > 0
+
+    @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+    def test_dblp_queries_identical(self, scheme_name, dblp_doc):
+        with open_scheme_store(scheme_name, "dblp") as store:
+            doc_id = store.store(dblp_doc, "dblp")
+            matched = 0
+            for spec in DBLP_QUERIES:
+                try:
+                    pres = store.query_pres(doc_id, spec.xpath)
+                except UnsupportedQueryError:
+                    continue
+                batched = [
+                    serialize(n) for n in store.query(doc_id, spec.xpath)
+                ]
+                per_pre = [
+                    serialize(store.reconstruct_subtree(doc_id, pre))
+                    for pre in pres
+                ]
+                assert batched == per_pre, spec.key
+                matched += len(pres)
+            assert matched > 0
+
+    @pytest.mark.parametrize("scheme_name", SCHEMALESS_SCHEMES)
+    def test_fetch_records_many_equals_per_root(self, scheme_name):
+        with open_scheme_store(scheme_name) as store:
+            doc_id = store.store_text(BIB_XML, "bib")
+            scheme = store.scheme
+            pres = store.query_pres(doc_id, "//author")
+            assert pres
+            groups = scheme.fetch_records_many(doc_id, pres)
+            for pre in pres:
+                assert groups[pre] == scheme.fetch_records(
+                    doc_id, root_pre=pre
+                )
+
+    @pytest.mark.parametrize(
+        "scheme_name", ["interval", "dewey", "edge", "binary", "xrel"]
+    )
+    def test_more_roots_than_one_batch(self, scheme_name):
+        # 150 result roots force at least two ROOT_BATCH chunks.
+        xml = "<r>" + "<x>v</x>" * 150 + "</r>"
+        with open_scheme_store(scheme_name) as store:
+            doc_id = store.store_text(xml, "wide")
+            pres = store.query_pres(doc_id, "/r/x")
+            assert len(pres) == 150
+            nodes = store.query(doc_id, "/r/x")
+            assert [serialize(n) for n in nodes] == ["<x>v</x>"] * 150
+
+    def test_missing_root_raises(self):
+        with open_scheme_store("interval") as store:
+            doc_id = store.store_text(BIB_XML, "bib")
+            with pytest.raises(StorageError, match="no stored node"):
+                store.scheme.reconstruct_subtrees(doc_id, [999999])
+
+    def test_reconstruction_statement_count_is_flat(self):
+        # The batched fast lane issues O(1) statements per query, not
+        # O(N): a 2-result query and a 30+-result query must run the
+        # same number of SQL statements.
+        tracer = Tracer()
+        with XmlRelStore.open(scheme="interval", tracer=tracer) as store:
+            doc_id = store.store_text(BIB_XML, "bib")
+            wide_id = store.store_text(
+                "<r>" + "<x>v</x>" * 30 + "</r>", "wide"
+            )
+
+            def statements_for(target, xpath):
+                before = len(tracer.spans_named("sql.statement"))
+                nodes = store.query(target, xpath)
+                return (
+                    len(nodes),
+                    len(tracer.spans_named("sql.statement")) - before,
+                )
+
+            narrow_n, narrow_stmts = statements_for(
+                doc_id, "/bib/book/title"
+            )
+            wide_n, wide_stmts = statements_for(wide_id, "/r/x")
+            assert narrow_n == 2 and wide_n == 30
+            assert narrow_stmts == wide_stmts
+
+
+class TestPlanCache:
+    def test_warm_results_identical_to_cold(self):
+        with open_scheme_store("interval") as store:
+            doc_id = store.store_text(BIB_XML, "bib")
+            xpath = "/bib/book[@year = '2000']/title"
+            cold = store.query_pres(doc_id, xpath)
+            warm = store.query_pres(doc_id, xpath)
+            assert cold == warm
+            stats = store.db.plan_cache.stats()
+            assert stats["hits"] >= 1
+            assert stats["misses"] >= 1
+
+    def test_counters_reach_metrics(self):
+        tracer = Tracer()
+        with XmlRelStore.open(scheme="interval", tracer=tracer) as store:
+            doc_id = store.store_text(BIB_XML, "bib")
+            store.query_pres(doc_id, "//title")
+            store.query_pres(doc_id, "//title")
+            counters = tracer.metrics.snapshot()["counters"]
+            assert counters["plan_cache.misses"] >= 1
+            assert counters["plan_cache.hits"] >= 1
+
+    def test_query_report_exposes_cache_state(self):
+        with open_scheme_store("interval") as store:
+            doc_id = store.store_text(BIB_XML, "bib")
+            first = store.query_report(doc_id, "/bib/book/title")
+            second = store.query_report(doc_id, "/bib/book/title")
+            assert not first.cache_hit
+            assert second.cache_hit
+            assert second.pres == first.pres
+            assert second.cache_hits > first.cache_hits
+            assert "plan cache: hit" in second.format()
+
+    def test_union_plans_cached(self):
+        with open_scheme_store("interval") as store:
+            doc_id = store.store_text(BIB_XML, "bib")
+            xpath = "/bib/book/title | /bib/article/title"
+            cold = store.query_pres(doc_id, xpath)
+            warm = store.query_pres(doc_id, xpath)
+            assert cold == warm and len(cold) == 3
+            assert store.db.plan_cache.stats()["hits"] >= 1
+
+    def test_universal_store_invalidates(self):
+        # Universal bakes the known-label set into the SQL: an unknown
+        # label compiles to an always-false plan.  Storing a document
+        # that introduces the label must invalidate that cached plan.
+        with open_scheme_store("universal") as store:
+            first = store.store_text("<a><b>x</b></a>", "one")
+            assert store.query_pres(first, "/a/c") == []
+            second = store.store_text("<a><c>y</c></a>", "two")
+            assert len(store.query_pres(second, "/a/c")) == 1
+
+    def test_binary_update_invalidates(self):
+        # insert_subtree can create a partition for a never-seen label;
+        # cached plans that resolved the label to "no partition" go
+        # stale and must be dropped.
+        with open_scheme_store("binary") as store:
+            doc_id = store.store_text("<a><b>x</b></a>", "doc")
+            assert store.query_pres(doc_id, "/a/c") == []
+            root_pre = store.query_pres(doc_id, "/a")[0]
+            insert_subtree(
+                store.scheme, doc_id, root_pre, parse_fragment("<c>z</c>")
+            )
+            assert len(store.query_pres(doc_id, "/a/c")) == 1
+
+    def test_delete_invalidates_data_dependent_plans(self):
+        with open_scheme_store("universal") as store:
+            doc_id = store.store_text("<a><b>x</b></a>", "doc")
+            epoch = store.scheme.plan_epoch
+            store.query_pres(doc_id, "/a/b")
+            store.delete(doc_id)
+            assert store.scheme.plan_epoch > epoch
+
+    def test_lru_eviction_is_bounded(self):
+        with open_scheme_store("interval") as store:
+            doc_id = store.store_text(BIB_XML, "bib")
+            cache = store.db.plan_cache
+            capacity = cache.capacity
+            for i in range(capacity + 10):
+                store.query_pres(doc_id, f"/bib/book[{(i % 9) + 1}]")
+            assert len(cache) <= capacity
+
+
+class TestBulkSession:
+    DOCS = [
+        "<bib><book year='1999'><title>A</title></book></bib>",
+        "<bib><book year='2000'><title>B</title></book></bib>",
+        "<bib><book year='2001'><title>C</title></book></bib>",
+    ]
+
+    def test_store_many_matches_individual_stores(self):
+        with open_scheme_store("interval") as bulk, open_scheme_store(
+            "interval"
+        ) as single:
+            docs = [parse_document(text) for text in self.DOCS]
+            bulk_ids = bulk.store_many(
+                docs, names=[f"d{i}" for i in range(len(docs))]
+            )
+            single_ids = [
+                single.store(parse_document(text), f"d{i}")
+                for i, text in enumerate(self.DOCS)
+            ]
+            assert bulk_ids == single_ids
+            for bulk_id, single_id in zip(bulk_ids, single_ids):
+                assert bulk.reconstruct_xml(
+                    bulk_id
+                ) == single.reconstruct_xml(single_id)
+            assert len(bulk.documents()) == len(self.DOCS)
+
+    def test_bulk_session_is_atomic(self):
+        with open_scheme_store("interval") as store:
+            with pytest.raises(RuntimeError, match="boom"):
+                with store.bulk_session() as session:
+                    for text in self.DOCS:
+                        session.store(parse_document(text), "doc")
+                    raise RuntimeError("boom")
+            assert store.documents() == []
+            # The store stays usable after the rollback.
+            doc_id = store.store_text(self.DOCS[0], "after")
+            assert store.query_pres(doc_id, "/bib/book/title")
+
+    def test_bulk_counters_and_single_analyze(self):
+        tracer = Tracer()
+        with XmlRelStore.open(scheme="interval", tracer=tracer) as store:
+            docs = [parse_document(text) for text in self.DOCS]
+            store.store_many(docs)
+            counters = tracer.metrics.snapshot()["counters"]
+            assert counters["bulk.sessions"] == 1
+            assert counters["bulk.documents"] == len(self.DOCS)
+            # One deferred ANALYZE for the whole session, not one per doc.
+            assert len(tracer.spans_named("analyze")) == 1
+
+    def test_nested_session_rejected(self):
+        with open_scheme_store("interval") as store:
+            with store.bulk_session() as session:
+                with pytest.raises(StorageError, match="already active"):
+                    session.__enter__()
+
+    def test_store_outside_session_rejected(self):
+        with open_scheme_store("interval") as store:
+            session = store.bulk_session()
+            with pytest.raises(StorageError, match="not active"):
+                session.store(parse_document(self.DOCS[0]))
+
+    def test_store_many_name_mismatch(self):
+        from repro.errors import XmlRelError
+
+        with open_scheme_store("interval") as store:
+            with pytest.raises(XmlRelError, match="name"):
+                store.store_many(
+                    [parse_document(self.DOCS[0])], names=["a", "b"]
+                )
