@@ -1,0 +1,190 @@
+"""E15 — the static-analysis layer: lint overhead and ``//`` expansion.
+
+Two measurements:
+
+* **plan-lint overhead** — cold translation time for the auction suite
+  with ``lint="off"`` vs ``lint="default"`` (the linter walks the typed
+  SQL AST against the schema catalog once per cold translation; warm
+  cache hits never re-lint, so the warm overhead is ~0 and the cold
+  overhead must stay a small fraction of translate time);
+* **DTD-aware ``//`` expansion** — mid-path descendant queries
+  (``/site/regions//item/name``) with and without an attached
+  :class:`~repro.analysis.xpathlint.XPathAnalyzer` (``expand=True``):
+  the non-recursive DTD region turns the descendant closure into a
+  handful of explicit child chains, which on the edge mapping replaces
+  a recursive CTE per query.  (A *leading* ``//`` is already a flat
+  label filter on every scheme, so mid-path is where expansion pays.)
+  Results must be identical.
+
+Besides the usual markdown table, the run writes the machine-readable
+``benchmarks/results/BENCH_PR4.json`` consumed by the CI analysis job.
+"""
+
+import json
+import os
+import time
+
+from repro import XmlRelStore
+from repro.bench import ExperimentResult, write_report
+from repro.workloads import AUCTION_QUERIES, auction_dtd, generate_auction
+
+from benchmarks.conftest import PROFILE, SEED
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_PR4.json"
+)
+
+LINT_REPETITIONS = 30
+
+#: Mid-path descendant queries over the auction document whose ``//``
+#: regions are non-recursive in the DTD — the expansion sweet spot
+#: (``regions//item`` fans out into one chain per continent).
+EXPANSION_QUERIES = (
+    "/site/regions//item/name",
+    "/site//open_auction/bidder/increase",
+    "/site/closed_auctions//price",
+)
+EXPANSION_REPETITIONS = 15
+EXPANSION_SCALE = 0.2
+
+
+def _translation_seconds(store, doc_id, queries, repetitions):
+    """Cold-translate *queries* *repetitions* times (cache cleared each
+    round, so every round pays parse → plan → render [→ lint])."""
+    translator = store.scheme.translator()
+    total = 0.0
+    for __ in range(repetitions):
+        store.clear_plan_cache()
+        started = time.perf_counter()
+        for xpath in queries:
+            translator.plans_for(doc_id, xpath)
+        total += time.perf_counter() - started
+    return total
+
+
+def test_e15_analysis():
+    auction = generate_auction(0.05, seed=SEED)
+    queries = [spec.xpath for spec in AUCTION_QUERIES]
+
+    # -- plan-lint overhead ---------------------------------------------------
+    with XmlRelStore.open(
+        scheme="interval", profile=PROFILE, lint="off"
+    ) as store:
+        doc_id = store.store(auction, "auction")
+        off_seconds = _translation_seconds(
+            store, doc_id, queries, LINT_REPETITIONS
+        )
+    with XmlRelStore.open(
+        scheme="interval", profile=PROFILE, lint="default"
+    ) as store:
+        doc_id = store.store(auction, "auction")
+        lint_seconds = _translation_seconds(
+            store, doc_id, queries, LINT_REPETITIONS
+        )
+        # Warm path: cache hits skip translation and linting entirely.
+        for xpath in queries:
+            store.scheme.query_pres(doc_id, xpath)
+        started = time.perf_counter()
+        for xpath in queries:
+            store.scheme.translator().plans_for(doc_id, xpath)
+        warm_seconds = time.perf_counter() - started
+    lint_overhead = lint_seconds / off_seconds - 1.0
+
+    # -- mid-path // expansion on the auction document ------------------------
+    big_auction = generate_auction(EXPANSION_SCALE, seed=SEED)
+    expansion = {}
+    for scheme_name in ("edge", "interval"):
+        with XmlRelStore.open(
+            scheme=scheme_name, profile=PROFILE
+        ) as plain, XmlRelStore.open(
+            scheme=scheme_name, profile=PROFILE
+        ) as expanded:
+            plain_id = plain.store(big_auction, "auction")
+            expanded_id = expanded.store(big_auction, "auction")
+            expanded.enable_analysis(dtd=auction_dtd(), expand=True)
+
+            baseline = {
+                xpath: plain.query_pres(plain_id, xpath)
+                for xpath in EXPANSION_QUERIES
+            }
+            for xpath in EXPANSION_QUERIES:  # prime both plan caches
+                assert (
+                    expanded.query_pres(expanded_id, xpath)
+                    == baseline[xpath]
+                ), f"{scheme_name}/{xpath}: expansion changed the result"
+
+            started = time.perf_counter()
+            for __ in range(EXPANSION_REPETITIONS):
+                for xpath in EXPANSION_QUERIES:
+                    plain.query_pres(plain_id, xpath)
+            plain_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            for __ in range(EXPANSION_REPETITIONS):
+                for xpath in EXPANSION_QUERIES:
+                    expanded.query_pres(expanded_id, xpath)
+            expanded_seconds = time.perf_counter() - started
+            expansion[scheme_name] = {
+                "seconds_plain": plain_seconds,
+                "seconds_expanded": expanded_seconds,
+                "speedup": plain_seconds / expanded_seconds,
+            }
+
+    # -- report ---------------------------------------------------------------
+    result = ExperimentResult(
+        experiment="E15",
+        title="Static analysis: lint overhead and // expansion",
+        workload=(
+            f"auction sf=0.05 x {len(queries)} queries (lint); "
+            f"auction sf={EXPANSION_SCALE} x "
+            f"{len(EXPANSION_QUERIES)} mid-path '//' queries"
+        ),
+        expectation=(
+            "cold lint overhead < 20% of translate time, ~0 warm; "
+            "expanded '//' beats the recursive-CTE edge plan"
+        ),
+    )
+    result.add_row(
+        "translate sec (30x)",
+        cold=off_seconds,
+        warm=lint_seconds,
+        speedup=1.0 + lint_overhead,
+    )
+    for scheme_name, stats in expansion.items():
+        result.add_row(
+            f"// on {scheme_name} (sec)",
+            cold=stats["seconds_plain"],
+            warm=stats["seconds_expanded"],
+            speedup=stats["speedup"],
+        )
+    write_report(result)
+
+    payload = {
+        "experiment": "E15",
+        "profile": PROFILE,
+        "lint": {
+            "queries": len(queries),
+            "repetitions": LINT_REPETITIONS,
+            "seconds_off": off_seconds,
+            "seconds_default": lint_seconds,
+            "overhead_fraction": lint_overhead,
+            "seconds_warm_suite": warm_seconds,
+        },
+        "expansion": expansion,
+    }
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    # -- acceptance -----------------------------------------------------------
+    assert lint_overhead < 0.20, payload["lint"]
+    # Warm lookups never re-lint: one warm suite pass costs a tiny
+    # fraction of one cold pass.
+    assert warm_seconds < (lint_seconds / LINT_REPETITIONS) * 0.5, (
+        payload["lint"]
+    )
+    # Edge pays a recursive CTE per '//' query; the expanded child
+    # chains must beat it.  Interval answers '//' straight off its name
+    # index, so expansion only has to stay in the same ballpark there.
+    assert expansion["edge"]["speedup"] > 1.2, expansion["edge"]
+    assert expansion["interval"]["speedup"] > 0.2, expansion["interval"]

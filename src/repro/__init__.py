@@ -16,6 +16,7 @@ Quickstart::
         print(store.query_xml(doc_id, "/bib/book[@year = '2000']/title"))
 """
 
+from repro.analysis import Diagnostic, XPathAnalyzer
 from repro.core.compare import compare_schemes
 from repro.core.registry import available_schemes, create_scheme
 from repro.core.store import XmlRelStore, open_store
@@ -27,6 +28,7 @@ from repro.obs import (
     format_span_tree,
 )
 from repro.errors import (
+    PlanLintError,
     StorageError,
     TransientStorageError,
     UnsupportedQueryError,
@@ -48,16 +50,19 @@ __version__ = "1.0.0"
 __all__ = [
     "DURABILITY_PROFILES",
     "Database",
+    "Diagnostic",
     "Explanation",
     "IntegrityIssue",
     "IntegrityReport",
     "MetricsRegistry",
+    "PlanLintError",
     "QueryReport",
     "RetryPolicy",
     "StorageError",
     "Tracer",
     "TransientStorageError",
     "UnsupportedQueryError",
+    "XPathAnalyzer",
     "XPathSyntaxError",
     "XmlRelError",
     "XmlRelStore",

@@ -1,0 +1,44 @@
+"""Static analysis: SQL plan linting, XPath pruning, repo invariants.
+
+Three analyzers share one :class:`~repro.analysis.diagnostics.Diagnostic`
+record type:
+
+* :mod:`repro.analysis.sqllint` — walks the typed SQL AST of a
+  translated statement against the live schema catalog and reports
+  unresolvable tables/columns, disconnected join graphs, missing
+  document predicates, base-case-less recursive CTEs, and unindexed
+  join columns;
+* :mod:`repro.analysis.xpathlint` — decides XPath satisfiability
+  against a DTD or path summary (provably-empty queries short-circuit
+  with zero SQL statements) and expands ``//`` descendant steps into
+  explicit child chains when the content model is non-recursive;
+* :mod:`repro.analysis.lint` — ``xmlrel-lint``, the Python-AST repo
+  linter enforcing project invariants (run as
+  ``python -m repro.analysis.lint``).
+
+:mod:`repro.analysis.sweep` lints the full benchmark query corpus across
+every registered scheme (the CI gate; run as
+``python -m repro.analysis.sweep``).
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    SEVERITY_ADVICE,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    format_diagnostics,
+    has_errors,
+)
+from repro.analysis.sqllint import lint_statement
+from repro.analysis.xpathlint import XPathAnalyzer
+
+__all__ = [
+    "Diagnostic",
+    "SEVERITY_ADVICE",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "XPathAnalyzer",
+    "format_diagnostics",
+    "has_errors",
+    "lint_statement",
+]

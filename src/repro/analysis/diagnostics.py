@@ -1,0 +1,100 @@
+"""The shared diagnostic record all analyzers emit.
+
+Every check in :mod:`repro.analysis` — the SQL plan linter, the XPath
+static analyzer, and the repo linter — reports through one frozen
+:class:`Diagnostic` shape so callers (strict-mode raising, span
+attachment, :class:`~repro.obs.report.QueryReport`, CI report files)
+handle them uniformly.
+
+Severities
+----------
+
+``error``
+    The plan/code is wrong: it would return incorrect rows (cross-
+    document leakage, cartesian products), fail at execution time
+    (unknown tables/columns, divergent recursion), or violates a
+    project invariant.  Strict lint mode raises on these; CI blocks.
+``warning``
+    Suspicious but possibly intended (e.g. a provably-empty path).
+``advice``
+    Performance guidance with no correctness impact (e.g. a join
+    column no index covers).
+
+Diagnostic codes are stable strings (``P0xx`` for plan lint, ``X0xx``
+for XPath analysis, ``L0xx`` for the repo lint); the full table lives in
+DESIGN.md §7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_ADVICE = "advice"
+
+#: Sort rank: most severe first.
+_SEVERITY_RANK = {
+    SEVERITY_ERROR: 0,
+    SEVERITY_WARNING: 1,
+    SEVERITY_ADVICE: 2,
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analyzer.
+
+    ``location`` is analyzer-specific: ``file:line`` for the repo lint,
+    a table/alias/CTE description for the plan linter, the XPath source
+    for the path analyzer.  Frozen so diagnostics can live inside cached
+    plans and be deduplicated by value.
+    """
+
+    code: str
+    severity: str
+    message: str
+    location: str = ""
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == SEVERITY_ERROR
+
+    def format(self) -> str:
+        """One human-readable line: ``location: CODE severity: message``."""
+        prefix = f"{self.location}: " if self.location else ""
+        return f"{prefix}{self.code} {self.severity}: {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-able form (the CI report artifact)."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "location": self.location,
+        }
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    """True when any diagnostic is error-severity."""
+    return any(d.is_error for d in diagnostics)
+
+
+def sorted_by_severity(
+    diagnostics: Iterable[Diagnostic],
+) -> list[Diagnostic]:
+    """Most severe first, then by code, then location (stable output)."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            _SEVERITY_RANK.get(d.severity, len(_SEVERITY_RANK)),
+            d.code,
+            d.location,
+        ),
+    )
+
+
+def format_diagnostics(diagnostics: Iterable[Diagnostic]) -> str:
+    """All diagnostics, one formatted line each, most severe first."""
+    return "\n".join(d.format() for d in sorted_by_severity(diagnostics))

@@ -1,0 +1,351 @@
+"""``xmlrel-lint`` — the repository's own static lint gate.
+
+A small Python-``ast`` walker enforcing the layering rules the codebase
+promises (run as ``python -m repro.analysis.lint``):
+
+L001
+    Raw SQL string literals outside the modules allowed to speak SQL
+    (the relational layer, the storage schemes, updates, and the fault
+    injector).  Everything else must build statements through the typed
+    AST in :mod:`repro.relational.sql`, so the plan linter can see them.
+L002
+    Reach-arounds past the span-instrumented database wrappers: touching
+    ``_conn`` / ``_raw_execute`` / ``_raw_executemany`` or importing
+    :mod:`sqlite3` outside the database module itself (plus the retry
+    and fault-injection layers that legitimately wrap it).  Such calls
+    bypass tracing, retry, and fault injection all at once.
+L003
+    Bare ``except:`` clauses — they swallow ``KeyboardInterrupt`` and
+    hide real failures behind the library's single-exception promise.
+L004
+    A :class:`~repro.storage.base.MappingScheme` subclass with a
+    non-empty ``name`` that is not mentioned in ``core/registry.py`` —
+    an unregistered scheme silently disappears from
+    ``available_schemes()`` and the differential suite.
+
+Findings come back as the shared :class:`~repro.analysis.Diagnostic`
+record; the CLI exits non-zero when any are found, which is what makes
+it usable as a CI gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import sys
+from pathlib import Path
+
+from repro.analysis.diagnostics import (
+    SEVERITY_ERROR,
+    Diagnostic,
+    format_diagnostics,
+)
+
+#: Modules allowed to contain raw SQL string literals (L001), as
+#: ``/``-separated path suffixes relative to the package root.
+SQL_ALLOWED = (
+    "repro/relational/",
+    "repro/storage/",
+    "repro/updates.py",
+    "repro/reliability/faults.py",
+)
+
+#: Modules allowed to touch the raw sqlite3 connection (L002).
+CONN_ALLOWED = (
+    "repro/relational/database.py",
+    "repro/relational/retry.py",
+    "repro/reliability/faults.py",
+)
+
+#: Attribute names whose access constitutes a wrapper reach-around.
+RAW_ATTRIBUTES = frozenset({"_conn", "_raw_execute", "_raw_executemany"})
+
+#: A string literal "looks like SQL" when it opens with a statement
+#: keyword in upper case — the repo's rendered SQL is always uppercase,
+#: while prose error messages never lead with one.
+_SQL_LITERAL = re.compile(
+    r"^\s*(SELECT|INSERT|UPDATE|DELETE|CREATE|DROP|ALTER|PRAGMA|WITH"
+    r"|VACUUM|ANALYZE|EXPLAIN|BEGIN|COMMIT|ROLLBACK|SAVEPOINT|RELEASE"
+    r"|REINDEX)\b"
+)
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _is_allowed(rel_path: str, suffixes: tuple[str, ...]) -> bool:
+    return any(
+        rel_path == suffix or rel_path.endswith("/" + suffix)
+        or (suffix.endswith("/") and ("/" + suffix) in ("/" + rel_path))
+        for suffix in suffixes
+    )
+
+
+def _docstring_constants(tree: ast.AST) -> set[int]:
+    """Positions (by ``id``) of docstring expression nodes, so L001
+    never fires on documentation that quotes SQL."""
+    ids: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                ids.add(id(body[0].value))
+    return ids
+
+
+class _FileLinter(ast.NodeVisitor):
+    """One file's worth of L001–L003 checks."""
+
+    def __init__(self, rel_path: str, tree: ast.AST) -> None:
+        self.rel_path = rel_path
+        self.findings: list[Diagnostic] = []
+        self._sql_allowed = _is_allowed(rel_path, SQL_ALLOWED)
+        self._conn_allowed = _is_allowed(rel_path, CONN_ALLOWED)
+        self._docstrings = _docstring_constants(tree)
+
+    def _add(self, code: str, message: str, line: int) -> None:
+        self.findings.append(
+            Diagnostic(
+                code,
+                SEVERITY_ERROR,
+                message,
+                location=f"{self.rel_path}:{line}",
+            )
+        )
+
+    # -- L001: raw SQL literals ------------------------------------------------
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if (
+            not self._sql_allowed
+            and isinstance(node.value, str)
+            and id(node) not in self._docstrings
+            and _SQL_LITERAL.match(node.value)
+        ):
+            head = node.value.strip().split(None, 1)[0]
+            self._add(
+                "L001",
+                f"raw SQL string literal ({head} ...) outside the "
+                "relational/storage layers — build it through "
+                "repro.relational.sql instead",
+                node.lineno,
+            )
+        self.generic_visit(node)
+
+    # -- L002: wrapper reach-arounds -------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if not self._conn_allowed and node.attr in RAW_ATTRIBUTES:
+            self._add(
+                "L002",
+                f"access to {node.attr!r} bypasses the span-instrumented "
+                "database wrappers (tracing, retry, and fault injection)",
+                node.lineno,
+            )
+        self.generic_visit(node)
+
+    def _check_sqlite_import(self, names, lineno: int) -> None:
+        if not self._conn_allowed and any(
+            alias.name.split(".")[0] == "sqlite3" for alias in names
+        ):
+            self._add(
+                "L002",
+                "sqlite3 imported outside the database layer — go "
+                "through repro.relational.database instead",
+                lineno,
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self._check_sqlite_import(node.names, node.lineno)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.module.split(".")[0] == "sqlite3":
+            self._check_sqlite_import(
+                [ast.alias(name="sqlite3")], node.lineno
+            )
+        self.generic_visit(node)
+
+    # -- L003: bare except -------------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._add(
+                "L003",
+                "bare 'except:' swallows KeyboardInterrupt/SystemExit — "
+                "catch a concrete exception type",
+                node.lineno,
+            )
+        self.generic_visit(node)
+
+
+def _scheme_classes(trees: dict[str, ast.AST]) -> dict[str, tuple[str, int]]:
+    """Transitive ``MappingScheme`` subclasses with a non-empty ``name``
+    class attribute, as ``{class_name: (rel_path, lineno)}``."""
+    bases: dict[str, tuple[set[str], str, int, str]] = {}
+    for rel_path, tree in trees.items():
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                base_names = {
+                    b.id if isinstance(b, ast.Name) else getattr(b, "attr", "")
+                    for b in node.bases
+                }
+                bases[node.name] = (
+                    base_names,
+                    rel_path,
+                    node.lineno,
+                    _declared_name(node),
+                )
+    # Transitive closure from MappingScheme.
+    subclasses: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for cls, (base_names, *_rest) in bases.items():
+            if cls in subclasses:
+                continue
+            if "MappingScheme" in base_names or base_names & subclasses:
+                subclasses.add(cls)
+                changed = True
+    return {
+        cls: (bases[cls][1], bases[cls][2])
+        for cls in subclasses
+        if bases[cls][3]
+    }
+
+
+def _declared_name(node: ast.ClassDef) -> str:
+    """The class body's ``name = "..."`` value ("" when absent/empty)."""
+    for item in node.body:
+        target = None
+        value = None
+        if isinstance(item, ast.Assign) and len(item.targets) == 1:
+            target, value = item.targets[0], item.value
+        elif isinstance(item, ast.AnnAssign):
+            target, value = item.target, item.value
+        if (
+            isinstance(target, ast.Name)
+            and target.id == "name"
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            return value.value
+    return ""
+
+
+def _check_registry(trees: dict[str, ast.AST]) -> list[Diagnostic]:
+    """L004: every named scheme class must be mentioned in the registry."""
+    registry_path = next(
+        (p for p in trees if p.endswith("core/registry.py")), None
+    )
+    if registry_path is None:
+        return []  # registry not part of this scan — nothing to check
+    registered = {
+        node.id
+        for node in ast.walk(trees[registry_path])
+        if isinstance(node, ast.Name)
+    }
+    findings = []
+    for cls, (rel_path, lineno) in sorted(_scheme_classes(trees).items()):
+        if cls not in registered:
+            findings.append(
+                Diagnostic(
+                    "L004",
+                    SEVERITY_ERROR,
+                    f"MappingScheme subclass {cls} is not registered in "
+                    "core/registry.py — it is invisible to "
+                    "available_schemes() and the differential suite",
+                    location=f"{rel_path}:{lineno}",
+                )
+            )
+    return findings
+
+
+def lint_paths(paths: list[Path], root: Path | None = None) -> list[Diagnostic]:
+    """Lint every ``.py`` file under *paths*; returns all findings."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    if root is None:
+        root = Path.cwd()
+    findings: list[Diagnostic] = []
+    trees: dict[str, ast.AST] = {}
+    for file in files:
+        rel_path = _relative(file, root)
+        try:
+            tree = ast.parse(file.read_text(encoding="utf-8"))
+        except SyntaxError as error:
+            findings.append(
+                Diagnostic(
+                    "L000",
+                    SEVERITY_ERROR,
+                    f"file does not parse: {error.msg}",
+                    location=f"{rel_path}:{error.lineno or 0}",
+                )
+            )
+            continue
+        trees[rel_path] = tree
+        linter = _FileLinter(rel_path, tree)
+        linter.visit(tree)
+        findings.extend(linter.findings)
+    findings.extend(_check_registry(trees))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    json_path = None
+    if "--json" in argv:
+        at = argv.index("--json")
+        try:
+            json_path = argv[at + 1]
+        except IndexError:
+            print("xmlrel-lint: --json requires a path", file=sys.stderr)
+            return 2
+        del argv[at:at + 2]
+    if argv:
+        paths = [Path(arg) for arg in argv]
+        root = Path.cwd()
+    else:
+        # Default: the repro package itself.
+        package_dir = Path(__file__).resolve().parent.parent
+        paths = [package_dir]
+        root = package_dir.parent
+    findings = lint_paths(paths, root=root)
+    if json_path:
+        Path(json_path).write_text(
+            json.dumps(
+                {
+                    "findings": [d.to_dict() for d in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+    if findings:
+        print(format_diagnostics(findings))
+        print(f"xmlrel-lint: {len(findings)} finding(s)")
+        return 1
+    print("xmlrel-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ class XmlRelStore:
         profile: str = "bulk_load",
         retry: RetryPolicy | None = None,
         tracer: Tracer | None = None,
+        lint: str = "default",
         **kwargs,
     ) -> "XmlRelStore":
         """Open (creating if needed) a store at *path* using *scheme*.
@@ -60,10 +61,16 @@ class XmlRelStore:
         transient busy/locked errors, *tracer* an optional
         :class:`~repro.obs.trace.Tracer` that records spans, statement
         events, and metrics for everything this store does (tracing is
-        off without one).  ``kwargs`` pass through to the scheme (e.g.
+        off without one), *lint* the plan-lint mode (``off`` /
+        ``default`` / ``strict`` — see
+        :data:`repro.relational.database.LINT_MODES`; ``strict`` raises
+        :class:`~repro.errors.PlanLintError` on error-severity
+        diagnostics).  ``kwargs`` pass through to the scheme (e.g.
         ``dtd=``/``strategy=`` for ``inlining``).
         """
-        db = Database(path, profile=profile, retry=retry, tracer=tracer)
+        db = Database(
+            path, profile=profile, retry=retry, tracer=tracer, lint=lint
+        )
         return cls(db, create_scheme(scheme, db, **kwargs))
 
     @property
@@ -206,6 +213,42 @@ class XmlRelStore:
         the plan-complexity experiment."""
         return self.scheme.translator().sql_for(doc_id, xpath)
 
+    # -- static analysis -----------------------------------------------------------
+
+    def enable_analysis(
+        self,
+        dtd=None,
+        summary=None,
+        doc_id: int | None = None,
+        expand: bool = False,
+    ):
+        """Attach an XPath static analyzer to this store's scheme.
+
+        Exactly one structural source is needed: a parsed
+        :class:`~repro.xml.dtd.Dtd`, a pre-built
+        :class:`~repro.stats.pathsummary.PathSummary`, or a *doc_id*
+        whose stored document the summary is built from.  Once enabled,
+        queries the analyzer proves unsatisfiable short-circuit with
+        zero SQL statements executed, and — with ``expand=True`` and a
+        DTD — non-recursive ``//`` steps are rewritten into explicit
+        child chains.  Returns the attached
+        :class:`~repro.analysis.xpathlint.XPathAnalyzer`.
+        """
+        from repro.analysis.xpathlint import XPathAnalyzer
+
+        if summary is None and doc_id is not None:
+            from repro.stats.pathsummary import build_summary
+
+            summary = build_summary(self.reconstruct(doc_id))
+        analyzer = XPathAnalyzer(dtd=dtd, summary=summary, expand=expand)
+        self.scheme.attach_analyzer(analyzer)
+        return analyzer
+
+    def clear_plan_cache(self) -> None:
+        """Drop every cached translation (cold-start measurements and
+        the analysis benchmarks; cumulative hit/miss counters are kept)."""
+        self.db.plan_cache.clear()
+
     # -- introspection -------------------------------------------------------------
 
     def explain(self, doc_id: int, xpath: str) -> Explanation:
@@ -256,6 +299,7 @@ class XmlRelStore:
             cache_hit=cache_hit,
             cache_hits=cache_stats["hits"],
             cache_misses=cache_stats["misses"],
+            analysis=tuple(plan_entry.diagnostics),
         )
 
     # -- retrieval -----------------------------------------------------------------

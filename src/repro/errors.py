@@ -94,6 +94,21 @@ class DocumentNotFoundError(StorageError):
         super().__init__(f"no stored document with id {doc_id}")
 
 
+class PlanLintError(XmlRelError):
+    """Raised in *strict* lint mode when a translated SQL plan carries
+    error-severity diagnostics (see :mod:`repro.analysis.sqllint`).
+
+    ``diagnostics`` holds the offending
+    :class:`~repro.analysis.diagnostics.Diagnostic` records; the message
+    summarizes them so the failure is readable without unpacking.
+    """
+
+    def __init__(self, diagnostics):
+        self.diagnostics = tuple(diagnostics)
+        summary = "; ".join(d.format() for d in self.diagnostics)
+        super().__init__(f"plan lint failed: {summary}")
+
+
 class UpdateError(XmlRelError):
     """Raised when an update (insert/delete) cannot be applied."""
 

@@ -69,6 +69,10 @@ class QueryReport:
     cache_hits: int = 0
     #: Lifetime plan-cache misses of the store's database.
     cache_misses: int = 0
+    #: Plan-linter diagnostics for the executed statement
+    #: (:class:`repro.analysis.Diagnostic` records; empty when linting
+    #: is off or the plan is clean).
+    analysis: tuple = ()
 
     @property
     def sql_length(self) -> int:
@@ -93,5 +97,11 @@ class QueryReport:
                 f"({self.cache_hits} hits / {self.cache_misses} misses)",
                 "plan:",
                 *("    " + line for line in self.plan),
+                *(
+                    ["analysis:"]
+                    + ["    " + d.format() for d in self.analysis]
+                    if self.analysis
+                    else []
+                ),
             ]
         )

@@ -104,10 +104,9 @@ class XRelTranslator(BaseTranslator):
 
     def __init__(self, scheme) -> None:
         super().__init__(scheme)
-        self.db._conn.create_function(
+        self.db.create_function(
             "xrel_path_match", 2,
             lambda p, s: 1 if xrel_path_match(p, s) else 0,
-            deterministic=True,
         )
 
     # -- translation -------------------------------------------------------------

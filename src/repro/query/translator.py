@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import abc
 
+from repro.errors import PlanLintError, XmlRelError
 from repro.query.plan import PathPlan, plan_path
 from repro.relational.plancache import CachedPlan
 from repro.relational.sql import Select, Union, WithQuery, bind_doc_id
@@ -78,6 +79,54 @@ class BaseTranslator(abc.ABC):
 
     # -- plan caching -------------------------------------------------------------
 
+    def _render_plans(self, statements) -> tuple[CachedPlan, ...]:
+        """Render *statements* to cached-plan entries, linting each one.
+
+        Under lint mode ``default`` the plan linter's diagnostics ride
+        along inside the :class:`CachedPlan`; ``strict`` raises
+        :class:`~repro.errors.PlanLintError` when any diagnostic is
+        error-severity; ``off`` skips the walk entirely.
+        """
+        lint_mode = self.db.lint_mode
+        catalog = None
+        if lint_mode != "off":
+            # Deferred import: repro.analysis depends on repro.query.plan.
+            from repro.analysis.sqllint import lint_statement
+
+            catalog = self.db.schema_catalog()
+        plans = []
+        for statement in statements:
+            sql, params = statement.render()
+            diagnostics = ()
+            if catalog is not None:
+                # Rendering is deterministic, so the SQL text (plus the
+                # schema generation) is a sound memo key: re-translating
+                # an evicted plan never re-walks an already-linted tree.
+                memo = self.db.lint_memo
+                memo_key = (catalog.schema_version, sql)
+                diagnostics = memo.get(memo_key)
+                if diagnostics is None:
+                    diagnostics = lint_statement(statement, catalog)
+                    if len(memo) >= 1024:
+                        memo.clear()
+                    memo[memo_key] = diagnostics
+            plans.append(
+                CachedPlan(
+                    sql, tuple(params), statement.join_count, diagnostics
+                )
+            )
+        plans = tuple(plans)
+        if lint_mode == "strict":
+            errors = [
+                diagnostic
+                for plan in plans
+                for diagnostic in plan.diagnostics
+                if diagnostic.is_error
+            ]
+            if errors:
+                raise PlanLintError(errors)
+        return plans
+
     def plans_for(
         self, doc_id: int, xpath: str | LocationPath | PathPlan
     ) -> tuple[tuple[CachedPlan, ...], bool]:
@@ -108,18 +157,21 @@ class BaseTranslator(abc.ABC):
                 statements = [self.translate(doc_id, xpath)]
             else:
                 statements = [self.translate(doc_id, arm) for arm in arms]
-            plans = tuple(
-                CachedPlan(sql, tuple(params), statement.join_count)
-                for statement in statements
-                for sql, params in (statement.render(),)
-            )
+            plans = self._render_plans(statements)
             if translate_span:
                 translate_span.set(
                     sql_length=sum(len(p.sql) for p in plans),
                     joins=sum(p.join_count for p in plans),
                 )
+                diagnostics = [
+                    d.format() for p in plans for d in p.diagnostics
+                ]
+                if diagnostics:
+                    translate_span.set(diagnostics=diagnostics)
         if key is not None:
             cache.put(key, plans)
+            if tracer.enabled:
+                tracer.metrics.gauge("plan_cache.size").set(len(cache))
         return plans, False
 
     def cached_translation(
@@ -134,6 +186,68 @@ class BaseTranslator(abc.ABC):
             # planning a union as a single statement raises.
             self.translate(doc_id, xpath)
         return plans[0], hit
+
+    # -- static analysis ----------------------------------------------------------
+
+    def _execution_plans(
+        self, doc_id: int, xpath: str | LocationPath | PathPlan
+    ) -> tuple[tuple[CachedPlan, ...], bool]:
+        """Like :meth:`plans_for`, but routed through the scheme's
+        :class:`~repro.analysis.xpathlint.XPathAnalyzer` when one is
+        attached with expansion enabled: a ``//`` path over a
+        non-recursive DTD compiles into one plan per concrete child
+        chain (executed as union arms) instead of a descendant scan.
+
+        Expanded translations cache under their own key (the plain key
+        still serves :meth:`cached_translation`/``explain``, which
+        promise a single statement); "no expansion applies" caches as an
+        empty tuple so the analyzer runs once per (scheme, epoch, path).
+        """
+        analyzer = getattr(self.scheme, "analyzer", None)
+        if (
+            analyzer is None
+            or not analyzer.expansion_enabled
+            or not isinstance(xpath, str)
+        ):
+            return self.plans_for(doc_id, xpath)
+        cache = self.db.plan_cache
+        key = (self.scheme.name, self.scheme.plan_epoch, xpath, "expand")
+        plans = cache.get(key)
+        if plans is not None:
+            if not plans:  # cached "nothing to expand" sentinel
+                return self.plans_for(doc_id, xpath)
+            return plans, True
+        try:
+            expanded = analyzer.expand(xpath)
+        except XmlRelError:
+            expanded = None
+        if not expanded:
+            cache.put(key, ())
+            return self.plans_for(doc_id, xpath)
+        tracer = self.db.tracer
+        with tracer.span("translate") as translate_span:
+            statements = [self.translate(doc_id, p) for p in expanded]
+            plans = self._render_plans(statements)
+            if translate_span:
+                translate_span.set(
+                    sql_length=sum(len(p.sql) for p in plans),
+                    joins=sum(p.join_count for p in plans),
+                    expanded_arms=len(plans),
+                )
+        if tracer.enabled:
+            tracer.metrics.counter("analysis.expanded_queries").inc()
+        cache.put(key, plans)
+        return plans, False
+
+    def _provably_empty(
+        self, xpath: str | LocationPath | PathPlan
+    ) -> bool:
+        """True when the attached analyzer proves *xpath* matches
+        nothing (the zero-statement short-circuit)."""
+        analyzer = getattr(self.scheme, "analyzer", None)
+        if analyzer is None:
+            return False
+        return analyzer.satisfiable(xpath) is False
 
     # -- execution ----------------------------------------------------------------
 
@@ -153,6 +267,12 @@ class BaseTranslator(abc.ABC):
         recorded as a ``query`` span with ``translate`` and ``execute``
         children (individual ``sql.statement`` spans nest under
         ``execute``); a cache hit skips the ``translate`` child.
+
+        When the scheme has an attached
+        :class:`~repro.analysis.xpathlint.XPathAnalyzer` that proves the
+        path unsatisfiable against the DTD/path summary, the query
+        short-circuits to an empty result with zero SQL statements
+        executed.
         """
         tracer = self.db.tracer
         with tracer.span("query") as query_span:
@@ -161,7 +281,13 @@ class BaseTranslator(abc.ABC):
                     scheme=self.scheme.name, xpath=str(xpath)
                 )
                 tracer.metrics.counter("query.executed").inc()
-            plans, cache_hit = self.plans_for(doc_id, xpath)
+            if self._provably_empty(xpath):
+                if query_span:
+                    query_span.set(rows=0, unsatisfiable=True)
+                if tracer.enabled:
+                    tracer.metrics.counter("analysis.unsat_queries").inc()
+                return []
+            plans, cache_hit = self._execution_plans(doc_id, xpath)
             if len(plans) == 1:
                 plan = plans[0]
                 with tracer.span("execute"):

@@ -43,6 +43,7 @@ from collections.abc import Callable, Iterable, Iterator, Sequence
 
 from repro.errors import StorageError, TransientStorageError
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.relational.introspect import SchemaCatalog, build_catalog
 from repro.relational.plancache import PlanCache
 from repro.relational.retry import RetryPolicy, is_transient_error, with_retries
 from repro.relational.schema import Table, quote_identifier
@@ -65,6 +66,12 @@ DURABILITY_PROFILES: dict[str, tuple[tuple[str, str], ...]] = {
         ("busy_timeout", "10000"),
     ),
 }
+
+#: Plan-lint modes: ``off`` skips linting entirely, ``default`` attaches
+#: diagnostics to cached plans (and the ``translate`` span), ``strict``
+#: additionally raises :class:`~repro.errors.PlanLintError` on
+#: error-severity findings.
+LINT_MODES = ("off", "default", "strict")
 
 
 def _xpath_num(value) -> float | None:
@@ -90,11 +97,17 @@ class Database:
         profile: str = "bulk_load",
         retry: RetryPolicy | None = None,
         tracer: Tracer | None = None,
+        lint: str = "default",
     ) -> None:
         if profile not in DURABILITY_PROFILES:
             raise StorageError(
                 f"unknown durability profile {profile!r}; available: "
                 + ", ".join(sorted(DURABILITY_PROFILES))
+            )
+        if lint not in LINT_MODES:
+            raise StorageError(
+                f"unknown lint mode {lint!r}; available: "
+                + ", ".join(LINT_MODES)
             )
         self.path = path
         self.profile = profile
@@ -106,6 +119,13 @@ class Database:
         #: this database translates through it (see
         #: :mod:`repro.relational.plancache`).
         self.plan_cache = PlanCache()
+        #: Plan-lint mode: every translation is linted before it enters
+        #: the plan cache (see :mod:`repro.analysis.sqllint`).
+        self.lint_mode = lint
+        self._catalog_cache: SchemaCatalog | None = None
+        #: Plan-lint results keyed ``(schema_version, sql)`` — rendering
+        #: is deterministic, so an identical statement never re-lints.
+        self.lint_memo: dict[tuple[int, str], tuple] = {}
         self._last_statement_span = None
         self._txn_depth = 0
         self._savepoint_seq = 0
@@ -119,9 +139,25 @@ class Database:
         # XPath-faithful numeric conversion: returns NULL (not 0.0, as
         # CAST would) for non-numeric text, so NaN comparisons are false
         # in SQL exactly as they are in XPath.
-        self._conn.create_function(
-            "xpath_num", 1, _xpath_num, deterministic=True
-        )
+        self.create_function("xpath_num", 1, _xpath_num)
+
+    def create_function(
+        self, name: str, arity: int, fn: Callable, deterministic: bool = True
+    ) -> None:
+        """Register a scalar SQL function on this connection.
+
+        The public door for translators needing engine-side helpers
+        (e.g. xrel's path matcher) — reaching for the private ``_conn``
+        bypasses this wrapper and trips the repo lint (L002).
+        """
+        try:
+            self._conn.create_function(
+                name, arity, fn, deterministic=deterministic
+            )
+        except sqlite3.Error as error:
+            raise StorageError(
+                f"cannot register SQL function {name!r}: {error}"
+            ) from error
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -518,6 +554,26 @@ class Database:
         page_size = int(self.scalar("PRAGMA page_size"))
         free = int(self.scalar("PRAGMA freelist_count"))
         return (page_count - free) * page_size
+
+    def schema_catalog(self) -> SchemaCatalog:
+        """The current schema as the plan linter sees it.
+
+        Cached keyed on ``PRAGMA schema_version`` (bumped by every DDL
+        statement, including the schemes' dynamic ALTER/CREATE), so
+        steady-state lints pay one PRAGMA.  Runs on the raw connection
+        deliberately: catalog introspection must not emit
+        ``sql.statement`` spans — the fast-path tests count those per
+        query — nor pass through fault injection.
+        """
+        version = int(
+            self._conn.execute("PRAGMA schema_version").fetchone()[0]
+        )
+        cached = self._catalog_cache
+        if cached is not None and cached.schema_version == version:
+            return cached
+        catalog = build_catalog(self._conn, schema_version=version)
+        self._catalog_cache = catalog
+        return catalog
 
     def explain_plan(self, sql: str, params: Sequence = ()) -> list[str]:
         """The EXPLAIN QUERY PLAN detail lines (index-usage inspection)."""

@@ -1,0 +1,112 @@
+"""Schema-catalog introspection for the SQL plan linter.
+
+The plan linter (:mod:`repro.analysis.sqllint`) resolves every table and
+column reference of a translated statement against what *actually
+exists* in the database — including tables the schemes create
+dynamically (universal's label columns, binary's partition tables,
+inlining's per-DTD relations) which no static :class:`Table` definition
+describes.  A :class:`SchemaCatalog` is therefore built from the live
+connection via the sqlite PRAGMA surface, not from the scheme's table
+list.
+
+The catalog is cached by :meth:`repro.relational.database.Database
+.schema_catalog` keyed on ``PRAGMA schema_version`` (sqlite bumps it on
+every DDL statement), so steady-state translation pays one PRAGMA per
+lint, not a re-introspection.  Introspection runs on the raw connection:
+it must never emit ``sql.statement`` spans, which the fast-path tests
+count per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.schema import quote_identifier
+
+#: How deep into an index's column list a join column may sit and still
+#: count as covered.  Every scheme's composite indexes lead with
+#: ``doc_id`` (always bound by equality in generated plans), so the
+#: second position is reachable; deeper columns are not.
+INDEX_PREFIX_DEPTH = 2
+
+
+@dataclass(frozen=True)
+class TableInfo:
+    """One table or view, as the linter sees it.
+
+    Names are lower-cased: sqlite identifiers are case-insensitive and
+    the translators are not required to match the DDL's casing.
+    """
+
+    name: str
+    columns: frozenset[str]
+    is_view: bool = False
+    #: Columns within the first :data:`INDEX_PREFIX_DEPTH` positions of
+    #: some index (or the primary key) — equality joins on these are
+    #: index-accelerated.
+    indexed_columns: frozenset[str] = frozenset()
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self.columns
+
+    def covers(self, name: str) -> bool:
+        """True when a join on column *name* can use an index."""
+        return name.lower() in self.indexed_columns
+
+
+@dataclass(frozen=True)
+class SchemaCatalog:
+    """Every user table/view of one database, keyed by lower-cased name."""
+
+    tables: dict[str, TableInfo]
+    #: The ``PRAGMA schema_version`` this catalog was built at — the
+    #: cache-invalidation key (sqlite bumps it on every DDL statement).
+    schema_version: int = 0
+
+    def table(self, name: str) -> TableInfo | None:
+        return self.tables.get(name.lower())
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+
+def build_catalog(conn, schema_version: int = 0) -> SchemaCatalog:
+    """Introspect *conn* (a raw sqlite3 connection) into a catalog."""
+    tables: dict[str, TableInfo] = {}
+    rows = conn.execute(
+        "SELECT name, type FROM sqlite_master "
+        "WHERE type IN ('table', 'view') AND name NOT LIKE 'sqlite_%'"
+    ).fetchall()
+    for name, kind in rows:
+        quoted = quote_identifier(name)
+        columns: set[str] = set()
+        indexed: set[str] = set()
+        pk_columns: list[tuple[int, str]] = []
+        for _cid, col_name, _type, _notnull, _dflt, pk in conn.execute(
+            f"PRAGMA table_info({quoted})"
+        ):
+            columns.add(col_name.lower())
+            if pk:
+                pk_columns.append((pk, col_name.lower()))
+        for pk_rank, col_name in sorted(pk_columns):
+            if pk_rank <= INDEX_PREFIX_DEPTH:
+                indexed.add(col_name)
+        if kind == "table":
+            for index_row in conn.execute(f"PRAGMA index_list({quoted})"):
+                index_name = index_row[1]
+                members = sorted(
+                    conn.execute(
+                        "PRAGMA index_info("
+                        f"{quote_identifier(index_name)})"
+                    ).fetchall()
+                )
+                for seqno, _cid, col_name in members:
+                    if col_name and seqno < INDEX_PREFIX_DEPTH:
+                        indexed.add(col_name.lower())
+        tables[name.lower()] = TableInfo(
+            name=name.lower(),
+            columns=frozenset(columns),
+            is_view=(kind == "view"),
+            indexed_columns=frozenset(indexed),
+        )
+    return SchemaCatalog(tables=tables, schema_version=schema_version)

@@ -28,11 +28,16 @@ class CachedPlan:
 
     ``params`` is a template: :data:`~repro.relational.sql.DOC_ID`
     placeholders mark where the document id goes at execution time.
+    ``diagnostics`` carries the plan linter's findings for this
+    statement (empty when linting is off or the plan is clean) — cached
+    alongside the SQL so cache hits keep their analysis for
+    :meth:`repro.XmlRelStore.query_report`.
     """
 
     sql: str
     params: tuple
     join_count: int
+    diagnostics: tuple = ()
 
 
 class PlanCache:

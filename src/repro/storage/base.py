@@ -90,6 +90,10 @@ class MappingScheme(abc.ABC):
         #: Set by :class:`BulkSession` so corpus loads pay one ANALYZE
         #: at session close instead of one per document.
         self._defer_analyze = False
+        #: Optional :class:`~repro.analysis.xpathlint.XPathAnalyzer`
+        #: consulted by the translator for unsatisfiable-query pruning
+        #: and ``//``-expansion (see :meth:`attach_analyzer`).
+        self.analyzer = None
         self.create_schema()
 
     # -- schema ----------------------------------------------------------------
@@ -299,6 +303,19 @@ class MappingScheme(abc.ABC):
     def translator(self):
         """The XPath→SQL translator for this scheme
         (:class:`repro.query.translator.BaseTranslator`)."""
+
+    def attach_analyzer(self, analyzer) -> None:
+        """Attach an XPath static analyzer to this scheme.
+
+        Once attached, :meth:`query_pres` short-circuits queries the
+        analyzer proves unsatisfiable (zero SQL statements executed) and
+        — when the analyzer was built with ``expand=True`` and a DTD —
+        rewrites ``//`` steps into explicit child chains.  Expanded
+        plans cache under a separate key, so the epoch bump here keeps
+        previously cached un-expanded translations from shadowing them.
+        """
+        self.analyzer = analyzer
+        self.invalidate_plans()
 
     def invalidate_plans(self) -> None:
         """Make every cached translation for this scheme unreachable.
