@@ -1,0 +1,263 @@
+"""E16 — concurrent serving: thread scaling, shard scaling, degradation.
+
+Three measurements over :class:`~repro.serve.ShardedStore`:
+
+* **throughput vs thread count** — 1/2/4/8 client threads issuing
+  doc-scoped queries against a 4-shard store, per scheme (edge,
+  interval, dewey).  sqlite3 releases the GIL inside ``sqlite3_step``,
+  so read throughput should scale with cores; the scaling assertion is
+  gated on ``os.cpu_count()`` because a single-core box serializes the
+  steps no matter how many client threads queue up.
+* **throughput vs shard count** — 4 client threads scatter-gathering
+  over 1/2/4 shards: more shards = more independent WAL files = less
+  page-cache and fan-out contention per query.
+* **degraded mode** — one shard down mid-run under
+  ``on_shard_error="partial"``: the store keeps answering with
+  ``partial=True`` instead of crashing (the ISSUE's acceptance check).
+
+Writes the machine-readable ``benchmarks/results/BENCH_PR5.json``
+consumed by the CI serving-smoke job.
+"""
+
+import json
+import os
+import threading
+import time
+
+from repro.bench import ExperimentResult, write_report
+from repro.reliability import ShardFaultPolicy
+from repro.serve import ShardedStore
+from repro.workloads import generate_auction
+
+from benchmarks.conftest import SEED
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_PR5.json"
+)
+
+BENCH_SCHEMES = ("edge", "interval", "dewey")
+THREAD_SWEEP = (1, 2, 4, 8)
+SHARD_SWEEP = (1, 2, 4)
+DOCUMENTS = 8
+QUERIES_PER_THREAD = 40
+SCATTER_QUERIES_PER_THREAD = 8
+
+#: Doc-scoped query shapes of the auction workload, cycled per request.
+DOC_QUERIES = (
+    "/site/people/person/name",
+    "/site/open_auctions/open_auction/bidder/increase",
+    "//item/name",
+)
+SCATTER_QUERY = "/site/people/person/name"
+
+
+def _load_store(directory, scheme, shards, **kwargs):
+    document = generate_auction(0.05, seed=SEED)
+    store = ShardedStore.open(
+        directory,
+        scheme=scheme,
+        shards=shards,
+        placement="round_robin",
+        pool_size=8,
+        max_in_flight=64,
+        **kwargs,
+    )
+    doc_ids = store.store_many(
+        [document] * DOCUMENTS,
+        names=[f"auction-{i}" for i in range(DOCUMENTS)],
+    )
+    return store, doc_ids
+
+
+def _run_clients(threads, worker):
+    """Run *worker(thread_index)* on N threads; returns wall seconds."""
+    barrier = threading.Barrier(threads + 1)
+    errors = []
+
+    def clocked(index):
+        try:
+            barrier.wait()
+            worker(index)
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    pool = [
+        threading.Thread(target=clocked, args=(index,))
+        for index in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def _thread_sweep(tmp_path, scheme):
+    """Doc-scoped queries/sec at each client thread count, one scheme."""
+    store, doc_ids = _load_store(
+        os.path.join(tmp_path, f"threads-{scheme}"), scheme, shards=4
+    )
+    throughput = {}
+    with store:
+        # Warm every pool and plan cache before timing.
+        for doc_id in doc_ids:
+            store.query_pres(doc_id, DOC_QUERIES[0])
+
+        for threads in THREAD_SWEEP:
+
+            def worker(index):
+                for i in range(QUERIES_PER_THREAD):
+                    doc_id = doc_ids[(index + i) % len(doc_ids)]
+                    xpath = DOC_QUERIES[i % len(DOC_QUERIES)]
+                    assert store.query_pres(doc_id, xpath)
+
+            elapsed = _run_clients(threads, worker)
+            throughput[threads] = threads * QUERIES_PER_THREAD / elapsed
+    return throughput
+
+
+def _shard_sweep(tmp_path, scheme):
+    """Scatter queries/sec at 4 client threads, per shard count."""
+    throughput = {}
+    for shards in SHARD_SWEEP:
+        store, _ = _load_store(
+            os.path.join(tmp_path, f"shards-{scheme}-{shards}"),
+            scheme,
+            shards=shards,
+        )
+        with store:
+            store.query_all(SCATTER_QUERY)  # warm
+
+            def worker(index):
+                for _ in range(SCATTER_QUERIES_PER_THREAD):
+                    result = store.query_all(SCATTER_QUERY)
+                    assert len(result.rows) > 0
+
+            elapsed = _run_clients(4, worker)
+            throughput[shards] = (
+                4 * SCATTER_QUERIES_PER_THREAD / elapsed
+            )
+    return throughput
+
+
+def _degraded_mode(tmp_path):
+    """One shard down mid-run: partial answer, not a crash."""
+    policy = ShardFaultPolicy()
+    store, doc_ids = _load_store(
+        os.path.join(tmp_path, "degraded"),
+        "interval",
+        shards=4,
+        on_shard_error="partial",
+        fault_policy=policy,
+    )
+    with store:
+        healthy = store.query_all(SCATTER_QUERY)
+        policy.fail_shard(1)
+        degraded = store.query_all(SCATTER_QUERY)
+        policy.heal_all()
+        healed = store.query_all(SCATTER_QUERY)
+        assert not healthy.partial
+        assert degraded.partial and degraded.failed_shards
+        assert 0 < len(degraded.rows) < len(healthy.rows)
+        assert not healed.partial
+        assert len(healed.rows) == len(healthy.rows)
+        return {
+            "healthy_rows": len(healthy.rows),
+            "degraded_rows": len(degraded.rows),
+            "failed_shards": [s for s, _ in degraded.failed_shards],
+            "healed_rows": len(healed.rows),
+        }
+
+
+def test_e16_serving(tmp_path):
+    tmp_path = str(tmp_path)
+    thread_results = {
+        scheme: _thread_sweep(tmp_path, scheme)
+        for scheme in BENCH_SCHEMES
+    }
+    shard_results = {
+        scheme: _shard_sweep(tmp_path, scheme)
+        for scheme in BENCH_SCHEMES
+    }
+    degraded = _degraded_mode(tmp_path)
+
+    result = ExperimentResult(
+        experiment="E16",
+        title="Concurrent serving (threads, shards, degraded modes)",
+        workload=(
+            f"auction sf=0.05 x{DOCUMENTS} docs; 4-shard store; "
+            f"threads {THREAD_SWEEP}; shards {SHARD_SWEEP}"
+        ),
+        expectation=(
+            "doc-scoped throughput scales with client threads on "
+            "multi-core hosts; scatter throughput grows with shards; "
+            "a failed shard degrades to a partial answer"
+        ),
+    )
+    for scheme in BENCH_SCHEMES:
+        result.add_row(
+            f"{scheme} q/s vs threads",
+            **{
+                f"t{threads}": qps
+                for threads, qps in thread_results[scheme].items()
+            },
+        )
+    for scheme in BENCH_SCHEMES:
+        result.add_row(
+            f"{scheme} scatter q/s vs shards",
+            **{
+                f"s{shards}": qps
+                for shards, qps in shard_results[scheme].items()
+            },
+        )
+    write_report(result)
+
+    payload = {
+        "experiment": "E16",
+        "cpu_count": os.cpu_count(),
+        "documents": DOCUMENTS,
+        "queries_per_thread": QUERIES_PER_THREAD,
+        "threads_vs_throughput": {
+            scheme: {
+                str(threads): qps for threads, qps in sweep.items()
+            }
+            for scheme, sweep in thread_results.items()
+        },
+        "shards_vs_throughput": {
+            scheme: {
+                str(shards): qps for shards, qps in sweep.items()
+            }
+            for scheme, sweep in shard_results.items()
+        },
+        "degraded_mode": degraded,
+    }
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    # Serving never loses work: every configuration answered queries.
+    for scheme in BENCH_SCHEMES:
+        for qps in thread_results[scheme].values():
+            assert qps > 0
+        for qps in shard_results[scheme].values():
+            assert qps > 0
+
+    # The >2x thread-scaling acceptance needs real cores: sqlite3 only
+    # overlaps reads when sqlite3_step can run on another CPU.  On a
+    # single-core host the sweep still reports, but asserting scaling
+    # there would test the box, not the code.
+    if (os.cpu_count() or 1) >= 4:
+        best_scaling = max(
+            thread_results[scheme][4] / thread_results[scheme][1]
+            for scheme in BENCH_SCHEMES
+        )
+        assert best_scaling > 2.0, (
+            f"expected >2x doc-scoped throughput from 1 to 4 threads on "
+            f"a 4-shard store; best scheme scaled {best_scaling:.2f}x"
+        )

@@ -28,7 +28,11 @@ from repro.obs import (
     format_span_tree,
 )
 from repro.errors import (
+    DeadlineExceeded,
+    Overloaded,
     PlanLintError,
+    ServingError,
+    ShardError,
     StorageError,
     TransientStorageError,
     UnsupportedQueryError,
@@ -39,6 +43,13 @@ from repro.errors import (
 from repro.relational.database import DURABILITY_PROFILES, Database
 from repro.relational.retry import RetryPolicy
 from repro.reliability.audit import IntegrityIssue, IntegrityReport
+from repro.serve import (
+    ConnectionPool,
+    QueryExecutor,
+    ScatterResult,
+    ShardedStore,
+    open_sharded,
+)
 from repro.xml.dom import deep_equal
 from repro.xml.parser import parse_document, parse_fragment
 from repro.xml.serialize import serialize, serialize_pretty
@@ -49,15 +60,23 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DURABILITY_PROFILES",
+    "ConnectionPool",
     "Database",
+    "DeadlineExceeded",
     "Diagnostic",
     "Explanation",
     "IntegrityIssue",
     "IntegrityReport",
     "MetricsRegistry",
+    "Overloaded",
     "PlanLintError",
+    "QueryExecutor",
     "QueryReport",
     "RetryPolicy",
+    "ScatterResult",
+    "ServingError",
+    "ShardError",
+    "ShardedStore",
     "StorageError",
     "Tracer",
     "TransientStorageError",
@@ -74,6 +93,7 @@ __all__ = [
     "evaluate",
     "evaluate_nodes",
     "format_span_tree",
+    "open_sharded",
     "open_store",
     "parse_document",
     "parse_fragment",

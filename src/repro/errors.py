@@ -109,6 +109,67 @@ class PlanLintError(XmlRelError):
         super().__init__(f"plan lint failed: {summary}")
 
 
+class ReadOnlyDatabaseError(StorageError):
+    """Raised when a write statement reaches a read-only connection.
+
+    A :class:`~repro.relational.database.Database` opened with
+    ``read_only=True`` rejects INSERT/UPDATE/DELETE/DDL before the
+    engine sees them, so callers get this typed error instead of a raw
+    ``sqlite3.OperationalError`` surfacing from deep inside a
+    transaction.
+    """
+
+
+class ServingError(XmlRelError):
+    """Base class for errors raised by the concurrent serving layer
+    (:mod:`repro.serve`)."""
+
+
+class Overloaded(ServingError):
+    """Raised when the serving layer sheds load: the admission gate is
+    full (``in_flight`` requests already running against a limit of
+    ``limit``) or a connection pool could not hand out a connection
+    within its acquire timeout.
+
+    The request was rejected *before* doing any work — retrying after
+    backoff is always safe.
+    """
+
+    def __init__(self, message: str, in_flight: int = 0, limit: int = 0):
+        self.in_flight = in_flight
+        self.limit = limit
+        super().__init__(message)
+
+
+class DeadlineExceeded(ServingError):
+    """Raised when a query misses its per-query deadline.
+
+    ``deadline_seconds`` is the budget the caller gave; ``elapsed``
+    how long the query had been running when the serving layer gave up.
+    Work still in flight on other shards is abandoned (its results are
+    discarded), never returned partially.
+    """
+
+    def __init__(
+        self, message: str, deadline_seconds: float = 0.0,
+        elapsed: float = 0.0,
+    ):
+        self.deadline_seconds = deadline_seconds
+        self.elapsed = elapsed
+        super().__init__(message)
+
+
+class ShardError(ServingError):
+    """Raised (in fail-fast mode) when one shard of a scatter-gather
+    query fails; ``shard`` names the failing shard, ``cause`` the
+    underlying error."""
+
+    def __init__(self, shard: int, cause: BaseException):
+        self.shard = shard
+        self.cause = cause
+        super().__init__(f"shard {shard} failed: {cause}")
+
+
 class UpdateError(XmlRelError):
     """Raised when an update (insert/delete) cannot be applied."""
 

@@ -13,13 +13,19 @@ A :class:`MetricsRegistry` is a flat namespace of named instruments:
 
 ``snapshot()`` renders everything into plain JSON-able dicts;
 ``snapshot_json()``/``load_snapshot`` round-trip through JSON so a
-benchmark run can persist its metrics next to the trace.  No locks: the
-registry is as single-threaded as the tracer that owns it.
+benchmark run can persist its metrics next to the trace.
+
+The registry is thread-safe: instrument creation is guarded by a
+registry lock and each instrument serializes its own updates, so the
+serving layer's pool/executor threads can hammer one shared registry
+without lost updates (``+=`` on a plain attribute is not atomic under
+the interpreter — it is a read, an add, and a write).
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 
 
@@ -29,9 +35,13 @@ class Counter:
 
     name: str
     value: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 @dataclass
@@ -41,11 +51,24 @@ class Gauge:
     name: str
     value: float = 0.0
     high_water: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
-        self.value = value
-        if value > self.high_water:
-            self.high_water = value
+        with self._lock:
+            self.value = value
+            if value > self.high_water:
+                self.high_water = value
+
+    def add(self, delta: float) -> float:
+        """Atomically shift the gauge by *delta*; returns the new value
+        (the serving layer's in-flight/in-use gauges move both ways)."""
+        with self._lock:
+            self.value += delta
+            if self.value > self.high_water:
+                self.high_water = self.value
+            return self.value
 
 
 #: Percentiles reported in every histogram summary.
@@ -67,22 +90,27 @@ class Histogram:
     min: float | None = None
     max: float | None = None
     observations: list[float] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        if len(self.observations) < MAX_OBSERVATIONS:
-            self.observations.append(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if len(self.observations) < MAX_OBSERVATIONS:
+                self.observations.append(value)
 
     def percentile(self, p: float) -> float | None:
         """The *p*-th percentile (nearest-rank) of retained samples."""
         if not self.observations:
             return None
-        ordered = sorted(self.observations)
+        with self._lock:
+            ordered = sorted(self.observations)
         rank = max(0, min(len(ordered) - 1,
                           round(p / 100.0 * (len(ordered) - 1))))
         return ordered[rank]
@@ -102,9 +130,10 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """A namespace of counters, gauges, and histograms."""
+    """A thread-safe namespace of counters, gauges, and histograms."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -114,19 +143,24 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters[name] = Counter(name)
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
         return counter
 
     def gauge(self, name: str) -> Gauge:
         gauge = self._gauges.get(name)
         if gauge is None:
-            gauge = self._gauges[name] = Gauge(name)
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge(name))
         return gauge
 
     def histogram(self, name: str) -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram(name)
+            with self._lock:
+                histogram = self._histograms.setdefault(
+                    name, Histogram(name)
+                )
         return histogram
 
     # -- reading --------------------------------------------------------------------
@@ -142,21 +176,26 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """Everything as plain JSON-able dicts (sorted names)."""
+        # Freeze the instrument sets under the lock so a concurrent
+        # first-touch creation never changes a dict mid-iteration.
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
         return {
             "counters": {
-                name: self._counters[name].value
-                for name in sorted(self._counters)
+                name: counters[name].value for name in sorted(counters)
             },
             "gauges": {
                 name: {
-                    "value": self._gauges[name].value,
-                    "high_water": self._gauges[name].high_water,
+                    "value": gauges[name].value,
+                    "high_water": gauges[name].high_water,
                 }
-                for name in sorted(self._gauges)
+                for name in sorted(gauges)
             },
             "histograms": {
-                name: self._histograms[name].summary()
-                for name in sorted(self._histograms)
+                name: histograms[name].summary()
+                for name in sorted(histograms)
             },
         }
 

@@ -17,12 +17,20 @@ A *disabled* tracer (``Tracer(enabled=False)``, or the module-level
 state, so the instrumented hot paths cost one attribute check when
 tracing is off.
 
-The tracer is deliberately single-threaded (one span stack); give each
-thread/connection its own tracer if you need concurrent traces.
+The tracer is thread-safe in a lock-free-per-thread way: every thread
+gets its *own* span stack (so nesting is always within one thread and
+never interleaves across threads), while the shared collections —
+:attr:`Tracer.roots`, :attr:`Tracer.finished`, :attr:`Tracer.events`,
+and the span-id counter — are guarded by one small lock taken only at
+span completion.  Spans started on a worker thread therefore become
+their own roots rather than children of whatever the submitting thread
+had open; the serving layer's scatter-gather workers rely on exactly
+this (their per-shard spans must not nest under a sibling shard's).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -160,9 +168,20 @@ class Tracer:
         self.finished: list[Span] = []
         #: Point events (dicts with ``name``/``ts``/attributes).
         self.events: list[dict] = []
-        self._stack: list[Span] = []
+        #: Guards the shared collections and the span-id counter; the
+        #: per-thread span stacks need no locking.
+        self._lock = threading.Lock()
+        self._local = threading.local()
         self._next_id = 1
         self._epoch = time.perf_counter()
+
+    @property
+    def _stack(self) -> list[Span]:
+        """This thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- span lifecycle -----------------------------------------------------------
 
@@ -170,32 +189,41 @@ class Tracer:
         """Open a span nested under the current one (explicit form)."""
         if not self.enabled:
             return NULL_SPAN  # type: ignore[return-value]
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
         span = Span(
             name=name,
-            span_id=self._next_id,
+            span_id=span_id,
             parent_id=parent.span_id if parent else None,
             start=time.perf_counter(),
             attributes=dict(attributes),
-            depth=len(self._stack),
+            depth=len(stack),
         )
-        self._next_id += 1
-        self._stack.append(span)
+        stack.append(span)
         return span
 
     def end_span(self, span: Span) -> None:
         """Close *span* (and any unclosed children left on the stack)."""
         if not self.enabled or span is NULL_SPAN:
             return
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._stack
+        while stack:
+            top = stack.pop()
             top.end = time.perf_counter()
-            parent = self._stack[-1] if self._stack else None
+            parent = stack[-1] if stack else None
             if parent is not None:
+                # Parent is on this thread's stack: no lock needed to
+                # attach the child.
                 parent.children.append(top)
+                with self._lock:
+                    self.finished.append(top)
             else:
-                self.roots.append(top)
-            self.finished.append(top)
+                with self._lock:
+                    self.roots.append(top)
+                    self.finished.append(top)
             if top is span:
                 return
         # span was not on the stack (double end): record it standalone.
@@ -221,15 +249,16 @@ class Tracer:
         """Record an instantaneous event under the current span."""
         if not self.enabled:
             return
-        parent = self._stack[-1] if self._stack else None
-        self.events.append(
-            {
-                "name": name,
-                "ts": time.perf_counter() - self._epoch,
-                "parent_id": parent.span_id if parent else None,
-                **attributes,
-            }
-        )
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        record = {
+            "name": name,
+            "ts": time.perf_counter() - self._epoch,
+            "parent_id": parent.span_id if parent else None,
+            **attributes,
+        }
+        with self._lock:
+            self.events.append(record)
 
     # -- helpers -------------------------------------------------------------------
 
@@ -256,10 +285,15 @@ class Tracer:
         return [s for s in self.finished if s.name == name]
 
     def reset(self) -> None:
-        """Drop all recorded spans, events, and metrics."""
-        self.roots.clear()
-        self.finished.clear()
-        self.events.clear()
+        """Drop all recorded spans, events, and metrics.
+
+        Only the calling thread's open-span stack is cleared; other
+        threads' stacks drain naturally as their spans end.
+        """
+        with self._lock:
+            self.roots.clear()
+            self.finished.clear()
+            self.events.clear()
         self._stack.clear()
         self.metrics = MetricsRegistry()
         self._epoch = time.perf_counter()

@@ -38,10 +38,16 @@ The load-time cost of each profile is measured by experiment E13.
 from __future__ import annotations
 
 import sqlite3
+import threading
 from contextlib import contextmanager
 from collections.abc import Callable, Iterable, Iterator, Sequence
+from urllib.parse import quote
 
-from repro.errors import StorageError, TransientStorageError
+from repro.errors import (
+    ReadOnlyDatabaseError,
+    StorageError,
+    TransientStorageError,
+)
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.relational.introspect import SchemaCatalog, build_catalog
 from repro.relational.plancache import PlanCache
@@ -73,6 +79,24 @@ DURABILITY_PROFILES: dict[str, tuple[tuple[str, str], ...]] = {
 #: error-severity findings.
 LINT_MODES = ("off", "default", "strict")
 
+#: Statement head keywords a read-only connection rejects before the
+#: engine sees them (``PRAGMA``/``EXPLAIN``/``SELECT``/``WITH`` pass).
+_WRITE_KEYWORDS = frozenset(
+    {
+        "INSERT", "UPDATE", "DELETE", "REPLACE", "CREATE", "DROP",
+        "ALTER", "VACUUM", "REINDEX", "ANALYZE",
+    }
+)
+
+
+def _statement_keyword(sql: str) -> str:
+    """The first keyword of *sql*, uppercased (empty for blank text)."""
+    head = sql.lstrip()
+    end = 0
+    while end < len(head) and (head[end].isalpha() or head[end] == "_"):
+        end += 1
+    return head[:end].upper()
+
 
 def _xpath_num(value) -> float | None:
     """The XPath ``number()`` conversion as an SQL scalar function.
@@ -98,6 +122,9 @@ class Database:
         retry: RetryPolicy | None = None,
         tracer: Tracer | None = None,
         lint: str = "default",
+        read_only: bool = False,
+        check_same_thread: bool = True,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         if profile not in DURABILITY_PROFILES:
             raise StorageError(
@@ -109,16 +136,28 @@ class Database:
                 f"unknown lint mode {lint!r}; available: "
                 + ", ".join(LINT_MODES)
             )
+        if read_only and path == ":memory:":
+            raise StorageError(
+                "a read-only database must be file-backed (an in-memory "
+                "database would open empty)"
+            )
         self.path = path
         self.profile = profile
         self.retry = retry
+        #: When True, write statements are rejected with
+        #: :class:`~repro.errors.ReadOnlyDatabaseError` before reaching
+        #: the engine, and the file is opened ``mode=ro`` so even a
+        #: slipped-through write cannot touch it.
+        self.read_only = read_only
         #: Observability sink; the shared disabled tracer by default, so
         #: instrumented paths cost one ``enabled`` check when off.
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        #: Shared LRU of rendered XPath→SQL translations; every scheme on
-        #: this database translates through it (see
-        #: :mod:`repro.relational.plancache`).
-        self.plan_cache = PlanCache()
+        #: LRU of rendered XPath→SQL translations; every scheme on this
+        #: database translates through it.  Pass ``plan_cache=`` to share
+        #: one (thread-safe) cache across many connections — the serving
+        #: layer's pools do, so each shard warms one cache, not one per
+        #: pooled connection (see :mod:`repro.relational.plancache`).
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         #: Plan-lint mode: every translation is linted before it enters
         #: the plan cache (see :mod:`repro.analysis.sqllint`).
         self.lint_mode = lint
@@ -126,14 +165,35 @@ class Database:
         #: Plan-lint results keyed ``(schema_version, sql)`` — rendering
         #: is deterministic, so an identical statement never re-lints.
         self.lint_memo: dict[tuple[int, str], tuple] = {}
-        self._last_statement_span = None
+        #: Per-thread holder of the most recent statement span, so
+        #: ``query()``'s post-hoc row-count attachment never races when
+        #: a connection is handed between pool threads.
+        self._span_local = threading.local()
         self._txn_depth = 0
         self._savepoint_seq = 0
-        self._conn = sqlite3.connect(path)
+        if read_only:
+            self._conn = sqlite3.connect(
+                f"file:{quote(path)}?mode=ro",
+                uri=True,
+                check_same_thread=check_same_thread,
+            )
+        else:
+            self._conn = sqlite3.connect(
+                path, check_same_thread=check_same_thread
+            )
         self._conn.isolation_level = None  # explicit transaction control
         cursor = self._conn.cursor()
-        for pragma, value in DURABILITY_PROFILES[profile]:
-            cursor.execute(f"PRAGMA {pragma} = {value}")
+        if read_only:
+            # The journal/synchronous pragmas are write-side settings (a
+            # WAL switch even writes the header); a reader only needs
+            # the busy timeout, plus query_only as defense in depth.
+            for pragma, value in DURABILITY_PROFILES[profile]:
+                if pragma == "busy_timeout":
+                    cursor.execute(f"PRAGMA {pragma} = {value}")
+            cursor.execute("PRAGMA query_only = ON")
+        else:
+            for pragma, value in DURABILITY_PROFILES[profile]:
+                cursor.execute(f"PRAGMA {pragma} = {value}")
         cursor.execute("PRAGMA foreign_keys = ON")
         cursor.close()
         # XPath-faithful numeric conversion: returns NULL (not 0.0, as
@@ -171,6 +231,22 @@ class Database:
         self.close()
 
     # -- execution -------------------------------------------------------------------
+
+    @property
+    def _last_statement_span(self):
+        return getattr(self._span_local, "span", None)
+
+    @_last_statement_span.setter
+    def _last_statement_span(self, span) -> None:
+        self._span_local.span = span
+
+    def _check_writable(self, sql: str) -> None:
+        """Reject write statements early on a read-only connection."""
+        if self.read_only and _statement_keyword(sql) in _WRITE_KEYWORDS:
+            raise ReadOnlyDatabaseError(
+                f"write statement on read-only database {self.path!r}: "
+                f"{sql.lstrip()[:80]}"
+            )
 
     def _raw_execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
         """Single attempt of one statement.  The fault-injection test
@@ -284,6 +360,7 @@ class Database:
         surface as :class:`~repro.errors.TransientStorageError` once
         exhausted; other engine errors raise :class:`StorageError`.
         """
+        self._check_writable(sql)
         if not self.tracer.enabled:
             try:
                 return with_retries(self.retry, self._raw_execute, sql,
@@ -301,6 +378,7 @@ class Database:
         )
 
     def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        self._check_writable(sql)
         # Materialize the batch up front.  Callers pass one-shot
         # generators; both the retry loop (re-running an attempt after a
         # partial consumption must see the full batch, never a silently
@@ -334,6 +412,7 @@ class Database:
         )
 
     def executescript(self, script: str) -> None:
+        self._check_writable(script)
         try:
             self._conn.executescript(script)
         except sqlite3.Error as error:
@@ -451,7 +530,15 @@ class Database:
     # -- DDL ----------------------------------------------------------------------------
 
     def create_table(self, table: Table) -> None:
-        """Create *table* and its indexes."""
+        """Create *table* and its indexes.
+
+        On a read-only connection this is a no-op: the schema was
+        created by the writer that owns the file, and the scheme/catalog
+        constructors that call this must still work over pooled read
+        connections.
+        """
+        if self.read_only:
+            return
         for statement in table.ddl_statements():
             self.execute(statement)
 

@@ -18,6 +18,7 @@ out.  Data-independent schemes never need to invalidate.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -46,12 +47,19 @@ class PlanCache:
     A plain (non-union) XPath caches as a 1-tuple; a top-level union
     caches one plan per arm.  Hit/miss/eviction counts are kept here so
     they are observable even without an enabled tracer.
+
+    All operations are serialized under one lock, so a cache may be
+    shared by every read connection of a pool (the serving layer does
+    exactly that: one warm cache per shard instead of one cold cache per
+    pooled connection).  The LRU reordering makes even ``get`` a write,
+    so a lock — not a reader/writer split — is the right tool.
     """
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
             raise ValueError("plan cache capacity must be >= 1")
         self.capacity = capacity
+        self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, tuple[CachedPlan, ...]] = (
             OrderedDict()
         )
@@ -60,34 +68,39 @@ class PlanCache:
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: tuple) -> tuple[CachedPlan, ...] | None:
-        plans = self._entries.get(key)
-        if plans is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return plans
+        with self._lock:
+            plans = self._entries.get(key)
+            if plans is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plans
 
     def put(self, key: tuple, plans: tuple[CachedPlan, ...]) -> None:
-        self._entries[key] = plans
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = plans
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are kept — they are cumulative)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict[str, int]:
         """Cumulative counters plus the current size."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._entries),
-            "capacity": self.capacity,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }

@@ -1,0 +1,174 @@
+"""Shard-map catalog persistence for the serving layer.
+
+The sharded store (:mod:`repro.serve.sharded`) partitions documents
+across N shard databases and records placement in a small catalog
+database.  This module owns that catalog's SQL — the relational layer
+is the only place allowed to speak raw SQL (lint rule L001), so the
+serve layer calls in here instead of embedding statements.
+
+Three pieces:
+
+* :class:`ShardMap` — the ``xmlrel_shard_map`` table (global doc id →
+  shard, per-shard local doc id, document name), mirrored in memory
+  under a lock so query routing never touches SQLite.
+* :func:`pin_shard_config` — the ``xmlrel_shard_config`` key/value
+  table persisting scheme/shards/placement on first open and verifying
+  them on reopen, turning a mismatched reopen into a loud error
+  instead of silent misrouting.
+* :func:`connection_alive` — the one-round-trip health probe the read
+  pools run on every acquire.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import DocumentNotFoundError, StorageError, XmlRelError
+from repro.relational.database import Database
+from repro.relational.schema import Column, INTEGER, TEXT, Table
+
+SHARD_MAP_TABLE = Table(
+    name="xmlrel_shard_map",
+    columns=[
+        Column("doc_id", INTEGER, primary_key=True),
+        Column("shard", INTEGER, nullable=False),
+        Column("local_doc_id", INTEGER, nullable=False),
+        Column("name", TEXT, nullable=False),
+    ],
+)
+
+SHARD_CONFIG_TABLE = Table(
+    name="xmlrel_shard_config",
+    columns=[
+        Column("key", TEXT, primary_key=True),
+        Column("value", TEXT, nullable=False),
+    ],
+)
+
+
+def connection_alive(db: Database) -> bool:
+    """One cheap round trip proving a pooled connection still answers."""
+    try:
+        return db.scalar("SELECT 1") == 1
+    except XmlRelError:
+        return False
+
+
+def pin_shard_config(
+    catalog_db: Database, scheme: str, shards: int, placement: str
+) -> None:
+    """Persist scheme/shards/placement on first open; verify after."""
+    catalog_db.create_table(SHARD_CONFIG_TABLE)
+    wanted = {
+        "scheme": scheme,
+        "shards": str(shards),
+        "placement": placement,
+    }
+    stored = dict(
+        catalog_db.query("SELECT key, value FROM xmlrel_shard_config")
+    )
+    if not stored:
+        catalog_db.executemany(
+            "INSERT INTO xmlrel_shard_config (key, value) VALUES (?, ?)",
+            sorted(wanted.items()),
+        )
+        return
+    mismatches = {
+        key: (stored.get(key), value)
+        for key, value in wanted.items()
+        if stored.get(key) != value
+    }
+    if mismatches:
+        detail = ", ".join(
+            f"{key}: stored {have!r} != requested {want!r}"
+            for key, (have, want) in sorted(mismatches.items())
+        )
+        raise StorageError(
+            f"sharded store config mismatch ({detail}); open with the "
+            f"original parameters or use a fresh directory"
+        )
+
+
+@dataclass(frozen=True)
+class ShardedDocument:
+    """Shard-map row: where one document lives."""
+
+    doc_id: int
+    shard: int
+    local_doc_id: int
+    name: str
+
+
+class ShardMap:
+    """The global-doc-id → (shard, local id) catalog.
+
+    Persisted in the catalog database, mirrored in memory under a lock
+    so the executor's routing reads never race the writer (or each
+    other) on a SQLite connection.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        db.create_table(SHARD_MAP_TABLE)
+        self._lock = threading.Lock()
+        self._docs: dict[int, ShardedDocument] = {}
+        for row in db.query(
+            "SELECT doc_id, shard, local_doc_id, name "
+            "FROM xmlrel_shard_map ORDER BY doc_id"
+        ):
+            self._docs[row[0]] = ShardedDocument(*row)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._docs)
+
+    def register(self, shard: int, local_doc_id: int, name: str) -> int:
+        """Persist one placement; returns the new global doc id."""
+        cursor = self.db.execute(
+            "INSERT INTO xmlrel_shard_map (shard, local_doc_id, name) "
+            "VALUES (?, ?, ?)",
+            (shard, local_doc_id, name),
+        )
+        doc_id = int(cursor.lastrowid)
+        with self._lock:
+            self._docs[doc_id] = ShardedDocument(
+                doc_id, shard, local_doc_id, name
+            )
+        return doc_id
+
+    def resolve(self, doc_id: int) -> ShardedDocument:
+        with self._lock:
+            record = self._docs.get(doc_id)
+        if record is None:
+            raise DocumentNotFoundError(doc_id)
+        return record
+
+    def remove(self, doc_id: int) -> None:
+        self.resolve(doc_id)
+        self.db.execute(
+            "DELETE FROM xmlrel_shard_map WHERE doc_id = ?", (doc_id,)
+        )
+        with self._lock:
+            self._docs.pop(doc_id, None)
+
+    def docs_for_shard(self, shard: int) -> list[tuple[int, int]]:
+        """``(global, local)`` id pairs of every document on *shard*."""
+        with self._lock:
+            return [
+                (record.doc_id, record.local_doc_id)
+                for record in self._docs.values()
+                if record.shard == shard
+            ]
+
+    def records(self) -> list[ShardedDocument]:
+        with self._lock:
+            return sorted(self._docs.values(), key=lambda r: r.doc_id)
+
+    def shard_counts(self, shards: int) -> dict[int, int]:
+        """Documents per shard (zero-filled — empty shards count)."""
+        counts = {shard: 0 for shard in range(shards)}
+        with self._lock:
+            for record in self._docs.values():
+                counts[record.shard] += 1
+        return counts

@@ -18,6 +18,7 @@ from repro.reliability.audit import IntegrityIssue, IntegrityReport
 from repro.reliability.faults import (
     FaultInjected,
     FaultInjectingDatabase,
+    ShardFaultPolicy,
     SimulatedCrash,
 )
 
@@ -26,5 +27,6 @@ __all__ = [
     "FaultInjectingDatabase",
     "IntegrityIssue",
     "IntegrityReport",
+    "ShardFaultPolicy",
     "SimulatedCrash",
 ]

@@ -17,12 +17,22 @@ Only *data* statements pass through the hook; transaction control
 lands inside a well-defined transactional scope — exactly the situation
 rollback must survive.  Statements are numbered from 1 in arrival
 order; an ``executemany`` batch counts as one statement.
+
+For the concurrent serving layer (:mod:`repro.serve`) there is also a
+:class:`ShardFaultPolicy`: a thread-safe switchboard that marks whole
+*shards* as failed or stalled.  Its :meth:`~ShardFaultPolicy.factory`
+builds the per-shard database factories the serving pools accept, so a
+test can take shard 2 down (or make it slow) mid-run and watch
+scatter-gather degrade — partial results, deadline misses — instead of
+crashing.
 """
 
 from __future__ import annotations
 
 import re
 import sqlite3
+import threading
+import time
 from collections.abc import Sequence
 
 from repro.errors import StorageError, XmlRelError
@@ -140,4 +150,105 @@ class FaultInjectingDatabase(Database):
 
     def _raw_executemany(self, sql: str, rows) -> None:
         self._before_statement(sql)
+        super()._raw_executemany(sql, rows)
+
+
+class ShardFaultPolicy:
+    """Thread-safe per-shard fault switchboard for the serving layer.
+
+    A policy instance is shared between a test and the serving stack:
+    the test flips shards down/slow, the shard's pooled connections
+    (built through :meth:`factory`) consult the policy before *every*
+    data statement.  Because the check happens at statement time — not
+    connection-build time — a shard can fail or heal while its pool is
+    already warm, which is exactly the mid-flight degradation
+    scatter-gather must survive.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._failed: dict[int, BaseException] = {}
+        self._stalls: dict[int, float] = {}
+        #: Statements that were refused, per shard (observability for
+        #: degraded-mode tests).
+        self.faults_served: dict[int, int] = {}
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def fail_shard(self, shard: int, error: BaseException | None = None) -> None:
+        """Fail every statement against *shard* until :meth:`heal_shard`."""
+        with self._lock:
+            self._failed[shard] = (
+                error
+                if error is not None
+                else FaultInjected(f"shard {shard} is down (injected)")
+            )
+
+    def stall_shard(self, shard: int, seconds: float) -> None:
+        """Delay every statement against *shard* by *seconds* (a slow
+        shard rather than a dead one — the deadline-miss ingredient)."""
+        with self._lock:
+            self._stalls[shard] = seconds
+
+    def heal_shard(self, shard: int) -> None:
+        """Clear all faults scheduled for *shard*."""
+        with self._lock:
+            self._failed.pop(shard, None)
+            self._stalls.pop(shard, None)
+
+    def heal_all(self) -> None:
+        with self._lock:
+            self._failed.clear()
+            self._stalls.clear()
+
+    # -- the statement-time check --------------------------------------------------
+
+    def check(self, shard: int) -> None:
+        """Apply the scheduled fault for *shard* (called per statement)."""
+        with self._lock:
+            stall = self._stalls.get(shard)
+            error = self._failed.get(shard)
+            if error is not None:
+                self.faults_served[shard] = (
+                    self.faults_served.get(shard, 0) + 1
+                )
+        if stall:
+            time.sleep(stall)
+        if error is not None:
+            raise error
+
+    def factory(self, shard: int):
+        """A database factory for *shard*'s pool: builds
+        :class:`_PolicyFaultDatabase` connections wired back to this
+        policy (signature matches what
+        :class:`repro.serve.ConnectionPool` expects)."""
+
+        def build(path: str, **kwargs) -> Database:
+            return _PolicyFaultDatabase(path, self, shard, **kwargs)
+
+        return build
+
+
+class _PolicyFaultDatabase(Database):
+    """A database whose statements consult a :class:`ShardFaultPolicy`.
+
+    Unlike :class:`FaultInjectingDatabase` (statement-counted, one
+    connection), the fault source here is *external and shared*: every
+    connection of a shard degrades together, at the moment the policy
+    flips, which is what "shard 2 is down" means to scatter-gather.
+    """
+
+    def __init__(
+        self, path: str, policy: ShardFaultPolicy, shard: int, **kwargs
+    ) -> None:
+        super().__init__(path, **kwargs)
+        self._policy = policy
+        self._shard = shard
+
+    def _raw_execute(self, sql: str, params: Sequence = ()):
+        self._policy.check(self._shard)
+        return super()._raw_execute(sql, params)
+
+    def _raw_executemany(self, sql: str, rows) -> None:
+        self._policy.check(self._shard)
         super()._raw_executemany(sql, rows)

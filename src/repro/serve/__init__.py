@@ -1,0 +1,41 @@
+"""Concurrent serving layer: sharding, read pools, scatter-gather.
+
+The pieces, bottom-up:
+
+* :class:`~repro.serve.pool.ConnectionPool` — a bounded per-shard pool
+  of read-only WAL connections, health-checked on acquire, sharing one
+  thread-safe plan cache.
+* :class:`~repro.serve.executor.QueryExecutor` — thread-pool
+  scatter-gather with per-query deadlines, a max-in-flight admission
+  gate, and configurable degraded modes for shard failures.
+* :class:`~repro.serve.sharded.ShardedStore` — documents partitioned
+  across N shard databases behind the familiar store API, with a
+  persistent shard-map catalog.
+"""
+
+from repro.serve.executor import (
+    SHARD_ERROR_MODES,
+    QueryExecutor,
+    ScatterResult,
+)
+from repro.serve.pool import ConnectionPool, ReadSession
+from repro.serve.sharded import (
+    PLACEMENTS,
+    ShardedDocument,
+    ShardedStore,
+    ShardMap,
+    open_sharded,
+)
+
+__all__ = [
+    "SHARD_ERROR_MODES",
+    "PLACEMENTS",
+    "ConnectionPool",
+    "QueryExecutor",
+    "ReadSession",
+    "ScatterResult",
+    "ShardMap",
+    "ShardedDocument",
+    "ShardedStore",
+    "open_sharded",
+]

@@ -1,0 +1,367 @@
+"""Scatter-gather query execution over sharded stores.
+
+A :class:`QueryExecutor` owns a thread pool and one
+:class:`~repro.serve.pool.ConnectionPool` per shard.  A query arrives
+with its *targets* — ``{shard: [(global_doc_id, local_doc_id), ...]}``,
+computed by the shard map — and either
+
+* **prunes to one shard** (doc-scoped query: exactly one target shard),
+  running inline on the calling thread with no fan-out overhead, or
+* **scatters** one task per shard onto the worker pool and **gathers**
+  the partial answers, merging them into ``(doc_id, pre)`` pairs sorted
+  by global doc id then document order — the natural order key, since
+  ``pre`` *is* document order within one document.
+
+Admission control and deadlines:
+
+* at most ``max_in_flight`` queries run at once; the next one is shed
+  immediately with :class:`~repro.errors.Overloaded` (no queueing — a
+  loaded server answering late is worse than one answering "retry"),
+* a per-query deadline (seconds) bounds the whole scatter-gather;
+  missing it raises :class:`~repro.errors.DeadlineExceeded`.  Work still
+  running on other shards is abandoned (its connections return to the
+  pools when it finishes) — a deadline miss never blocks the caller
+  further.
+
+Degraded modes (``on_shard_error``): ``"fail"`` raises a typed
+:class:`~repro.errors.ShardError` on the first shard failure;
+``"partial"`` returns the surviving shards' rows with
+``ScatterResult.partial`` set and the failures listed — the caller
+decides whether a partial answer is better than none.  Deadline misses
+always raise: a partial answer is a *complete* answer from fewer
+shards, never a timing accident.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import (
+    ALL_COMPLETED,
+    FIRST_EXCEPTION,
+    ThreadPoolExecutor,
+    wait,
+)
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    ServingError,
+    ShardError,
+    StorageError,
+    XmlRelError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.serve.pool import ConnectionPool, ReadSession
+
+#: Degraded-mode policies for shard failures during scatter-gather.
+SHARD_ERROR_MODES = ("fail", "partial")
+
+
+@dataclass(frozen=True)
+class ScatterResult:
+    """The merged answer of one scatter-gather (or doc-scoped) query.
+
+    ``rows`` are ``(doc_id, pre)`` pairs — global document id and the
+    node's pre-order id — sorted by ``(doc_id, pre)``, i.e. by document
+    then document order.  ``partial`` is True when at least one shard
+    failed under the ``"partial"`` degraded mode; ``failed_shards``
+    then carries ``(shard, error message)`` pairs.
+    """
+
+    rows: tuple
+    shards_queried: int
+    elapsed_seconds: float
+    partial: bool = False
+    failed_shards: tuple = ()
+
+    @property
+    def pres(self) -> list[int]:
+        """Just the node ids (useful for doc-scoped queries)."""
+        return [pre for _, pre in self.rows]
+
+    def doc_ids(self) -> list[int]:
+        """Distinct matching document ids, in order."""
+        return list(dict.fromkeys(doc for doc, _ in self.rows))
+
+
+class QueryExecutor:
+    """Thread-pool scatter-gather over per-shard connection pools."""
+
+    def __init__(
+        self,
+        pools: dict[int, ConnectionPool],
+        max_workers: int | None = None,
+        max_in_flight: int = 32,
+        default_deadline: float | None = None,
+        on_shard_error: str = "fail",
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if not pools:
+            raise StorageError("executor needs at least one shard pool")
+        if max_in_flight < 1:
+            raise StorageError("max_in_flight must be >= 1")
+        if on_shard_error not in SHARD_ERROR_MODES:
+            raise StorageError(
+                f"unknown shard-error mode {on_shard_error!r}; available: "
+                + ", ".join(SHARD_ERROR_MODES)
+            )
+        self.pools = dict(pools)
+        self.max_in_flight = max_in_flight
+        self.default_deadline = default_deadline
+        self.on_shard_error = on_shard_error
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._gate = threading.Semaphore(max_in_flight)
+        self._threads = ThreadPoolExecutor(
+            max_workers=max_workers or max(4, len(self.pools)),
+            thread_name_prefix="xmlrel-serve",
+        )
+        self._closed = False
+
+    # -- admission control --------------------------------------------------------
+
+    @contextmanager
+    def _admitted(self):
+        """One slot of the max-in-flight gate, or immediate shed."""
+        if not self._gate.acquire(blocking=False):
+            self.metrics.counter("serve.overloaded").inc()
+            raise Overloaded(
+                f"serving layer at max in-flight capacity "
+                f"({self.max_in_flight})",
+                in_flight=self.max_in_flight,
+                limit=self.max_in_flight,
+            )
+        self.metrics.gauge("serve.in_flight").add(1)
+        try:
+            yield
+        finally:
+            self.metrics.gauge("serve.in_flight").add(-1)
+            self._gate.release()
+
+    # -- per-shard work -----------------------------------------------------------
+
+    def _query_shard(
+        self,
+        shard: int,
+        docs: list[tuple[int, int]],
+        xpath: str,
+        deadline_at: float | None,
+        deadline_budget: float | None,
+    ) -> list[tuple[int, int]]:
+        """Run *xpath* over every targeted document of one shard.
+
+        Returns ``(global_doc_id, pre)`` pairs.  Checks the deadline
+        between documents so a slow shard stops burning its pool slot
+        once the query has already missed.
+        """
+        if not docs:
+            return []
+        pool = self.pools[shard]
+        timeout = pool.acquire_timeout
+        if deadline_at is not None:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                raise self._deadline_error(deadline_budget, deadline_at)
+            timeout = min(timeout, remaining)
+        session = pool.acquire(timeout=timeout)
+        try:
+            rows: list[tuple[int, int]] = []
+            for global_doc, local_doc in docs:
+                if (
+                    deadline_at is not None
+                    and time.monotonic() > deadline_at
+                ):
+                    raise self._deadline_error(deadline_budget, deadline_at)
+                for pre in session.scheme.query_pres(local_doc, xpath):
+                    rows.append((global_doc, pre))
+            return rows
+        finally:
+            pool.release(session)
+
+    def _deadline_error(
+        self, budget: float | None, deadline_at: float
+    ) -> DeadlineExceeded:
+        elapsed = (budget or 0.0) + (time.monotonic() - deadline_at)
+        return DeadlineExceeded(
+            f"query exceeded its {budget if budget is not None else 0.0:.3f}s "
+            f"deadline",
+            deadline_seconds=budget or 0.0,
+            elapsed=elapsed,
+        )
+
+    # -- the public query paths ---------------------------------------------------
+
+    def query(
+        self,
+        xpath: str,
+        targets: dict[int, list[tuple[int, int]]],
+        deadline: float | None = None,
+    ) -> ScatterResult:
+        """Execute *xpath* against *targets* and merge the answers.
+
+        *targets* maps each shard to its ``(global_doc_id,
+        local_doc_id)`` pairs; a single-shard target set is the pruned
+        doc-scoped fast lane (no thread handoff), anything else
+        scatters across the worker pool.
+        """
+        if self._closed:
+            raise StorageError("query executor is closed")
+        budget = self.default_deadline if deadline is None else deadline
+        deadline_at = (
+            None if budget is None else time.monotonic() + budget
+        )
+        started = time.perf_counter()
+        with self._admitted():
+            self.metrics.counter("serve.queries").inc()
+            with self.tracer.span(
+                "serve.query", xpath=str(xpath), shards=len(targets)
+            ):
+                if len(targets) <= 1:
+                    self.metrics.counter("serve.doc_scoped_queries").inc()
+                    result = self._run_single(
+                        xpath, targets, deadline_at, budget, started
+                    )
+                else:
+                    self.metrics.counter("serve.scatter_queries").inc()
+                    result = self._scatter(
+                        xpath, targets, deadline_at, budget, started
+                    )
+        self.metrics.histogram("serve.query_seconds").observe(
+            result.elapsed_seconds
+        )
+        return result
+
+    def _run_single(
+        self, xpath, targets, deadline_at, budget, started
+    ) -> ScatterResult:
+        """The pruned path: one shard, executed on the calling thread."""
+        failures: list[tuple[int, str]] = []
+        rows: list[tuple[int, int]] = []
+        for shard, docs in targets.items():  # 0 or 1 iterations
+            try:
+                rows = self._query_shard(
+                    shard, docs, xpath, deadline_at, budget
+                )
+            except DeadlineExceeded:
+                self.metrics.counter("serve.deadline_exceeded").inc()
+                raise
+            except XmlRelError as error:
+                self._note_shard_failure(shard, error, failures)
+        return ScatterResult(
+            rows=tuple(sorted(rows)),
+            shards_queried=len(targets),
+            elapsed_seconds=time.perf_counter() - started,
+            partial=bool(failures),
+            failed_shards=tuple(failures),
+        )
+
+    def _scatter(
+        self, xpath, targets, deadline_at, budget, started
+    ) -> ScatterResult:
+        """Fan out one task per shard; gather, merge, and sort."""
+        futures = {
+            self._threads.submit(
+                self._query_shard, shard, docs, xpath, deadline_at, budget
+            ): shard
+            for shard, docs in targets.items()
+        }
+        remaining = (
+            None if deadline_at is None
+            else max(0.0, deadline_at - time.monotonic())
+        )
+        # Fail-fast wakes on the first failure; partial mode must sit
+        # out the full fan-out (a late shard is still a good shard).
+        return_when = (
+            FIRST_EXCEPTION if self.on_shard_error == "fail"
+            else ALL_COMPLETED
+        )
+        done, not_done = wait(
+            futures, timeout=remaining, return_when=return_when
+        )
+        if not_done:
+            for future in not_done:
+                future.cancel()  # abandon; running tasks self-abort
+            failed = next(
+                (f for f in done if f.exception() is not None), None
+            )
+            if failed is None:
+                # Nothing failed — the fan-out simply missed the clock.
+                self.metrics.counter("serve.deadline_exceeded").inc()
+                raise self._deadline_error(budget, deadline_at or 0.0)
+            error = failed.exception()
+            if isinstance(error, DeadlineExceeded):
+                self.metrics.counter("serve.deadline_exceeded").inc()
+                raise error
+            if isinstance(error, XmlRelError):
+                self._note_shard_failure(futures[failed], error, [])
+            raise error
+        rows: list[tuple[int, int]] = []
+        failures: list[tuple[int, str]] = []
+        for future in futures:
+            shard = futures[future]
+            try:
+                rows.extend(future.result())
+            except DeadlineExceeded:
+                self.metrics.counter("serve.deadline_exceeded").inc()
+                raise
+            except XmlRelError as error:
+                self._note_shard_failure(shard, error, failures)
+        return ScatterResult(
+            rows=tuple(sorted(rows)),
+            shards_queried=len(targets),
+            elapsed_seconds=time.perf_counter() - started,
+            partial=bool(failures),
+            failed_shards=tuple(failures),
+        )
+
+    def _note_shard_failure(
+        self,
+        shard: int,
+        error: XmlRelError,
+        failures: list[tuple[int, str]],
+    ) -> None:
+        """Record one shard's failure, or raise in fail-fast mode."""
+        self.metrics.counter("serve.shard_failures").inc()
+        if self.on_shard_error == "fail":
+            if isinstance(error, ServingError):
+                raise error
+            raise ShardError(shard, error) from error
+        failures.append((shard, str(error)))
+
+    def run_on_shard(
+        self, shard: int, fn, timeout: float | None = None
+    ):
+        """Run ``fn(session)`` on one shard's pooled connection, under
+        the admission gate — the door for read work that is not a plain
+        pre-id query (node reconstruction, verification, raw reads)."""
+        if self._closed:
+            raise StorageError("query executor is closed")
+        with self._admitted():
+            pool = self.pools[shard]
+            session = pool.acquire(timeout=timeout)
+            try:
+                return fn(session)
+            finally:
+                pool.release(session)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting queries and release the worker threads.
+
+        Does not close the pools — their owner (the sharded store)
+        does.
+        """
+        self._closed = True
+        self._threads.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,269 @@
+"""Per-shard pools of read-only WAL connections.
+
+A :class:`ConnectionPool` owns up to ``size`` read-only
+:class:`~repro.relational.database.Database` connections to one shard
+file, each paired with its own scheme instance (translators and
+reconstruction need one).  Connections are built lazily, handed out
+LIFO (the most recently used connection has the warmest page cache),
+health-checked on acquire, and shared across threads — every pooled
+database is opened with ``check_same_thread=False`` and is used by at
+most one thread at a time between ``acquire`` and ``release``.
+
+All pooled connections of a shard share one thread-safe
+:class:`~repro.relational.plancache.PlanCache`, so the first query to
+translate an XPath warms it for the whole pool.
+
+Exhaustion policy: ``acquire`` blocks up to ``acquire_timeout`` seconds
+for a connection, then raises :class:`~repro.errors.Overloaded` — the
+caller (the scatter-gather executor) treats that exactly like any other
+shed load.
+
+Pool state is observable through gauges/counters in the owning
+:class:`~repro.obs.metrics.MetricsRegistry`, namespaced by pool name:
+``pool.<name>.in_use``, ``pool.<name>.open`` (gauges),
+``pool.<name>.acquires``, ``pool.<name>.releases``,
+``pool.<name>.timeouts``, ``pool.<name>.health_failures`` (counters).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from contextlib import contextmanager
+from collections.abc import Callable
+
+from repro.core.registry import create_scheme
+from repro.errors import Overloaded, StorageError, XmlRelError
+from repro.obs.metrics import MetricsRegistry
+from repro.relational.database import Database
+from repro.relational.plancache import PlanCache
+from repro.relational.shardmap import connection_alive
+
+
+class ReadSession:
+    """One pooled read-only connection plus its scheme instance.
+
+    Handed out by :meth:`ConnectionPool.acquire`; use ``session.scheme``
+    for queries (``query_pres``/``query_nodes``/``reconstruct``) and
+    ``session.db`` for raw reads.  Must be given back with
+    :meth:`ConnectionPool.release` (or use
+    :meth:`ConnectionPool.connection`).
+    """
+
+    __slots__ = ("db", "scheme", "fresh")
+
+    def __init__(self, db: Database, scheme) -> None:
+        self.db = db
+        self.scheme = scheme
+        #: True only between construction and first release — a fresh
+        #: connection that fails its health check is a hard error (the
+        #: shard is down), not a stale-connection retry.
+        self.fresh = True
+
+    def close(self) -> None:
+        self.db.close()
+
+
+class ConnectionPool:
+    """A bounded pool of read-only connections to one shard file."""
+
+    def __init__(
+        self,
+        path: str,
+        scheme: str,
+        size: int = 4,
+        acquire_timeout: float = 1.0,
+        profile: str = "durable",
+        lint: str = "off",
+        name: str = "shard",
+        metrics: MetricsRegistry | None = None,
+        database_factory: Callable | None = None,
+        scheme_kwargs: dict | None = None,
+    ) -> None:
+        if size < 1:
+            raise StorageError("pool size must be >= 1")
+        self.path = path
+        self.scheme_name = scheme
+        self.size = size
+        self.acquire_timeout = acquire_timeout
+        self.profile = profile
+        self.lint = lint
+        self.name = name
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Builds the underlying database; tests swap in fault-injecting
+        #: factories (see
+        #: :meth:`repro.reliability.faults.ShardFaultPolicy.factory`).
+        self.database_factory = database_factory
+        self.scheme_kwargs = dict(scheme_kwargs or {})
+        #: One warm translation cache for the whole pool.
+        self.plan_cache = PlanCache()
+        self._idle: queue.LifoQueue[ReadSession] = queue.LifoQueue()
+        self._lock = threading.Lock()
+        self._created = 0
+        self._closed = False
+
+    # -- metrics helpers ----------------------------------------------------------
+
+    def _counter(self, suffix: str):
+        return self.metrics.counter(f"pool.{self.name}.{suffix}")
+
+    def _gauge(self, suffix: str):
+        return self.metrics.gauge(f"pool.{self.name}.{suffix}")
+
+    # -- connection lifecycle -----------------------------------------------------
+
+    def _build(self) -> ReadSession:
+        factory = self.database_factory or Database
+        db = factory(
+            self.path,
+            profile=self.profile,
+            lint=self.lint,
+            read_only=True,
+            check_same_thread=False,
+            plan_cache=self.plan_cache,
+        )
+        try:
+            scheme = create_scheme(self.scheme_name, db, **self.scheme_kwargs)
+        except BaseException:
+            db.close()
+            raise
+        self._counter("created").inc()
+        return ReadSession(db, scheme)
+
+    def _healthy(self, session: ReadSession) -> bool:
+        """One cheap round trip proving the connection still answers."""
+        return connection_alive(session.db)
+
+    def _discard(self, session: ReadSession) -> None:
+        with self._lock:
+            self._created -= 1
+            self._gauge("open").set(self._created)
+        try:
+            session.close()
+        except XmlRelError:
+            pass
+
+    # -- acquire / release --------------------------------------------------------
+
+    def acquire(self, timeout: float | None = None) -> ReadSession:
+        """Check out a healthy read session, waiting at most *timeout*
+        seconds (default: the pool's ``acquire_timeout``).
+
+        Raises :class:`~repro.errors.Overloaded` when every connection
+        stays busy past the timeout, and :class:`StorageError` when the
+        shard itself is unhealthy (even a freshly built connection fails
+        its health check).
+        """
+        if self._closed:
+            raise StorageError(f"pool {self.name!r} is closed")
+        budget = self.acquire_timeout if timeout is None else timeout
+        deadline = time.monotonic() + max(budget, 0.0)
+        self._counter("acquires").inc()
+        while True:
+            session = self._checkout(deadline)
+            if self._healthy(session):
+                session.fresh = False
+                self._gauge("in_use").add(1)
+                return session
+            was_fresh = session.fresh
+            self._counter("health_failures").inc()
+            self._discard(session)
+            if was_fresh:
+                # A brand-new connection failing means the shard is
+                # down, not that this connection went stale — retrying
+                # would spin until the timeout for the same answer.
+                raise StorageError(
+                    f"shard pool {self.name!r}: fresh connection failed "
+                    f"its health check (shard down?)"
+                )
+
+    def _checkout(self, deadline: float) -> ReadSession:
+        """An idle session, a newly built one, or a timed wait."""
+        try:
+            session = self._idle.get_nowait()
+            session.fresh = False
+            return session
+        except queue.Empty:
+            pass
+        with self._lock:
+            can_build = self._created < self.size
+            if can_build:
+                self._created += 1
+                self._gauge("open").set(self._created)
+        if can_build:
+            try:
+                return self._build()
+            except BaseException:
+                with self._lock:
+                    self._created -= 1
+                    self._gauge("open").set(self._created)
+                raise
+        remaining = deadline - time.monotonic()
+        try:
+            if remaining <= 0:
+                session = self._idle.get_nowait()
+            else:
+                session = self._idle.get(timeout=remaining)
+            session.fresh = False
+            return session
+        except queue.Empty:
+            self._counter("timeouts").inc()
+            raise Overloaded(
+                f"shard pool {self.name!r}: no connection available "
+                f"within the acquire timeout "
+                f"({self.size} connections, all busy)",
+                in_flight=self.size,
+                limit=self.size,
+            ) from None
+
+    def release(self, session: ReadSession) -> None:
+        """Return a session to the pool (closes it if the pool closed
+        while it was out)."""
+        self._gauge("in_use").add(-1)
+        self._counter("releases").inc()
+        if self._closed:
+            self._discard(session)
+            return
+        self._idle.put(session)
+
+    @contextmanager
+    def connection(self, timeout: float | None = None):
+        """``with pool.connection() as session:`` acquire/release pair."""
+        session = self.acquire(timeout)
+        try:
+            yield session
+        finally:
+            self.release(session)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every idle connection and refuse further acquires.
+
+        Sessions currently checked out are closed at their release.
+        """
+        self._closed = True
+        while True:
+            try:
+                session = self._idle.get_nowait()
+            except queue.Empty:
+                break
+            self._discard(session)
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def stats(self) -> dict[str, int]:
+        """Point-in-time pool accounting (plus plan-cache stats)."""
+        with self._lock:
+            open_count = self._created
+        return {
+            "open": open_count,
+            "idle": self._idle.qsize(),
+            "size": self.size,
+            "plan_cache": self.plan_cache.stats(),
+        }

@@ -1,0 +1,389 @@
+"""Document sharding across per-shard SQLite files.
+
+A :class:`ShardedStore` partitions documents across N shard databases
+(``shard-00.db`` … ``shard-NN.db`` inside one directory) behind the
+familiar :class:`~repro.core.store.XmlRelStore` surface:
+
+.. code-block:: python
+
+    from repro.serve import ShardedStore
+
+    with ShardedStore.open("catalog.d", scheme="interval", shards=4) as s:
+        doc_id = s.store_text("<bib>...</bib>", name="bib-1")
+        s.query_pres(doc_id, "/bib/book/title")     # pruned to 1 shard
+        s.query_all("//book[@year = '2000']")        # scatter-gather
+
+Each shard is a complete single-store database (same scheme, own
+catalog, own WAL), written through one writer connection per shard and
+read through a per-shard :class:`~repro.serve.pool.ConnectionPool` of
+read-only connections — WAL journaling is what lets the readers proceed
+while a writer commits.
+
+**Shard map.**  Document placement lives in a small catalog database
+(``catalog.db``) holding the ``xmlrel_shard_map`` table: global doc id
+→ ``(shard, local_doc_id, name)``.  Global ids are issued by this
+table's rowid, so they are dense and store-ordered; the per-shard local
+ids never leak to callers.  The map is mirrored in memory (guarded by a
+lock) so query routing never touches SQLite.  A config table pins
+``scheme``/``shards``/``placement``, making a reopen with different
+parameters a loud error instead of silent misrouting.
+
+**Placement.**  ``hash`` (default) places by CRC32 of the document
+name — deterministic across processes (Python's ``hash`` is
+per-process salted, which would scatter a reopened store differently);
+``round_robin`` cycles shards in store order for maximally even counts.
+
+Writes take a store-wide lock (one writer — the scatter-gather layer
+is about *read* concurrency); reads go through the
+:class:`~repro.serve.executor.QueryExecutor` and are limited only by
+its admission gate and the pool sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import zlib
+
+from repro.core.registry import create_scheme, scheme_class
+from repro.core.store import XmlRelStore
+from repro.errors import StorageError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.relational.database import Database
+from repro.relational.shardmap import (
+    ShardedDocument,
+    ShardMap,
+    pin_shard_config,
+)
+from repro.serve.executor import QueryExecutor, ScatterResult
+from repro.serve.pool import ConnectionPool
+from repro.xml.dom import Document, Node
+from repro.xml.parser import ParseOptions, parse_document
+from repro.xml.serialize import serialize
+
+#: Document-placement strategies.
+PLACEMENTS = ("hash", "round_robin")
+
+
+class ShardedStore:
+    """N single-scheme stores behind one facade, served concurrently."""
+
+    def __init__(
+        self,
+        directory: str,
+        catalog_db: Database,
+        shard_map: ShardMap,
+        writers: list[XmlRelStore],
+        pools: dict[int, ConnectionPool],
+        executor: QueryExecutor,
+        placement: str,
+        metrics: MetricsRegistry,
+        tracer: Tracer,
+    ) -> None:
+        self.directory = directory
+        self.catalog_db = catalog_db
+        self.shard_map = shard_map
+        self.writers = writers
+        self.pools = pools
+        self.executor = executor
+        self.placement = placement
+        self.metrics = metrics
+        self.tracer = tracer
+        self.scheme_name = writers[0].scheme.name
+        self._write_lock = threading.Lock()
+        self._rr_counter = len(shard_map)
+
+    # -- opening ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        scheme: str = "interval",
+        shards: int = 4,
+        placement: str = "hash",
+        profile: str = "durable",
+        pool_size: int = 4,
+        acquire_timeout: float = 1.0,
+        max_workers: int | None = None,
+        max_in_flight: int = 32,
+        default_deadline: float | None = None,
+        on_shard_error: str = "fail",
+        tracer: Tracer | None = None,
+        retry=None,
+        lint: str = "default",
+        fault_policy=None,
+        **scheme_kwargs,
+    ) -> "ShardedStore":
+        """Open (creating if needed) a sharded store under *directory*.
+
+        *shards*/*placement*/*scheme* are pinned in the store's config
+        on first open; reopening with different values raises.
+        *fault_policy* (a
+        :class:`~repro.reliability.faults.ShardFaultPolicy`) wires the
+        read pools through fault-injecting connections so degraded
+        modes are testable.  Remaining arguments parallel
+        :meth:`XmlRelStore.open`; ``scheme_kwargs`` pass to the scheme.
+        """
+        if shards < 1:
+            raise StorageError("shard count must be >= 1")
+        if placement not in PLACEMENTS:
+            raise StorageError(
+                f"unknown placement {placement!r}; available: "
+                + ", ".join(PLACEMENTS)
+            )
+        scheme_class(scheme)  # fail fast on unknown scheme names
+        os.makedirs(directory, exist_ok=True)
+        catalog_db = Database(
+            os.path.join(directory, "catalog.db"),
+            profile=profile,
+            check_same_thread=False,
+            lint="off",
+        )
+        pin_shard_config(catalog_db, scheme, shards, placement)
+        shard_map = ShardMap(catalog_db)
+        metrics = tracer.metrics if tracer is not None else MetricsRegistry()
+        the_tracer = tracer if tracer is not None else NULL_TRACER
+        writers = []
+        pools: dict[int, ConnectionPool] = {}
+        for shard in range(shards):
+            path = os.path.join(directory, f"shard-{shard:02d}.db")
+            db = Database(
+                path, profile=profile, retry=retry, tracer=the_tracer,
+                lint=lint,
+            )
+            writers.append(
+                XmlRelStore(db, create_scheme(scheme, db, **scheme_kwargs))
+            )
+            pools[shard] = ConnectionPool(
+                path,
+                scheme,
+                size=pool_size,
+                acquire_timeout=acquire_timeout,
+                profile=profile,
+                lint="off",
+                name=f"shard{shard}",
+                metrics=metrics,
+                database_factory=(
+                    fault_policy.factory(shard) if fault_policy else None
+                ),
+                scheme_kwargs=scheme_kwargs,
+            )
+        executor = QueryExecutor(
+            pools,
+            max_workers=max_workers,
+            max_in_flight=max_in_flight,
+            default_deadline=default_deadline,
+            on_shard_error=on_shard_error,
+            metrics=metrics,
+            tracer=the_tracer,
+        )
+        return cls(
+            directory,
+            catalog_db,
+            shard_map,
+            writers,
+            pools,
+            executor,
+            placement,
+            metrics,
+            the_tracer,
+        )
+
+    # -- placement ----------------------------------------------------------------
+
+    def place(self, name: str) -> int:
+        """The shard that owns (or would own) a document named *name*."""
+        if self.placement == "hash":
+            return zlib.crc32(name.encode("utf-8")) % len(self.writers)
+        shard = self._rr_counter % len(self.writers)
+        return shard
+
+    # -- storing ------------------------------------------------------------------
+
+    def store(self, document: Document, name: str = "document") -> int:
+        """Shred *document* onto its shard; returns the global doc id."""
+        with self._write_lock:
+            shard = self.place(name)
+            local = self.writers[shard].store(document, name)
+            doc_id = self.shard_map.register(shard, local, name)
+            self._rr_counter += 1
+            self._after_write(shard)
+            self.metrics.counter("serve.documents_stored").inc()
+            return doc_id
+
+    def store_text(self, text: str, name: str = "document") -> int:
+        return self.store(
+            parse_document(text, ParseOptions(keep_whitespace=True)), name
+        )
+
+    def store_many(
+        self,
+        documents: list[Document],
+        names: list[str] | None = None,
+    ) -> list[int]:
+        """Store many documents, bulk-loading per shard.
+
+        Documents are partitioned by placement, each shard's batch goes
+        through that writer's bulk session (one transaction, one
+        ANALYZE), then the shard map is registered in input order so
+        global ids stay store-ordered.
+        """
+        if names is not None and len(names) != len(documents):
+            raise StorageError(
+                f"{len(documents)} document(s) but {len(names)} name(s)"
+            )
+        with self._write_lock:
+            placed: list[tuple[int, str]] = []
+            batches: dict[int, list[tuple[int, Document, str]]] = {}
+            for position, document in enumerate(documents):
+                name = (
+                    names[position] if names is not None
+                    else f"document-{position}"
+                )
+                shard = self.place(name)
+                self._rr_counter += 1
+                placed.append((shard, name))
+                batches.setdefault(shard, []).append(
+                    (position, document, name)
+                )
+            locals_by_position: dict[int, int] = {}
+            for shard, batch in batches.items():
+                with self.writers[shard].bulk_session() as session:
+                    for position, document, name in batch:
+                        result = session.store(document, name)
+                        locals_by_position[position] = result.doc_id
+                self._after_write(shard)
+            doc_ids = []
+            for position, (shard, name) in enumerate(placed):
+                doc_ids.append(
+                    self.shard_map.register(
+                        shard, locals_by_position[position], name
+                    )
+                )
+            self.metrics.counter("serve.documents_stored").inc(
+                len(documents)
+            )
+            return doc_ids
+
+    def delete(self, doc_id: int) -> None:
+        """Remove a document from its shard and the shard map."""
+        with self._write_lock:
+            record = self.shard_map.resolve(doc_id)
+            self.writers[record.shard].delete(record.local_doc_id)
+            self.shard_map.remove(doc_id)
+            self._after_write(record.shard)
+
+    def _after_write(self, shard: int) -> None:
+        """Keep pooled readers' cached plans honest for schemes whose
+        translations depend on stored data (universal's label columns,
+        binary's partition tables): their write-side plan invalidation
+        bumps an epoch the read connections never see, so the pool's
+        shared cache is cleared outright."""
+        if self.writers[shard].scheme.translation_depends_on_data:
+            self.pools[shard].plan_cache.clear()
+
+    # -- catalog ------------------------------------------------------------------
+
+    def documents(self) -> list[ShardedDocument]:
+        """Shard-map rows of every stored document."""
+        return self.shard_map.records()
+
+    def resolve(self, doc_id: int) -> ShardedDocument:
+        """Where *doc_id* lives (raises
+        :class:`~repro.errors.DocumentNotFoundError` if unknown)."""
+        return self.shard_map.resolve(doc_id)
+
+    def shard_counts(self) -> dict[int, int]:
+        """Documents per shard, zero-filled."""
+        return self.shard_map.shard_counts(len(self.writers))
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.writers)
+
+    # -- querying -----------------------------------------------------------------
+
+    def query_pres(
+        self, doc_id: int, xpath: str, deadline: float | None = None
+    ) -> list[int]:
+        """Matching node ids of one document — pruned to its shard,
+        executed on a pooled read connection."""
+        record = self.shard_map.resolve(doc_id)
+        result = self.executor.query(
+            xpath,
+            {record.shard: [(doc_id, record.local_doc_id)]},
+            deadline=deadline,
+        )
+        return result.pres
+
+    def query(
+        self, doc_id: int, xpath: str, deadline: float | None = None
+    ) -> list[Node]:
+        """Matching nodes of one document, reconstructed over a pooled
+        read connection (admission-gated like every serving read)."""
+        record = self.shard_map.resolve(doc_id)
+        return self.executor.run_on_shard(
+            record.shard,
+            lambda session: session.scheme.query_nodes(
+                record.local_doc_id, xpath
+            ),
+            timeout=deadline,
+        )
+
+    def query_xml(
+        self, doc_id: int, xpath: str, deadline: float | None = None
+    ) -> list[str]:
+        """Matching nodes of one document as serialized fragments."""
+        return [
+            serialize(node)
+            for node in self.query(doc_id, xpath, deadline=deadline)
+        ]
+
+    def query_all(
+        self, xpath: str, deadline: float | None = None
+    ) -> ScatterResult:
+        """Scatter *xpath* to every shard; gather ``(doc_id, pre)``
+        rows merged in (document, document-order).  Every shard is
+        queried — including empty ones, which simply contribute nothing.
+        """
+        targets = {
+            shard: self.shard_map.docs_for_shard(shard)
+            for shard in self.pools
+        }
+        return self.executor.query(xpath, targets, deadline=deadline)
+
+    def reconstruct(self, doc_id: int) -> Document:
+        """Rebuild one document from its shard."""
+        record = self.shard_map.resolve(doc_id)
+        return self.executor.run_on_shard(
+            record.shard,
+            lambda session: session.scheme.reconstruct(
+                record.local_doc_id
+            ),
+        )
+
+    def reconstruct_xml(self, doc_id: int) -> str:
+        return serialize(self.reconstruct(doc_id))
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        self.executor.close()
+        for pool in self.pools.values():
+            pool.close()
+        for writer in self.writers:
+            writer.close()
+        self.catalog_db.close()
+
+    def __enter__(self) -> "ShardedStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def open_sharded(directory: str, **kwargs) -> ShardedStore:
+    """Module-level convenience alias of :meth:`ShardedStore.open`."""
+    return ShardedStore.open(directory, **kwargs)
