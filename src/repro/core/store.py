@@ -34,6 +34,47 @@ from repro.xml.parser import ParseOptions, parse_document
 from repro.xml.serialize import serialize
 
 
+def build_query_report(
+    db: Database,
+    scheme: MappingScheme,
+    doc_id: int,
+    xpath: str,
+    **extra,
+) -> QueryReport:
+    """Run *xpath* against one document and assemble the full per-query
+    cost record.  Shared by :meth:`XmlRelStore.query_report` and the
+    sharded store (which runs it on a pooled read session and adds
+    routing/staleness fields through ``extra``)."""
+    translator = scheme.translator()
+    started = time.perf_counter()
+    plan_entry, cache_hit = translator.cached_translation(doc_id, xpath)
+    translate_seconds = time.perf_counter() - started
+    params = bind_doc_id(plan_entry.params, doc_id)
+    plan = db.explain_plan(plan_entry.sql, params)
+    started = time.perf_counter()
+    rows = db.query(plan_entry.sql, params)
+    execute_seconds = time.perf_counter() - started
+    pres = tuple(row[0] for row in rows)
+    cache_stats = db.plan_cache.stats()
+    return QueryReport(
+        xpath=str(xpath),
+        scheme=scheme.name,
+        sql=plan_entry.sql,
+        params=tuple(params),
+        join_count=plan_entry.join_count,
+        plan=tuple(plan),
+        translate_seconds=translate_seconds,
+        execute_seconds=execute_seconds,
+        row_count=len(pres),
+        pres=pres,
+        cache_hit=cache_hit,
+        cache_hits=cache_stats["hits"],
+        cache_misses=cache_stats["misses"],
+        analysis=tuple(plan_entry.diagnostics),
+        **extra,
+    )
+
+
 class XmlRelStore:
     """An XML document store over a relational database."""
 
@@ -274,33 +315,7 @@ class XmlRelStore:
         """Run *xpath* and return the full per-query cost record:
         translation time, SQL length, structural join count, plan lines,
         execution time, plan-cache state, and the matching ids."""
-        translator = self.scheme.translator()
-        started = time.perf_counter()
-        plan_entry, cache_hit = translator.cached_translation(doc_id, xpath)
-        translate_seconds = time.perf_counter() - started
-        params = bind_doc_id(plan_entry.params, doc_id)
-        plan = self.db.explain_plan(plan_entry.sql, params)
-        started = time.perf_counter()
-        rows = self.db.query(plan_entry.sql, params)
-        execute_seconds = time.perf_counter() - started
-        pres = tuple(row[0] for row in rows)
-        cache_stats = self.db.plan_cache.stats()
-        return QueryReport(
-            xpath=str(xpath),
-            scheme=self.scheme.name,
-            sql=plan_entry.sql,
-            params=tuple(params),
-            join_count=plan_entry.join_count,
-            plan=tuple(plan),
-            translate_seconds=translate_seconds,
-            execute_seconds=execute_seconds,
-            row_count=len(pres),
-            pres=pres,
-            cache_hit=cache_hit,
-            cache_hits=cache_stats["hits"],
-            cache_misses=cache_stats["misses"],
-            analysis=tuple(plan_entry.diagnostics),
-        )
+        return build_query_report(self.db, self.scheme, doc_id, xpath)
 
     # -- retrieval -----------------------------------------------------------------
 

@@ -174,14 +174,34 @@ class MetricsRegistry:
         """True when no instrument was ever touched."""
         return not (self._counters or self._gauges or self._histograms)
 
-    def snapshot(self) -> dict:
-        """Everything as plain JSON-able dicts (sorted names)."""
+    def snapshot(self, prefix: str | None = None) -> dict:
+        """Everything as plain JSON-able dicts (sorted names).
+
+        *prefix* restricts the snapshot to instruments whose name starts
+        with it — e.g. ``snapshot(prefix="serve.")`` for just the
+        serving layer, or ``prefix=f"pool.shard{n}."`` for one shard's
+        pool, without dragging every other subsystem's instruments into
+        a report.
+        """
         # Freeze the instrument sets under the lock so a concurrent
         # first-touch creation never changes a dict mid-iteration.
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
+        if prefix is not None:
+            counters = {
+                name: counter for name, counter in counters.items()
+                if name.startswith(prefix)
+            }
+            gauges = {
+                name: gauge for name, gauge in gauges.items()
+                if name.startswith(prefix)
+            }
+            histograms = {
+                name: histogram for name, histogram in histograms.items()
+                if name.startswith(prefix)
+            }
         return {
             "counters": {
                 name: counters[name].value for name in sorted(counters)

@@ -642,6 +642,22 @@ class Database:
         free = int(self.scalar("PRAGMA freelist_count"))
         return (page_count - free) * page_size
 
+    def snapshot_into(self, path: str) -> None:
+        """Write a consistent point-in-time copy of this database to
+        *path* (``VACUUM INTO``): a compact snapshot taken under
+        sqlite's own locking, safe while WAL readers proceed.  The
+        target must not already exist.  Runs through the statement
+        pipeline, so fault injection can crash a replica ship
+        mid-snapshot like any other statement.
+        """
+        if self._txn_depth or self._conn.in_transaction:
+            raise StorageError(
+                "snapshot_into() runs VACUUM INTO, which cannot execute "
+                "inside an open transaction; call it after the "
+                "transaction commits"
+            )
+        self.execute("VACUUM INTO ?", (path,))
+
     def schema_catalog(self) -> SchemaCatalog:
         """The current schema as the plan linter sees it.
 

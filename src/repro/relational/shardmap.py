@@ -6,7 +6,7 @@ database.  This module owns that catalog's SQL — the relational layer
 is the only place allowed to speak raw SQL (lint rule L001), so the
 serve layer calls in here instead of embedding statements.
 
-Three pieces:
+Five pieces:
 
 * :class:`ShardMap` — the ``xmlrel_shard_map`` table (global doc id →
   shard, per-shard local doc id, document name), mirrored in memory
@@ -15,18 +15,31 @@ Three pieces:
   table persisting scheme/shards/placement on first open and verifying
   them on reopen, turning a mismatched reopen into a loud error
   instead of silent misrouting.
+* :class:`RebalanceJournal` — the ``xmlrel_rebalance_journal`` table:
+  one row per in-flight document move, stepping through the
+  ``copying → copied → flipped`` state machine so a crash at any point
+  leaves enough state to roll the move back or forward on recovery
+  (see :meth:`repro.serve.sharded.ShardedStore.recover`).
+* :class:`ShardState` — the ``xmlrel_shard_state`` /
+  ``xmlrel_replica_state`` tables: a monotonic per-shard write
+  sequence number and, per read replica, the sequence/wall-time of its
+  last shipped snapshot — the two numbers a staleness bound is made of.
 * :func:`connection_alive` — the one-round-trip health probe the read
   pools run on every acquire.
+
+The catalog database is one shared connection; callers (the sharded
+store) serialize writes to it under their map lock.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
 from repro.errors import DocumentNotFoundError, StorageError, XmlRelError
 from repro.relational.database import Database
-from repro.relational.schema import Column, INTEGER, TEXT, Table
+from repro.relational.schema import Column, INTEGER, REAL, TEXT, Table
 
 SHARD_MAP_TABLE = Table(
     name="xmlrel_shard_map",
@@ -45,6 +58,48 @@ SHARD_CONFIG_TABLE = Table(
         Column("value", TEXT, nullable=False),
     ],
 )
+
+REBALANCE_JOURNAL_TABLE = Table(
+    name="xmlrel_rebalance_journal",
+    columns=[
+        Column("journal_id", INTEGER, primary_key=True),
+        Column("doc_id", INTEGER, nullable=False),
+        Column("from_shard", INTEGER, nullable=False),
+        Column("from_local", INTEGER, nullable=False),
+        Column("to_shard", INTEGER, nullable=False),
+        Column("to_local", INTEGER),
+        Column("state", TEXT, nullable=False),
+        Column("name", TEXT, nullable=False),
+    ],
+)
+
+SHARD_STATE_TABLE = Table(
+    name="xmlrel_shard_state",
+    columns=[
+        Column("shard", INTEGER, primary_key=True),
+        Column("write_seq", INTEGER, nullable=False),
+    ],
+)
+
+REPLICA_STATE_TABLE = Table(
+    name="xmlrel_replica_state",
+    columns=[
+        Column("shard", INTEGER, nullable=False),
+        Column("replica", INTEGER, nullable=False),
+        Column("shipped_seq", INTEGER, nullable=False),
+        Column("shipped_at", REAL, nullable=False),
+    ],
+    primary_key=("shard", "replica"),
+)
+
+#: Rebalance state machine, in order.  ``copying``: journal row exists,
+#: the destination copy may or may not have committed — recovery rolls
+#: *back* (the orphan sweep removes any committed copy the map never
+#: learned about).  ``copied``: the destination copy committed and its
+#: local id is journaled — recovery rolls *forward* (flip the map, drop
+#: the source copy).  ``flipped``: the map points at the destination —
+#: recovery only needs to drop the source copy.
+REBALANCE_STATES = ("copying", "copied", "flipped")
 
 
 def connection_alive(db: Database) -> bool:
@@ -152,6 +207,19 @@ class ShardMap:
         with self._lock:
             self._docs.pop(doc_id, None)
 
+    def move(self, doc_id: int, shard: int, local_doc_id: int) -> None:
+        """Repoint one document at a new (shard, local id) placement."""
+        record = self.resolve(doc_id)
+        self.db.execute(
+            "UPDATE xmlrel_shard_map SET shard = ?, local_doc_id = ? "
+            "WHERE doc_id = ?",
+            (shard, local_doc_id, doc_id),
+        )
+        with self._lock:
+            self._docs[doc_id] = ShardedDocument(
+                doc_id, shard, local_doc_id, record.name
+            )
+
     def docs_for_shard(self, shard: int) -> list[tuple[int, int]]:
         """``(global, local)`` id pairs of every document on *shard*."""
         with self._lock:
@@ -172,3 +240,167 @@ class ShardMap:
             for record in self._docs.values():
                 counts[record.shard] += 1
         return counts
+
+
+@dataclass(frozen=True)
+class RebalanceEntry:
+    """One in-flight document move, as journaled in the catalog."""
+
+    journal_id: int
+    doc_id: int
+    from_shard: int
+    from_local: int
+    to_shard: int
+    to_local: int | None
+    state: str
+    name: str
+
+
+class RebalanceJournal:
+    """Write-ahead journal for document moves between shards.
+
+    A move writes its intent here *before* touching any shard, then
+    advances the row through ``copying → copied → flipped`` as each
+    step commits.  Recovery (:meth:`ShardedStore.recover`) reads the
+    surviving rows and rolls each move back or forward — see
+    :data:`REBALANCE_STATES` for which state implies which.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        db.create_table(REBALANCE_JOURNAL_TABLE)
+
+    def begin(
+        self,
+        doc_id: int,
+        from_shard: int,
+        from_local: int,
+        to_shard: int,
+        name: str,
+    ) -> int:
+        """Journal intent to move *doc_id*; returns the journal id."""
+        cursor = self.db.execute(
+            "INSERT INTO xmlrel_rebalance_journal "
+            "(doc_id, from_shard, from_local, to_shard, to_local, "
+            "state, name) VALUES (?, ?, ?, ?, NULL, 'copying', ?)",
+            (doc_id, from_shard, from_local, to_shard, name),
+        )
+        return int(cursor.lastrowid)
+
+    def mark_copied(self, journal_id: int, to_local: int) -> None:
+        """The destination copy committed under *to_local*."""
+        self.db.execute(
+            "UPDATE xmlrel_rebalance_journal "
+            "SET state = 'copied', to_local = ? WHERE journal_id = ?",
+            (to_local, journal_id),
+        )
+
+    def mark_flipped(self, journal_id: int) -> None:
+        """The shard map now points at the destination copy."""
+        self.db.execute(
+            "UPDATE xmlrel_rebalance_journal "
+            "SET state = 'flipped' WHERE journal_id = ?",
+            (journal_id,),
+        )
+
+    def finish(self, journal_id: int) -> None:
+        """The move fully completed; drop its journal row."""
+        self.db.execute(
+            "DELETE FROM xmlrel_rebalance_journal WHERE journal_id = ?",
+            (journal_id,),
+        )
+
+    def pending(self) -> list[RebalanceEntry]:
+        """Surviving journal rows, oldest first — crash leftovers."""
+        return [
+            RebalanceEntry(*row)
+            for row in self.db.query(
+                "SELECT journal_id, doc_id, from_shard, from_local, "
+                "to_shard, to_local, state, name "
+                "FROM xmlrel_rebalance_journal ORDER BY journal_id"
+            )
+        ]
+
+
+class ShardState:
+    """Per-shard write sequence and per-replica shipped positions.
+
+    ``write_seq`` increments on every committed write to a shard's
+    primary; a replica records the sequence it was snapshotted at when
+    a ship completes.  The difference is the replica's staleness in
+    writes, and ``now - shipped_at`` its staleness in seconds — the
+    two bounds the executor surfaces on replica-served queries.
+    """
+
+    def __init__(self, db: Database, shards: int) -> None:
+        self.db = db
+        db.create_table(SHARD_STATE_TABLE)
+        db.create_table(REPLICA_STATE_TABLE)
+        for shard in range(shards):
+            db.execute(
+                "INSERT OR IGNORE INTO xmlrel_shard_state "
+                "(shard, write_seq) VALUES (?, 0)",
+                (shard,),
+            )
+        self._lock = threading.Lock()
+        self._write_seq: dict[int, int] = {
+            row[0]: row[1]
+            for row in db.query(
+                "SELECT shard, write_seq FROM xmlrel_shard_state"
+            )
+        }
+        self._shipped: dict[tuple[int, int], tuple[int, float]] = {
+            (row[0], row[1]): (row[2], row[3])
+            for row in db.query(
+                "SELECT shard, replica, shipped_seq, shipped_at "
+                "FROM xmlrel_replica_state"
+            )
+        }
+
+    def write_seq(self, shard: int) -> int:
+        with self._lock:
+            return self._write_seq.get(shard, 0)
+
+    def bump_write(self, shard: int) -> int:
+        """Record one committed write on *shard*; returns the new seq."""
+        with self._lock:
+            seq = self._write_seq.get(shard, 0) + 1
+            self._write_seq[shard] = seq
+        self.db.execute(
+            "UPDATE xmlrel_shard_state SET write_seq = ? WHERE shard = ?",
+            (seq, shard),
+        )
+        return seq
+
+    def record_ship(
+        self, shard: int, replica: int, seq: int, at: float | None = None
+    ) -> None:
+        """A replica snapshot of *shard* at write *seq* just landed."""
+        shipped_at = time.time() if at is None else at
+        self.db.execute(
+            "INSERT INTO xmlrel_replica_state "
+            "(shard, replica, shipped_seq, shipped_at) "
+            "VALUES (?, ?, ?, ?) "
+            "ON CONFLICT (shard, replica) DO UPDATE SET "
+            "shipped_seq = excluded.shipped_seq, "
+            "shipped_at = excluded.shipped_at",
+            (shard, replica, seq, shipped_at),
+        )
+        with self._lock:
+            self._shipped[(shard, replica)] = (seq, shipped_at)
+
+    def replica_state(
+        self, shard: int, replica: int
+    ) -> tuple[int, float] | None:
+        """``(shipped_seq, shipped_at)`` of a replica, if ever shipped."""
+        with self._lock:
+            return self._shipped.get((shard, replica))
+
+    def staleness(self, shard: int, replica: int) -> tuple[int, float] | None:
+        """``(lag_writes, age_seconds)`` of a replica, if ever shipped."""
+        state = self.replica_state(shard, replica)
+        if state is None:
+            return None
+        shipped_seq, shipped_at = state
+        lag = self.write_seq(shard) - shipped_seq
+        return lag, max(0.0, time.time() - shipped_at)

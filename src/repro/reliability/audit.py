@@ -39,6 +39,10 @@ class IntegrityReport:
     scheme: str
     checks: list[str] = field(default_factory=list)
     issues: list[IntegrityIssue] = field(default_factory=list)
+    #: Which shard of a sharded store the audit ran on (None for
+    #: single-file stores); set by ``ShardedStore.verify`` so per-shard
+    #: results stay attributable after aggregation.
+    shard: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -73,7 +77,8 @@ class IntegrityReport:
     def summary(self) -> str:
         """One-line human-readable outcome."""
         state = "OK" if self.ok else f"{len(self.issues)} issue(s)"
+        where = f" shard {self.shard}" if self.shard is not None else ""
         return (
-            f"doc {self.doc_id} [{self.scheme}]: {state} "
+            f"doc {self.doc_id} [{self.scheme}]{where}: {state} "
             f"({len(self.checks)} checks)"
         )

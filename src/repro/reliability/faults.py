@@ -20,7 +20,10 @@ order; an ``executemany`` batch counts as one statement.
 
 For the concurrent serving layer (:mod:`repro.serve`) there is also a
 :class:`ShardFaultPolicy`: a thread-safe switchboard that marks whole
-*shards* as failed or stalled.  Its :meth:`~ShardFaultPolicy.factory`
+*shards* as failed, stalled, or crashed (a statement-counted
+:meth:`~ShardFaultPolicy.crash_shard`, the sharded twin of
+:meth:`~FaultInjectingDatabase.crash_on`).  Its
+:meth:`~ShardFaultPolicy.factory`
 builds the per-shard database factories the serving pools accept, so a
 test can take shard 2 down (or make it slow) mid-run and watch
 scatter-gather degrade — partial results, deadline misses — instead of
@@ -169,6 +172,9 @@ class ShardFaultPolicy:
         self._lock = threading.Lock()
         self._failed: dict[int, BaseException] = {}
         self._stalls: dict[int, float] = {}
+        self._statements: dict[int, int] = {}
+        self._crash_at: dict[int, int] = {}
+        self._crashed: set[int] = set()
         #: Statements that were refused, per shard (observability for
         #: degraded-mode tests).
         self.faults_served: dict[int, int] = {}
@@ -190,28 +196,74 @@ class ShardFaultPolicy:
         with self._lock:
             self._stalls[shard] = seconds
 
+    def crash_shard(self, shard: int, n: int = 1) -> None:
+        """Simulate a crash at the *n*-th upcoming data statement
+        against *shard* (counted from the current position), mirroring
+        :meth:`FaultInjectingDatabase.crash_on`: the triggering
+        statement raises :class:`SimulatedCrash`, the crashing
+        connection discards uncommitted work, and every later statement
+        is refused until :meth:`heal_shard`."""
+        with self._lock:
+            self._crash_at[shard] = self._statements.get(shard, 0) + n
+
     def heal_shard(self, shard: int) -> None:
-        """Clear all faults scheduled for *shard*."""
+        """Clear all faults scheduled for *shard* (including a crash —
+        the statement counter keeps running)."""
         with self._lock:
             self._failed.pop(shard, None)
             self._stalls.pop(shard, None)
+            self._crash_at.pop(shard, None)
+            self._crashed.discard(shard)
 
     def heal_all(self) -> None:
         with self._lock:
             self._failed.clear()
             self._stalls.clear()
+            self._crash_at.clear()
+            self._crashed.clear()
+
+    def statement_count(self, shard: int) -> int:
+        """Data statements seen against *shard* so far.  Crash sweeps
+        dry-run an operation, read the delta here, then schedule a
+        crash at each boundary in turn."""
+        with self._lock:
+            return self._statements.get(shard, 0)
 
     # -- the statement-time check --------------------------------------------------
 
     def check(self, shard: int) -> None:
         """Apply the scheduled fault for *shard* (called per statement)."""
+        crash = False
         with self._lock:
-            stall = self._stalls.get(shard)
-            error = self._failed.get(shard)
-            if error is not None:
+            if shard in self._crashed:
                 self.faults_served[shard] = (
                     self.faults_served.get(shard, 0) + 1
                 )
+                refused: BaseException | None = StorageError(
+                    f"shard {shard} crashed (simulated); "
+                    f"heal_shard() to restart it"
+                )
+                stall = None
+                error = None
+            else:
+                refused = None
+                count = self._statements.get(shard, 0) + 1
+                self._statements[shard] = count
+                crash_at = self._crash_at.get(shard)
+                if crash_at is not None and count >= crash_at:
+                    self._crashed.add(shard)
+                    del self._crash_at[shard]
+                    crash = True
+                stall = self._stalls.get(shard)
+                error = self._failed.get(shard)
+                if crash or error is not None:
+                    self.faults_served[shard] = (
+                        self.faults_served.get(shard, 0) + 1
+                    )
+        if refused is not None:
+            raise refused
+        if crash:
+            raise SimulatedCrash(f"simulated crash on shard {shard}")
         if stall:
             time.sleep(stall)
         if error is not None:
@@ -245,10 +297,20 @@ class _PolicyFaultDatabase(Database):
         self._policy = policy
         self._shard = shard
 
+    def _consult(self) -> None:
+        try:
+            self._policy.check(self._shard)
+        except SimulatedCrash:
+            if self._conn.in_transaction:
+                # What journal recovery does on the next open: the
+                # uncommitted transaction never happened.
+                self._conn.execute("ROLLBACK")
+            raise
+
     def _raw_execute(self, sql: str, params: Sequence = ()):
-        self._policy.check(self._shard)
+        self._consult()
         return super()._raw_execute(sql, params)
 
     def _raw_executemany(self, sql: str, rows) -> None:
-        self._policy.check(self._shard)
+        self._consult()
         super()._raw_executemany(sql, rows)

@@ -8,19 +8,25 @@ The pieces, bottom-up:
 * :class:`~repro.serve.executor.QueryExecutor` — thread-pool
   scatter-gather with per-query deadlines, a max-in-flight admission
   gate, and configurable degraded modes for shard failures.
+* :class:`~repro.serve.replicas.ReplicaSet` — N snapshot-shipped read
+  replicas per shard (atomic-rename ships, generation-recycled pools).
 * :class:`~repro.serve.sharded.ShardedStore` — documents partitioned
   across N shard databases behind the familiar store API, with a
-  persistent shard-map catalog.
+  persistent shard-map catalog, serialized per-shard writes, journaled
+  online rebalancing, and crash recovery.
 """
 
 from repro.serve.executor import (
+    READ_FROM_MODES,
     SHARD_ERROR_MODES,
     QueryExecutor,
     ScatterResult,
 )
 from repro.serve.pool import ConnectionPool, ReadSession
+from repro.serve.replicas import ReplicaSet, replica_fault_key
 from repro.serve.sharded import (
     PLACEMENTS,
+    RecoveryReport,
     ShardedDocument,
     ShardedStore,
     ShardMap,
@@ -28,14 +34,18 @@ from repro.serve.sharded import (
 )
 
 __all__ = [
+    "READ_FROM_MODES",
     "SHARD_ERROR_MODES",
     "PLACEMENTS",
     "ConnectionPool",
     "QueryExecutor",
     "ReadSession",
+    "RecoveryReport",
+    "ReplicaSet",
     "ScatterResult",
     "ShardMap",
     "ShardedDocument",
     "ShardedStore",
     "open_sharded",
+    "replica_fault_key",
 ]

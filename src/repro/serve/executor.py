@@ -30,6 +30,16 @@ Degraded modes (``on_shard_error``): ``"fail"`` raises a typed
 decides whether a partial answer is better than none.  Deadline misses
 always raise: a partial answer is a *complete* answer from fewer
 shards, never a timing accident.
+
+Replica routing (``read_from="replica"``): when a shard has shipped
+read replicas (``replica_pools``), its read lands on one of them
+(round-robin) instead of the primary, and the answer carries the
+replica's *staleness bound* — how many committed writes it is behind
+and how old its snapshot is (from
+:class:`~repro.relational.shardmap.ShardState`).  A replica that is
+down or overloaded falls back to the primary
+(``serve.replica_fallbacks`` counts these), so replica reads degrade to
+primary reads, never to failures the primary could have answered.
 """
 
 from __future__ import annotations
@@ -60,6 +70,20 @@ from repro.serve.pool import ConnectionPool, ReadSession
 #: Degraded-mode policies for shard failures during scatter-gather.
 SHARD_ERROR_MODES = ("fail", "partial")
 
+#: Where reads land by default: the shard primary, or its replicas
+#: (with primary fallback).
+READ_FROM_MODES = ("primary", "replica")
+
+
+@dataclass(frozen=True)
+class _ShardAnswer:
+    """One shard's rows plus where they were read from."""
+
+    rows: list
+    replica: int | None = None
+    lag_writes: int | None = None
+    age_seconds: float | None = None
+
 
 @dataclass(frozen=True)
 class ScatterResult:
@@ -70,6 +94,11 @@ class ScatterResult:
     then document order.  ``partial`` is True when at least one shard
     failed under the ``"partial"`` degraded mode; ``failed_shards``
     then carries ``(shard, error message)`` pairs.
+
+    ``replica_reads`` counts shards answered from a read replica; when
+    any were, ``max_replica_lag_writes`` / ``max_replica_age_seconds``
+    bound how stale the answer can be — the worst replica's committed
+    writes behind its primary and snapshot age at ship time.
     """
 
     rows: tuple
@@ -77,6 +106,9 @@ class ScatterResult:
     elapsed_seconds: float
     partial: bool = False
     failed_shards: tuple = ()
+    replica_reads: int = 0
+    max_replica_lag_writes: int | None = None
+    max_replica_age_seconds: float | None = None
 
     @property
     def pres(self) -> list[int]:
@@ -100,6 +132,9 @@ class QueryExecutor:
         on_shard_error: str = "fail",
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        replica_pools: dict[int, list[ConnectionPool]] | None = None,
+        read_from: str = "primary",
+        shard_state=None,
     ) -> None:
         if not pools:
             raise StorageError("executor needs at least one shard pool")
@@ -110,7 +145,21 @@ class QueryExecutor:
                 f"unknown shard-error mode {on_shard_error!r}; available: "
                 + ", ".join(SHARD_ERROR_MODES)
             )
+        if read_from not in READ_FROM_MODES:
+            raise StorageError(
+                f"unknown read-from mode {read_from!r}; available: "
+                + ", ".join(READ_FROM_MODES)
+            )
         self.pools = dict(pools)
+        #: Per-shard replica pools; the owning store attaches entries as
+        #: replica snapshots ship, so routing sees them appear live.
+        self.replica_pools = dict(replica_pools or {})
+        self.read_from = read_from
+        #: :class:`~repro.relational.shardmap.ShardState` (or None) —
+        #: the staleness bookkeeping replica-served answers report from.
+        self.shard_state = shard_state
+        self._replica_rr: dict[int, int] = {}
+        self._replica_lock = threading.Lock()
         self.max_in_flight = max_in_flight
         self.default_deadline = default_deadline
         self.on_shard_error = on_shard_error
@@ -145,6 +194,16 @@ class QueryExecutor:
 
     # -- per-shard work -----------------------------------------------------------
 
+    def _pick_replica(self, shard: int) -> tuple[ConnectionPool, int] | None:
+        """The next replica pool for *shard*, round-robin, if any."""
+        replicas = self.replica_pools.get(shard)
+        if not replicas:
+            return None
+        with self._replica_lock:
+            index = self._replica_rr.get(shard, 0) % len(replicas)
+            self._replica_rr[shard] = index + 1
+        return replicas[index], index
+
     def _query_shard(
         self,
         shard: int,
@@ -152,16 +211,56 @@ class QueryExecutor:
         xpath: str,
         deadline_at: float | None,
         deadline_budget: float | None,
-    ) -> list[tuple[int, int]]:
+        read_from: str,
+    ) -> _ShardAnswer:
         """Run *xpath* over every targeted document of one shard.
 
-        Returns ``(global_doc_id, pre)`` pairs.  Checks the deadline
-        between documents so a slow shard stops burning its pool slot
-        once the query has already missed.
+        Routes to a read replica when asked (and one exists), falling
+        back to the primary if the replica is down or overloaded.
         """
         if not docs:
-            return []
-        pool = self.pools[shard]
+            return _ShardAnswer(rows=[])
+        picked = (
+            self._pick_replica(shard) if read_from == "replica" else None
+        )
+        if picked is not None:
+            pool, replica = picked
+            try:
+                rows = self._query_on_pool(
+                    pool, docs, xpath, deadline_at, deadline_budget
+                )
+            except (Overloaded, StorageError):
+                # The replica could not answer; its primary still can.
+                self.metrics.counter("serve.replica_fallbacks").inc()
+            else:
+                self.metrics.counter("serve.replica_reads").inc()
+                lag = age = None
+                if self.shard_state is not None:
+                    staleness = self.shard_state.staleness(shard, replica)
+                    if staleness is not None:
+                        lag, age = staleness
+                return _ShardAnswer(
+                    rows=rows,
+                    replica=replica,
+                    lag_writes=lag,
+                    age_seconds=age,
+                )
+        rows = self._query_on_pool(
+            self.pools[shard], docs, xpath, deadline_at, deadline_budget
+        )
+        return _ShardAnswer(rows=rows)
+
+    def _query_on_pool(
+        self,
+        pool: ConnectionPool,
+        docs: list[tuple[int, int]],
+        xpath: str,
+        deadline_at: float | None,
+        deadline_budget: float | None,
+    ) -> list[tuple[int, int]]:
+        """Returns ``(global_doc_id, pre)`` pairs.  Checks the deadline
+        between documents so a slow shard stops burning its pool slot
+        once the query has already missed."""
         timeout = pool.acquire_timeout
         if deadline_at is not None:
             remaining = deadline_at - time.monotonic()
@@ -201,16 +300,24 @@ class QueryExecutor:
         xpath: str,
         targets: dict[int, list[tuple[int, int]]],
         deadline: float | None = None,
+        read_from: str | None = None,
     ) -> ScatterResult:
         """Execute *xpath* against *targets* and merge the answers.
 
         *targets* maps each shard to its ``(global_doc_id,
         local_doc_id)`` pairs; a single-shard target set is the pruned
         doc-scoped fast lane (no thread handoff), anything else
-        scatters across the worker pool.
+        scatters across the worker pool.  *read_from* overrides the
+        executor default per query (``"primary"`` or ``"replica"``).
         """
         if self._closed:
             raise StorageError("query executor is closed")
+        route = self.read_from if read_from is None else read_from
+        if route not in READ_FROM_MODES:
+            raise StorageError(
+                f"unknown read-from mode {route!r}; available: "
+                + ", ".join(READ_FROM_MODES)
+            )
         budget = self.default_deadline if deadline is None else deadline
         deadline_at = (
             None if budget is None else time.monotonic() + budget
@@ -224,49 +331,89 @@ class QueryExecutor:
                 if len(targets) <= 1:
                     self.metrics.counter("serve.doc_scoped_queries").inc()
                     result = self._run_single(
-                        xpath, targets, deadline_at, budget, started
+                        xpath, targets, deadline_at, budget, started, route
                     )
                 else:
                     self.metrics.counter("serve.scatter_queries").inc()
                     result = self._scatter(
-                        xpath, targets, deadline_at, budget, started
+                        xpath, targets, deadline_at, budget, started, route
                     )
         self.metrics.histogram("serve.query_seconds").observe(
             result.elapsed_seconds
         )
         return result
 
+    @staticmethod
+    def _merge(
+        answers: list[_ShardAnswer],
+        shards_queried: int,
+        started: float,
+        failures: list[tuple[int, str]],
+    ) -> ScatterResult:
+        """Fold per-shard answers into one sorted, staleness-bounded
+        result."""
+        rows: list[tuple[int, int]] = []
+        replica_reads = 0
+        max_lag: int | None = None
+        max_age: float | None = None
+        for answer in answers:
+            rows.extend(answer.rows)
+            if answer.replica is not None:
+                replica_reads += 1
+                if answer.lag_writes is not None:
+                    max_lag = (
+                        answer.lag_writes if max_lag is None
+                        else max(max_lag, answer.lag_writes)
+                    )
+                if answer.age_seconds is not None:
+                    max_age = (
+                        answer.age_seconds if max_age is None
+                        else max(max_age, answer.age_seconds)
+                    )
+        return ScatterResult(
+            rows=tuple(sorted(rows)),
+            shards_queried=shards_queried,
+            elapsed_seconds=time.perf_counter() - started,
+            partial=bool(failures),
+            failed_shards=tuple(failures),
+            replica_reads=replica_reads,
+            max_replica_lag_writes=max_lag,
+            max_replica_age_seconds=max_age,
+        )
+
     def _run_single(
-        self, xpath, targets, deadline_at, budget, started
+        self, xpath, targets, deadline_at, budget, started, read_from
     ) -> ScatterResult:
         """The pruned path: one shard, executed on the calling thread."""
         failures: list[tuple[int, str]] = []
-        rows: list[tuple[int, int]] = []
+        answers: list[_ShardAnswer] = []
         for shard, docs in targets.items():  # 0 or 1 iterations
             try:
-                rows = self._query_shard(
-                    shard, docs, xpath, deadline_at, budget
+                answers.append(
+                    self._query_shard(
+                        shard, docs, xpath, deadline_at, budget, read_from
+                    )
                 )
             except DeadlineExceeded:
                 self.metrics.counter("serve.deadline_exceeded").inc()
                 raise
             except XmlRelError as error:
                 self._note_shard_failure(shard, error, failures)
-        return ScatterResult(
-            rows=tuple(sorted(rows)),
-            shards_queried=len(targets),
-            elapsed_seconds=time.perf_counter() - started,
-            partial=bool(failures),
-            failed_shards=tuple(failures),
-        )
+        return self._merge(answers, len(targets), started, failures)
 
     def _scatter(
-        self, xpath, targets, deadline_at, budget, started
+        self, xpath, targets, deadline_at, budget, started, read_from
     ) -> ScatterResult:
         """Fan out one task per shard; gather, merge, and sort."""
         futures = {
             self._threads.submit(
-                self._query_shard, shard, docs, xpath, deadline_at, budget
+                self._query_shard,
+                shard,
+                docs,
+                xpath,
+                deadline_at,
+                budget,
+                read_from,
             ): shard
             for shard, docs in targets.items()
         }
@@ -300,24 +447,18 @@ class QueryExecutor:
             if isinstance(error, XmlRelError):
                 self._note_shard_failure(futures[failed], error, [])
             raise error
-        rows: list[tuple[int, int]] = []
+        answers: list[_ShardAnswer] = []
         failures: list[tuple[int, str]] = []
         for future in futures:
             shard = futures[future]
             try:
-                rows.extend(future.result())
+                answers.append(future.result())
             except DeadlineExceeded:
                 self.metrics.counter("serve.deadline_exceeded").inc()
                 raise
             except XmlRelError as error:
                 self._note_shard_failure(shard, error, failures)
-        return ScatterResult(
-            rows=tuple(sorted(rows)),
-            shards_queried=len(targets),
-            elapsed_seconds=time.perf_counter() - started,
-            partial=bool(failures),
-            failed_shards=tuple(failures),
-        )
+        return self._merge(answers, len(targets), started, failures)
 
     def _note_shard_failure(
         self,
@@ -339,13 +480,45 @@ class QueryExecutor:
         """Run ``fn(session)`` on one shard's pooled connection, under
         the admission gate — the door for read work that is not a plain
         pre-id query (node reconstruction, verification, raw reads)."""
+        result, _ = self.run_on_shard_routed(shard, fn, timeout=timeout)
+        return result
+
+    def run_on_shard_routed(
+        self,
+        shard: int,
+        fn,
+        timeout: float | None = None,
+        read_from: str = "primary",
+    ) -> tuple:
+        """Like :meth:`run_on_shard`, but routable to a replica.
+
+        Returns ``(result, replica)`` where ``replica`` is the replica
+        index that served (None when the primary did — including after
+        a replica fallback)."""
         if self._closed:
             raise StorageError("query executor is closed")
         with self._admitted():
+            picked = (
+                self._pick_replica(shard)
+                if read_from == "replica" else None
+            )
+            if picked is not None:
+                pool, replica = picked
+                try:
+                    session = pool.acquire(timeout=timeout)
+                except (Overloaded, StorageError):
+                    self.metrics.counter("serve.replica_fallbacks").inc()
+                else:
+                    try:
+                        result = fn(session)
+                    finally:
+                        pool.release(session)
+                    self.metrics.counter("serve.replica_reads").inc()
+                    return result, replica
             pool = self.pools[shard]
             session = pool.acquire(timeout=timeout)
             try:
-                return fn(session)
+                return fn(session), None
             finally:
                 pool.release(session)
 

@@ -18,11 +18,29 @@ for a connection, then raises :class:`~repro.errors.Overloaded` — the
 caller (the scatter-gather executor) treats that exactly like any other
 shed load.
 
+Two invalidation channels exist for writable shards:
+
+* **Plan epoch** — the pool carries a shard-local epoch counter; a
+  write on this shard bumps it (:meth:`ConnectionPool.bump_epoch`) and
+  ``acquire`` stamps it onto the handed-out scheme's ``plan_epoch``, so
+  cached plans from before the write become unreachable *on this shard
+  only* — other shards' pools keep serving their cached plans.
+* **Generation** — :meth:`ConnectionPool.recycle` retires every pooled
+  connection (idle now, checked-out ones at release) after the shard
+  file is atomically replaced underneath the pool (replica snapshot
+  ship); new acquires build connections against the new file.
+
+A fresh connection failing its health check normally means the shard is
+down; with a ``retry`` policy the pool backs off and rebuilds up to
+``max_attempts`` times before reporting shard-down, riding out
+transient stalls.
+
 Pool state is observable through gauges/counters in the owning
 :class:`~repro.obs.metrics.MetricsRegistry`, namespaced by pool name:
 ``pool.<name>.in_use``, ``pool.<name>.open`` (gauges),
 ``pool.<name>.acquires``, ``pool.<name>.releases``,
-``pool.<name>.timeouts``, ``pool.<name>.health_failures`` (counters).
+``pool.<name>.timeouts``, ``pool.<name>.health_failures``,
+``pool.<name>.health_retries``, ``pool.<name>.recycled`` (counters).
 """
 
 from __future__ import annotations
@@ -38,6 +56,7 @@ from repro.errors import Overloaded, StorageError, XmlRelError
 from repro.obs.metrics import MetricsRegistry
 from repro.relational.database import Database
 from repro.relational.plancache import PlanCache
+from repro.relational.retry import RetryPolicy
 from repro.relational.shardmap import connection_alive
 
 
@@ -51,15 +70,19 @@ class ReadSession:
     :meth:`ConnectionPool.connection`).
     """
 
-    __slots__ = ("db", "scheme", "fresh")
+    __slots__ = ("db", "scheme", "fresh", "generation")
 
-    def __init__(self, db: Database, scheme) -> None:
+    def __init__(self, db: Database, scheme, generation: int = 0) -> None:
         self.db = db
         self.scheme = scheme
         #: True only between construction and first release — a fresh
         #: connection that fails its health check is a hard error (the
         #: shard is down), not a stale-connection retry.
         self.fresh = True
+        #: The pool generation this connection was built under; a
+        #: :meth:`ConnectionPool.recycle` bumps the pool's generation so
+        #: stale connections are discarded instead of re-pooled.
+        self.generation = generation
 
     def close(self) -> None:
         self.db.close()
@@ -80,6 +103,7 @@ class ConnectionPool:
         metrics: MetricsRegistry | None = None,
         database_factory: Callable | None = None,
         scheme_kwargs: dict | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if size < 1:
             raise StorageError("pool size must be >= 1")
@@ -96,12 +120,17 @@ class ConnectionPool:
         #: :meth:`repro.reliability.faults.ShardFaultPolicy.factory`).
         self.database_factory = database_factory
         self.scheme_kwargs = dict(scheme_kwargs or {})
+        #: Backoff for fresh-connection health failures (None: report
+        #: shard-down on the first one, the pre-retry behaviour).
+        self.retry = retry
         #: One warm translation cache for the whole pool.
         self.plan_cache = PlanCache()
         self._idle: queue.LifoQueue[ReadSession] = queue.LifoQueue()
         self._lock = threading.Lock()
         self._created = 0
         self._closed = False
+        self._epoch = 0
+        self._generation = 0
 
     # -- metrics helpers ----------------------------------------------------------
 
@@ -129,11 +158,17 @@ class ConnectionPool:
             db.close()
             raise
         self._counter("created").inc()
-        return ReadSession(db, scheme)
+        with self._lock:
+            generation = self._generation
+        return ReadSession(db, scheme, generation)
 
     def _healthy(self, session: ReadSession) -> bool:
         """One cheap round trip proving the connection still answers."""
         return connection_alive(session.db)
+
+    def _stale(self, session: ReadSession) -> bool:
+        with self._lock:
+            return session.generation != self._generation
 
     def _discard(self, session: ReadSession) -> None:
         with self._lock:
@@ -152,30 +187,51 @@ class ConnectionPool:
 
         Raises :class:`~repro.errors.Overloaded` when every connection
         stays busy past the timeout, and :class:`StorageError` when the
-        shard itself is unhealthy (even a freshly built connection fails
-        its health check).
+        shard itself is unhealthy (even freshly built connections fail
+        their health check, through the retry budget if one is set).
         """
         if self._closed:
             raise StorageError(f"pool {self.name!r} is closed")
         budget = self.acquire_timeout if timeout is None else timeout
         deadline = time.monotonic() + max(budget, 0.0)
         self._counter("acquires").inc()
+        fresh_failures = 0
         while True:
             session = self._checkout(deadline)
+            if self._stale(session):
+                # Built before the last recycle() — the shard file was
+                # replaced underneath it; never hand it out again.
+                self._counter("recycled").inc()
+                self._discard(session)
+                continue
             if self._healthy(session):
                 session.fresh = False
+                with self._lock:
+                    session.scheme.plan_epoch = self._epoch
                 self._gauge("in_use").add(1)
                 return session
             was_fresh = session.fresh
             self._counter("health_failures").inc()
             self._discard(session)
             if was_fresh:
-                # A brand-new connection failing means the shard is
-                # down, not that this connection went stale — retrying
-                # would spin until the timeout for the same answer.
+                # A brand-new connection failing means the shard itself
+                # is unhealthy, not that this connection went stale.
+                # With a retry policy, back off and rebuild — a
+                # transiently-stalled shard (mid-recovery, mid-ship)
+                # answers on a later attempt; without one, or once the
+                # attempts run out, report the shard down.
+                fresh_failures += 1
+                attempts = (
+                    self.retry.max_attempts if self.retry is not None else 1
+                )
+                if fresh_failures < attempts:
+                    self._counter("health_retries").inc()
+                    self.retry.backoff(fresh_failures)
+                    continue
                 raise StorageError(
                     f"shard pool {self.name!r}: fresh connection failed "
-                    f"its health check (shard down?)"
+                    f"its health check ({fresh_failures} attempt(s); "
+                    f"shard down?)"
                 )
 
     def _checkout(self, deadline: float) -> ReadSession:
@@ -218,11 +274,11 @@ class ConnectionPool:
             ) from None
 
     def release(self, session: ReadSession) -> None:
-        """Return a session to the pool (closes it if the pool closed
-        while it was out)."""
+        """Return a session to the pool (closes it if the pool closed,
+        or was recycled, while it was out)."""
         self._gauge("in_use").add(-1)
         self._counter("releases").inc()
-        if self._closed:
+        if self._closed or self._stale(session):
             self._discard(session)
             return
         self._idle.put(session)
@@ -235,6 +291,42 @@ class ConnectionPool:
             yield session
         finally:
             self.release(session)
+
+    # -- invalidation --------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The shard-local plan epoch stamped onto acquired schemes."""
+        with self._lock:
+            return self._epoch
+
+    def bump_epoch(self) -> int:
+        """Invalidate cached plans for *this shard only*: plans cached
+        under earlier epochs become unreachable (the cache key includes
+        ``plan_epoch``) without touching other shards' caches."""
+        with self._lock:
+            self._epoch += 1
+            return self._epoch
+
+    @property
+    def generation(self) -> int:
+        with self._lock:
+            return self._generation
+
+    def recycle(self) -> None:
+        """Retire every pooled connection: idle ones now, checked-out
+        ones when released.  Called after the shard file was atomically
+        replaced (replica snapshot ship) so no connection keeps reading
+        the unlinked old file."""
+        with self._lock:
+            self._generation += 1
+        while True:
+            try:
+                session = self._idle.get_nowait()
+            except queue.Empty:
+                break
+            self._counter("recycled").inc()
+            self._discard(session)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -261,9 +353,13 @@ class ConnectionPool:
         """Point-in-time pool accounting (plus plan-cache stats)."""
         with self._lock:
             open_count = self._created
+            epoch = self._epoch
+            generation = self._generation
         return {
             "open": open_count,
             "idle": self._idle.qsize(),
             "size": self.size,
+            "epoch": epoch,
+            "generation": generation,
             "plan_cache": self.plan_cache.stats(),
         }

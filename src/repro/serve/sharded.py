@@ -33,10 +33,39 @@ name — deterministic across processes (Python's ``hash`` is
 per-process salted, which would scatter a reopened store differently);
 ``round_robin`` cycles shards in store order for maximally even counts.
 
-Writes take a store-wide lock (one writer — the scatter-gather layer
-is about *read* concurrency); reads go through the
-:class:`~repro.serve.executor.QueryExecutor` and are limited only by
-its admission gate and the pool sizes.
+**Writes.**  Each shard has a single-writer lock, so writes to
+*different* shards proceed concurrently while writes to one shard
+serialize; reads never take a shard lock (WAL keeps them consistent).
+Subtree updates (:meth:`insert_subtree` / :meth:`delete_subtree`) run
+the :mod:`repro.updates` machinery inside an outer writer transaction,
+turning the update's internal transactions into savepoints — one fault
+anywhere rolls the whole update back.  After a write the shard's read
+pool bumps its *shard-local* plan epoch (only for schemes whose
+translations depend on stored data), so cached plans of other shards
+are untouched.
+
+**Crash-safe ordering.**  A ``store`` commits shard rows *before*
+registering the shard-map entry; a ``delete`` removes the map entry
+*before* deleting shard rows.  Either crash point therefore leaves an
+*orphan* (committed shard rows no map entry points at) — never a
+dangling map entry — and :meth:`recover` sweeps orphans on the next
+open.
+
+**Rebalancing.**  :meth:`rebalance` moves one document to another shard
+while reads continue, journaled through the catalog
+(:class:`~repro.relational.shardmap.RebalanceJournal`) as ``copying →
+copied → flipped``; a crash at any statement leaves a state
+:meth:`recover` rolls back (copy never flipped into the map) or forward
+(flip + drop the source copy).  Readers always see exactly one
+committed copy through the map.
+
+**Replicas.**  With ``replicas=N`` each shard gets a
+:class:`~repro.serve.replicas.ReplicaSet`; :meth:`ship_replicas`
+snapshots the primary into each replica file (atomic rename) and
+records the shipped write sequence, giving every replica-served answer
+a staleness bound (writes behind + snapshot age) surfaced through
+:class:`~repro.serve.executor.ScatterResult` and
+:class:`~repro.obs.report.QueryReport`.
 """
 
 from __future__ import annotations
@@ -44,26 +73,62 @@ from __future__ import annotations
 import os
 import threading
 import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
 
+from repro import updates as updates_module
 from repro.core.registry import create_scheme, scheme_class
-from repro.core.store import XmlRelStore
-from repro.errors import StorageError
+from repro.core.store import XmlRelStore, build_query_report
+from repro.errors import DocumentNotFoundError, StorageError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import QueryReport
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.reliability.audit import IntegrityReport
 from repro.relational.database import Database
 from repro.relational.shardmap import (
+    RebalanceJournal,
     ShardedDocument,
     ShardMap,
+    ShardState,
     pin_shard_config,
 )
 from repro.serve.executor import QueryExecutor, ScatterResult
 from repro.serve.pool import ConnectionPool
-from repro.xml.dom import Document, Node
+from repro.serve.replicas import ReplicaSet
+from repro.updates import UpdateStats
+from repro.xml.dom import Document, Element, Node
 from repro.xml.parser import ParseOptions, parse_document
 from repro.xml.serialize import serialize
 
 #: Document-placement strategies.
 PLACEMENTS = ("hash", "round_robin")
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`ShardedStore.recover` found and repaired."""
+
+    #: doc ids of moves rolled back (journal state ``copying``).
+    rolled_back: tuple = ()
+    #: doc ids of moves rolled forward (journal state ``copied``).
+    rolled_forward: tuple = ()
+    #: doc ids whose source copy was dropped (journal state ``flipped``).
+    cleaned_up: tuple = ()
+    #: ``(shard, local_doc_id)`` of swept orphans (committed shard rows
+    #: no map entry referenced).
+    orphans_removed: tuple = ()
+    #: stale mid-ship replica temporaries removed.
+    tmp_files_removed: int = 0
+
+    @property
+    def acted(self) -> bool:
+        return bool(
+            self.rolled_back
+            or self.rolled_forward
+            or self.cleaned_up
+            or self.orphans_removed
+            or self.tmp_files_removed
+        )
 
 
 class ShardedStore:
@@ -80,6 +145,10 @@ class ShardedStore:
         placement: str,
         metrics: MetricsRegistry,
         tracer: Tracer,
+        shard_state: ShardState | None = None,
+        journal: RebalanceJournal | None = None,
+        replica_sets: dict[int, ReplicaSet] | None = None,
+        fault_policy=None,
     ) -> None:
         self.directory = directory
         self.catalog_db = catalog_db
@@ -91,8 +160,27 @@ class ShardedStore:
         self.metrics = metrics
         self.tracer = tracer
         self.scheme_name = writers[0].scheme.name
-        self._write_lock = threading.Lock()
+        self.shard_state = (
+            shard_state
+            if shard_state is not None
+            else ShardState(catalog_db, len(writers))
+        )
+        self.journal = (
+            journal if journal is not None else RebalanceJournal(catalog_db)
+        )
+        self.replica_sets = dict(replica_sets or {})
+        self.fault_policy = fault_policy
+        #: One single-writer lock per shard: writes to different shards
+        #: proceed concurrently, writes to one shard serialize.
+        self._shard_locks = [threading.Lock() for _ in writers]
+        #: Guards the round-robin counter and *every* catalog-database
+        #: write (shard map, journal, shard state) — the catalog is one
+        #: shared connection.  Lock order: shard lock(s) outer, map
+        #: lock inner; never the reverse.
+        self._map_lock = threading.Lock()
         self._rr_counter = len(shard_map)
+        if self.executor.shard_state is None:
+            self.executor.shard_state = self.shard_state
 
     # -- opening ------------------------------------------------------------------
 
@@ -114,6 +202,9 @@ class ShardedStore:
         retry=None,
         lint: str = "default",
         fault_policy=None,
+        replicas: int = 0,
+        replica_pool_size: int = 2,
+        read_from: str = "primary",
         **scheme_kwargs,
     ) -> "ShardedStore":
         """Open (creating if needed) a sharded store under *directory*.
@@ -121,13 +212,25 @@ class ShardedStore:
         *shards*/*placement*/*scheme* are pinned in the store's config
         on first open; reopening with different values raises.
         *fault_policy* (a
-        :class:`~repro.reliability.faults.ShardFaultPolicy`) wires the
-        read pools through fault-injecting connections so degraded
-        modes are testable.  Remaining arguments parallel
+        :class:`~repro.reliability.faults.ShardFaultPolicy`) wires both
+        the writer connections and the read pools through
+        fault-injecting connections, so crash sweeps reach the update,
+        rebalance, and replica-ship paths.  *replicas* creates that many
+        snapshot-shipped read replicas per shard (served once
+        :meth:`ship_replicas` runs); *read_from* sets the default read
+        routing (``"primary"`` / ``"replica"``).  *retry* backs off
+        transient busy errors on writers **and** fresh-connection health
+        failures in the read pools.  Remaining arguments parallel
         :meth:`XmlRelStore.open`; ``scheme_kwargs`` pass to the scheme.
+
+        Crash recovery (:meth:`recover`) runs before the store is
+        returned: interrupted rebalances are rolled back or forward,
+        orphans swept, stale replica temporaries removed.
         """
         if shards < 1:
             raise StorageError("shard count must be >= 1")
+        if replicas < 0:
+            raise StorageError("replica count must be >= 0")
         if placement not in PLACEMENTS:
             raise StorageError(
                 f"unknown placement {placement!r}; available: "
@@ -143,15 +246,21 @@ class ShardedStore:
         )
         pin_shard_config(catalog_db, scheme, shards, placement)
         shard_map = ShardMap(catalog_db)
+        shard_state = ShardState(catalog_db, shards)
+        journal = RebalanceJournal(catalog_db)
         metrics = tracer.metrics if tracer is not None else MetricsRegistry()
         the_tracer = tracer if tracer is not None else NULL_TRACER
         writers = []
         pools: dict[int, ConnectionPool] = {}
+        replica_sets: dict[int, ReplicaSet] = {}
         for shard in range(shards):
             path = os.path.join(directory, f"shard-{shard:02d}.db")
-            db = Database(
+            writer_factory = (
+                fault_policy.factory(shard) if fault_policy else Database
+            )
+            db = writer_factory(
                 path, profile=profile, retry=retry, tracer=the_tracer,
-                lint=lint,
+                lint=lint, check_same_thread=False,
             )
             writers.append(
                 XmlRelStore(db, create_scheme(scheme, db, **scheme_kwargs))
@@ -169,7 +278,22 @@ class ShardedStore:
                     fault_policy.factory(shard) if fault_policy else None
                 ),
                 scheme_kwargs=scheme_kwargs,
+                retry=retry,
             )
+            if replicas:
+                replica_sets[shard] = ReplicaSet(
+                    shard,
+                    directory,
+                    replicas,
+                    scheme,
+                    pool_size=replica_pool_size,
+                    acquire_timeout=acquire_timeout,
+                    profile=profile,
+                    metrics=metrics,
+                    fault_policy=fault_policy,
+                    scheme_kwargs=scheme_kwargs,
+                    retry=retry,
+                )
         executor = QueryExecutor(
             pools,
             max_workers=max_workers,
@@ -178,8 +302,10 @@ class ShardedStore:
             on_shard_error=on_shard_error,
             metrics=metrics,
             tracer=the_tracer,
+            read_from=read_from,
+            shard_state=shard_state,
         )
-        return cls(
+        store = cls(
             directory,
             catalog_db,
             shard_map,
@@ -189,7 +315,13 @@ class ShardedStore:
             placement,
             metrics,
             the_tracer,
+            shard_state=shard_state,
+            journal=journal,
+            replica_sets=replica_sets,
+            fault_policy=fault_policy,
         )
+        store.recover()
+        return store
 
     # -- placement ----------------------------------------------------------------
 
@@ -200,18 +332,58 @@ class ShardedStore:
         shard = self._rr_counter % len(self.writers)
         return shard
 
+    # -- write plumbing -----------------------------------------------------------
+
+    def _post_write(self, shard: int) -> None:
+        """Bookkeeping after one committed write to *shard* (shard lock
+        held): bump the persistent write sequence (the replica
+        staleness denominator) and — only for schemes whose
+        translations depend on stored data (universal's label columns,
+        binary's partition tables) — bump the shard-local plan epoch so
+        this shard's pooled readers stop using stale cached plans.
+        Other shards' caches are never touched.
+        """
+        with self._map_lock:
+            self.shard_state.bump_write(shard)
+        if self.writers[shard].scheme.translation_depends_on_data:
+            self.pools[shard].bump_epoch()
+
+    @contextmanager
+    def _owning_shard(self, doc_id: int):
+        """Resolve *doc_id* and hold its shard's writer lock.
+
+        Re-resolves under the lock: a concurrent rebalance may have
+        moved the document between resolution and acquisition, in which
+        case the loop chases it to its new shard.
+        """
+        while True:
+            record = self.shard_map.resolve(doc_id)
+            with self._shard_locks[record.shard]:
+                current = self.shard_map.resolve(doc_id)
+                if current.shard == record.shard:
+                    yield current
+                    return
+            # Moved mid-acquire; chase it.
+
     # -- storing ------------------------------------------------------------------
 
     def store(self, document: Document, name: str = "document") -> int:
-        """Shred *document* onto its shard; returns the global doc id."""
-        with self._write_lock:
+        """Shred *document* onto its shard; returns the global doc id.
+
+        Shard rows commit before the map entry registers — a crash
+        between the two leaves an orphan for :meth:`recover` to sweep,
+        never a map entry pointing at nothing.
+        """
+        with self._map_lock:
             shard = self.place(name)
-            local = self.writers[shard].store(document, name)
-            doc_id = self.shard_map.register(shard, local, name)
             self._rr_counter += 1
-            self._after_write(shard)
-            self.metrics.counter("serve.documents_stored").inc()
-            return doc_id
+        with self._shard_locks[shard]:
+            local = self.writers[shard].store(document, name)
+            with self._map_lock:
+                doc_id = self.shard_map.register(shard, local, name)
+            self._post_write(shard)
+        self.metrics.counter("serve.documents_stored").inc()
+        return doc_id
 
     def store_text(self, text: str, name: str = "document") -> int:
         return self.store(
@@ -234,7 +406,7 @@ class ShardedStore:
             raise StorageError(
                 f"{len(documents)} document(s) but {len(names)} name(s)"
             )
-        with self._write_lock:
+        with self._map_lock:
             placed: list[tuple[int, str]] = []
             batches: dict[int, list[tuple[int, Document, str]]] = {}
             for position, document in enumerate(documents):
@@ -248,41 +420,308 @@ class ShardedStore:
                 batches.setdefault(shard, []).append(
                     (position, document, name)
                 )
-            locals_by_position: dict[int, int] = {}
-            for shard, batch in batches.items():
+        locals_by_position: dict[int, int] = {}
+        for shard, batch in batches.items():
+            with self._shard_locks[shard]:
                 with self.writers[shard].bulk_session() as session:
                     for position, document, name in batch:
                         result = session.store(document, name)
                         locals_by_position[position] = result.doc_id
-                self._after_write(shard)
-            doc_ids = []
-            for position, (shard, name) in enumerate(placed):
-                doc_ids.append(
-                    self.shard_map.register(
-                        shard, locals_by_position[position], name
-                    )
+                self._post_write(shard)
+        with self._map_lock:
+            doc_ids = [
+                self.shard_map.register(
+                    shard, locals_by_position[position], name
                 )
-            self.metrics.counter("serve.documents_stored").inc(
-                len(documents)
-            )
-            return doc_ids
+                for position, (shard, name) in enumerate(placed)
+            ]
+        self.metrics.counter("serve.documents_stored").inc(len(documents))
+        return doc_ids
 
     def delete(self, doc_id: int) -> None:
-        """Remove a document from its shard and the shard map."""
-        with self._write_lock:
-            record = self.shard_map.resolve(doc_id)
-            self.writers[record.shard].delete(record.local_doc_id)
-            self.shard_map.remove(doc_id)
-            self._after_write(record.shard)
+        """Remove a document from its shard and the shard map.
 
-    def _after_write(self, shard: int) -> None:
-        """Keep pooled readers' cached plans honest for schemes whose
-        translations depend on stored data (universal's label columns,
-        binary's partition tables): their write-side plan invalidation
-        bumps an epoch the read connections never see, so the pool's
-        shared cache is cleared outright."""
-        if self.writers[shard].scheme.translation_depends_on_data:
-            self.pools[shard].plan_cache.clear()
+        The map entry goes first: a crash before the rows are gone
+        leaves an orphan (swept by :meth:`recover`), never a map entry
+        resolving to missing rows.
+        """
+        with self._owning_shard(doc_id) as record:
+            with self._map_lock:
+                self.shard_map.remove(doc_id)
+            self.writers[record.shard].delete(record.local_doc_id)
+            self._post_write(record.shard)
+
+    # -- updates ------------------------------------------------------------------
+
+    @property
+    def supports_updates(self) -> bool:
+        """True when the store's scheme implements subtree updates."""
+        return updates_module.supports_updates(self.writers[0].scheme)
+
+    def insert_subtree(
+        self,
+        doc_id: int,
+        parent_pre: int,
+        fragment: Element,
+        index: int = 0,
+    ) -> UpdateStats:
+        """Insert *fragment* under node *parent_pre* of one document.
+
+        Serialized by the shard's single-writer lock; the update's
+        internal transactions run as savepoints inside one outer writer
+        transaction, so a fault at any statement rolls the whole update
+        back while pooled readers keep serving the pre-update state.
+        """
+        with self._owning_shard(doc_id) as record:
+            writer = self.writers[record.shard]
+            with writer.db.transaction():
+                stats = updates_module.insert_subtree(
+                    writer.scheme,
+                    record.local_doc_id,
+                    parent_pre,
+                    fragment,
+                    index,
+                )
+            self._post_write(record.shard)
+        self.metrics.counter("serve.subtree_inserts").inc()
+        return stats
+
+    def delete_subtree(self, doc_id: int, pre: int) -> UpdateStats:
+        """Delete the subtree rooted at node *pre* of one document.
+
+        Same serialization and atomicity contract as
+        :meth:`insert_subtree`.
+        """
+        with self._owning_shard(doc_id) as record:
+            writer = self.writers[record.shard]
+            with writer.db.transaction():
+                stats = updates_module.delete_subtree(
+                    writer.scheme, record.local_doc_id, pre
+                )
+            self._post_write(record.shard)
+        self.metrics.counter("serve.subtree_deletes").inc()
+        return stats
+
+    # -- rebalancing --------------------------------------------------------------
+
+    def rebalance(self, doc_id: int, to_shard: int) -> ShardedDocument:
+        """Move one document to *to_shard* while reads continue.
+
+        Copy-then-flip, journaled: the destination copy commits first,
+        the shard map flips in one catalog transaction with the journal
+        advance, then the source copy is dropped.  Readers resolve the
+        map, so they see the old copy until the flip and the new copy
+        after — never neither, never both.  A crash at any statement
+        leaves a journal state :meth:`recover` repairs.
+        """
+        if not 0 <= to_shard < len(self.writers):
+            raise StorageError(
+                f"no shard {to_shard} (store has {len(self.writers)})"
+            )
+        while True:
+            record = self.shard_map.resolve(doc_id)
+            if record.shard == to_shard:
+                return record  # already home
+            first, second = sorted((record.shard, to_shard))
+            with self._shard_locks[first]:
+                with self._shard_locks[second]:
+                    current = self.shard_map.resolve(doc_id)
+                    if current.shard != record.shard:
+                        continue  # moved underneath us; chase it
+                    self._rebalance_locked(current, to_shard)
+                    moved = self.shard_map.resolve(doc_id)
+            self.metrics.counter("serve.rebalances").inc()
+            return moved
+
+    def _rebalance_locked(
+        self, record: ShardedDocument, to_shard: int
+    ) -> None:
+        """The move protocol, with both shard locks held."""
+        from_shard, from_local = record.shard, record.local_doc_id
+        with self._map_lock:
+            journal_id = self.journal.begin(
+                record.doc_id, from_shard, from_local, to_shard, record.name
+            )
+        # 1. Copy: reconstruct from the source writer, commit at the
+        #    destination.  A crash here leaves state "copying" — the
+        #    map never learned of the copy, so recovery rolls back.
+        document = self.writers[from_shard].reconstruct(from_local)
+        to_local = self.writers[to_shard].store(document, record.name)
+        with self._map_lock:
+            self.journal.mark_copied(journal_id, to_local)
+        # 2. Flip: map move + journal advance in ONE catalog
+        #    transaction — the atomic commit point of the whole move.
+        with self._map_lock:
+            with self.catalog_db.transaction():
+                self.shard_map.move(record.doc_id, to_shard, to_local)
+                self.journal.mark_flipped(journal_id)
+        # 3. Drop the source copy.  A crash here leaves "flipped" —
+        #    recovery just repeats this step.
+        self.writers[from_shard].delete(from_local)
+        with self._map_lock:
+            self.journal.finish(journal_id)
+        self._post_write(from_shard)
+        self._post_write(to_shard)
+
+    def rebalance_shard(
+        self, from_shard: int, to_shard: int, count: int | None = None
+    ) -> list[int]:
+        """Move up to *count* documents (default: enough to even the
+        pair) from one shard to another; returns the moved doc ids."""
+        counts = self.shard_counts()
+        if count is None:
+            count = max(0, (counts[from_shard] - counts[to_shard]) // 2)
+        moved = []
+        for global_doc, _ in sorted(
+            self.shard_map.docs_for_shard(from_shard)
+        )[:count]:
+            self.rebalance(global_doc, to_shard)
+            moved.append(global_doc)
+        return moved
+
+    # -- crash recovery -----------------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Repair whatever a crash left behind.
+
+        Journal rows roll back (``copying``) or forward (``copied`` /
+        ``flipped``); orphaned shard documents (committed rows no map
+        entry references — interrupted stores, deletes, or rolled-back
+        moves) are swept; stale replica-ship temporaries are removed.
+        Runs automatically at :meth:`open`; callable any time the store
+        is quiesced.
+        """
+        for lock in self._shard_locks:
+            lock.acquire()
+        try:
+            return self._recover_locked()
+        finally:
+            for lock in reversed(self._shard_locks):
+                lock.release()
+
+    def _recover_locked(self) -> RecoveryReport:
+        rolled_back: list[int] = []
+        rolled_forward: list[int] = []
+        cleaned_up: list[int] = []
+        touched: set[int] = set()
+        with self._map_lock:
+            entries = self.journal.pending()
+        for entry in entries:
+            if entry.state == "copying":
+                # The map never learned of the copy; drop the journal
+                # row and let the orphan sweep collect any committed
+                # destination rows.
+                with self._map_lock:
+                    self.journal.finish(entry.journal_id)
+                rolled_back.append(entry.doc_id)
+                touched.add(entry.to_shard)
+            elif entry.state == "copied":
+                # The destination copy committed and is journaled —
+                # finish the move: flip, drop the source.
+                with self._map_lock:
+                    with self.catalog_db.transaction():
+                        self.shard_map.move(
+                            entry.doc_id, entry.to_shard, entry.to_local
+                        )
+                        self.journal.mark_flipped(entry.journal_id)
+                self._drop_source_copy(entry)
+                with self._map_lock:
+                    self.journal.finish(entry.journal_id)
+                rolled_forward.append(entry.doc_id)
+                touched.update((entry.from_shard, entry.to_shard))
+            elif entry.state == "flipped":
+                # The map already points at the destination; only the
+                # source copy may remain.
+                self._drop_source_copy(entry)
+                with self._map_lock:
+                    self.journal.finish(entry.journal_id)
+                cleaned_up.append(entry.doc_id)
+                touched.add(entry.from_shard)
+        orphans: list[tuple[int, int]] = []
+        for shard, writer in enumerate(self.writers):
+            mapped = {
+                local
+                for _, local in self.shard_map.docs_for_shard(shard)
+            }
+            for record in writer.documents():
+                if record.doc_id not in mapped:
+                    writer.delete(record.doc_id)
+                    orphans.append((shard, record.doc_id))
+                    touched.add(shard)
+        tmp_removed = sum(
+            replica_set.sweep_tmp()
+            for replica_set in self.replica_sets.values()
+        )
+        for shard in sorted(touched):
+            self._post_write(shard)
+        report = RecoveryReport(
+            rolled_back=tuple(rolled_back),
+            rolled_forward=tuple(rolled_forward),
+            cleaned_up=tuple(cleaned_up),
+            orphans_removed=tuple(orphans),
+            tmp_files_removed=tmp_removed,
+        )
+        if report.acted:
+            self.metrics.counter("serve.recoveries").inc()
+        return report
+
+    def _drop_source_copy(self, entry) -> None:
+        try:
+            self.writers[entry.from_shard].delete(entry.from_local)
+        except DocumentNotFoundError:
+            pass  # the crash interrupted us after this very step
+
+    # -- replicas -----------------------------------------------------------------
+
+    def ship_replicas(self, shard: int | None = None) -> dict[int, list[int]]:
+        """Snapshot-ship each shard's primary to its replicas.
+
+        Holds the shard's writer lock for the duration, so the shipped
+        write sequence is exact; reads keep flowing.  Returns the
+        shipped replica indices per shard.  A crash mid-ship leaves the
+        previous replica files intact plus at worst one stale temporary
+        (swept by :meth:`recover`).
+        """
+        if shard is not None and shard not in self.replica_sets:
+            raise StorageError(f"shard {shard} has no replicas configured")
+        targets = (
+            [shard] if shard is not None else sorted(self.replica_sets)
+        )
+        shipped: dict[int, list[int]] = {}
+        for target in targets:
+            replica_set = self.replica_sets[target]
+            with self._shard_locks[target]:
+                seq = self.shard_state.write_seq(target)
+                indices: list[int] = []
+                try:
+                    for replica in range(replica_set.count):
+                        replica_set.ship_one(
+                            self.writers[target].db, replica
+                        )
+                        with self._map_lock:
+                            self.shard_state.record_ship(
+                                target, replica, seq
+                            )
+                        indices.append(replica)
+                finally:
+                    pools = replica_set.shipped_pools()
+                    if pools:
+                        self.executor.replica_pools[target] = pools
+            shipped[target] = indices
+        return shipped
+
+    def replica_staleness(self) -> dict[int, dict[int, tuple[int, float]]]:
+        """Per shard, per replica: ``(lag_writes, age_seconds)`` of the
+        last shipped snapshot (replicas never shipped are absent)."""
+        out: dict[int, dict[int, tuple[int, float]]] = {}
+        for shard, replica_set in self.replica_sets.items():
+            per: dict[int, tuple[int, float]] = {}
+            for replica in range(replica_set.count):
+                staleness = self.shard_state.staleness(shard, replica)
+                if staleness is not None:
+                    per[replica] = staleness
+            out[shard] = per
+        return out
 
     # -- catalog ------------------------------------------------------------------
 
@@ -303,10 +742,94 @@ class ShardedStore:
     def shard_count(self) -> int:
         return len(self.writers)
 
+    # -- integrity ----------------------------------------------------------------
+
+    def verify(self, doc_id: int) -> IntegrityReport:
+        """Run the per-scheme integrity audit on one document, over a
+        pooled read connection of its shard.  The report carries the
+        *global* doc id and the shard it ran on."""
+        record = self.shard_map.resolve(doc_id)
+        report = self.executor.run_on_shard(
+            record.shard,
+            lambda session: session.scheme.verify_document(
+                record.local_doc_id
+            ),
+        )
+        report.doc_id = doc_id
+        report.shard = record.shard
+        return report
+
+    def verify_all(self) -> dict[int, list[IntegrityReport]]:
+        """Audit every document of every shard, plus one placement
+        report per shard (orphans, dangling map entries, leftover
+        journal rows).  Returns reports grouped by shard."""
+        results: dict[int, list[IntegrityReport]] = {}
+        for shard in range(len(self.writers)):
+            reports = [
+                self.verify(global_doc)
+                for global_doc, _ in sorted(
+                    self.shard_map.docs_for_shard(shard)
+                )
+            ]
+            reports.append(self._verify_placement(shard))
+            results[shard] = reports
+        return results
+
+    def verify_ok(self) -> bool:
+        """True when every report of :meth:`verify_all` is clean."""
+        return all(
+            report.ok
+            for reports in self.verify_all().values()
+            for report in reports
+        )
+
+    def _verify_placement(self, shard: int) -> IntegrityReport:
+        """Cross-check one shard's local catalog against the shard map
+        and the rebalance journal."""
+        report = IntegrityReport(
+            doc_id=-1, scheme=self.scheme_name, shard=shard
+        )
+        mapped = {
+            local for _, local in self.shard_map.docs_for_shard(shard)
+        }
+        stored = {
+            record.doc_id for record in self.writers[shard].documents()
+        }
+        report.ran("placement.no-orphans")
+        for local in sorted(stored - mapped):
+            report.add(
+                "placement.no-orphans",
+                f"shard {shard} stores local doc {local} that no shard-map "
+                f"entry references",
+            )
+        report.ran("placement.no-dangling")
+        for local in sorted(mapped - stored):
+            report.add(
+                "placement.no-dangling",
+                f"shard map references local doc {local} missing from "
+                f"shard {shard}",
+            )
+        report.ran("placement.journal-empty")
+        with self._map_lock:
+            entries = self.journal.pending()
+        for entry in entries:
+            if shard in (entry.from_shard, entry.to_shard):
+                report.add(
+                    "placement.journal-empty",
+                    f"unfinished rebalance of doc {entry.doc_id} "
+                    f"({entry.from_shard}→{entry.to_shard}, "
+                    f"state {entry.state!r}); run recover()",
+                )
+        return report
+
     # -- querying -----------------------------------------------------------------
 
     def query_pres(
-        self, doc_id: int, xpath: str, deadline: float | None = None
+        self,
+        doc_id: int,
+        xpath: str,
+        deadline: float | None = None,
+        read_from: str | None = None,
     ) -> list[int]:
         """Matching node ids of one document — pruned to its shard,
         executed on a pooled read connection."""
@@ -315,6 +838,7 @@ class ShardedStore:
             xpath,
             {record.shard: [(doc_id, record.local_doc_id)]},
             deadline=deadline,
+            read_from=read_from,
         )
         return result.pres
 
@@ -342,7 +866,10 @@ class ShardedStore:
         ]
 
     def query_all(
-        self, xpath: str, deadline: float | None = None
+        self,
+        xpath: str,
+        deadline: float | None = None,
+        read_from: str | None = None,
     ) -> ScatterResult:
         """Scatter *xpath* to every shard; gather ``(doc_id, pre)``
         rows merged in (document, document-order).  Every shard is
@@ -352,7 +879,41 @@ class ShardedStore:
             shard: self.shard_map.docs_for_shard(shard)
             for shard in self.pools
         }
-        return self.executor.query(xpath, targets, deadline=deadline)
+        return self.executor.query(
+            xpath, targets, deadline=deadline, read_from=read_from
+        )
+
+    def query_report(
+        self,
+        doc_id: int,
+        xpath: str,
+        read_from: str | None = None,
+    ) -> QueryReport:
+        """The full per-query cost record for one doc-scoped query,
+        annotated with where it was served from and — when a replica
+        answered — the staleness bound of that answer."""
+        record = self.shard_map.resolve(doc_id)
+        route = (
+            self.executor.read_from if read_from is None else read_from
+        )
+        report, replica = self.executor.run_on_shard_routed(
+            record.shard,
+            lambda session: build_query_report(
+                session.db, session.scheme, record.local_doc_id, xpath
+            ),
+            read_from=route,
+        )
+        lag = age = None
+        if replica is not None:
+            staleness = self.shard_state.staleness(record.shard, replica)
+            if staleness is not None:
+                lag, age = staleness
+        return replace(
+            report,
+            read_from="replica" if replica is not None else "primary",
+            replica_lag_writes=lag,
+            replica_age_seconds=age,
+        )
 
     def reconstruct(self, doc_id: int) -> Document:
         """Rebuild one document from its shard."""
@@ -373,6 +934,8 @@ class ShardedStore:
         self.executor.close()
         for pool in self.pools.values():
             pool.close()
+        for replica_set in self.replica_sets.values():
+            replica_set.close()
         for writer in self.writers:
             writer.close()
         self.catalog_db.close()

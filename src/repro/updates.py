@@ -43,6 +43,19 @@ from repro.storage.numbering import (
 from repro.xml.dom import Document, Element, NodeKind
 
 
+#: Scheme classes with a subtree insert/delete implementation; the rest
+#: raise :class:`~repro.errors.UpdateError` (see the module docstring
+#: for why).
+UPDATABLE_SCHEMES = (BinaryScheme, EdgeScheme, IntervalScheme, DeweyScheme)
+
+
+def supports_updates(scheme: MappingScheme) -> bool:
+    """True when *scheme* implements subtree insert/delete — callers
+    (e.g. the sharded store's write routing) check this up front
+    instead of duplicating the class list."""
+    return isinstance(scheme, UPDATABLE_SCHEMES)
+
+
 @dataclass(frozen=True)
 class UpdateStats:
     """Cost accounting of one update."""
@@ -66,9 +79,7 @@ def insert_subtree(
     """Insert *fragment* as child number *index* (0-based, counted among
     the parent's non-attribute children) of node *parent_pre*."""
     scheme.catalog.get(doc_id)
-    if not isinstance(
-        scheme, (BinaryScheme, EdgeScheme, IntervalScheme, DeweyScheme)
-    ):
+    if not supports_updates(scheme):
         raise UpdateError(
             f"scheme '{scheme.name}' does not implement updates"
         )
@@ -111,6 +122,10 @@ def delete_subtree(
 ) -> UpdateStats:
     """Delete the subtree rooted at node *pre*."""
     scheme.catalog.get(doc_id)
+    if not supports_updates(scheme):
+        raise UpdateError(
+            f"scheme '{scheme.name}' does not implement updates"
+        )
     parent_pre = _parent_of(scheme, doc_id, pre)
     # Same atomicity contract as insert_subtree: rows, cached content
     # and catalog count move together or not at all.
