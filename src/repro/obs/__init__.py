@@ -9,7 +9,17 @@ The package instruments the whole store/translate/execute pipeline:
 * exporters — human-readable span tree, JSON Lines, Chrome trace
   (:mod:`repro.obs.export`),
 * :class:`QueryReport` / :class:`Explanation` — per-query cost records
-  (:mod:`repro.obs.report`).
+  (:mod:`repro.obs.report`),
+* :class:`WindowRing` — O(1)-memory sliding-window aggregation behind
+  ``Histogram.window()`` / ``Counter.rate()`` (:mod:`repro.obs.window`),
+* :class:`RequestContext` — cross-thread trace propagation
+  (``tracer.capture()`` / ``tracer.adopt()``; :mod:`repro.obs.trace`),
+* :class:`RequestLog` — bounded non-blocking wide-event sink
+  (:mod:`repro.obs.events`),
+* :class:`OpsServer` / :func:`to_prometheus` / :func:`parse_prometheus`
+  — the live ``/metrics`` + ``/snapshot`` + ``/healthz`` endpoint
+  (:mod:`repro.obs.ops`), with ``python -m repro.obs.top`` as the
+  matching terminal dashboard.
 
 Quickstart::
 
@@ -24,6 +34,7 @@ Quickstart::
     print(tracer.metrics.snapshot_json(indent=2))
 """
 
+from repro.obs.events import RequestLog
 from repro.obs.export import (
     format_span_tree,
     to_chrome_trace,
@@ -38,8 +49,10 @@ from repro.obs.metrics import (
     MetricsRegistry,
     load_snapshot,
 )
+from repro.obs.ops import OpsServer, parse_prometheus, to_prometheus
 from repro.obs.report import Explanation, QueryReport
-from repro.obs.trace import NULL_TRACER, Span, Tracer
+from repro.obs.trace import NULL_TRACER, RequestContext, Span, Tracer
+from repro.obs.window import WindowRing
 
 __all__ = [
     "Counter",
@@ -48,13 +61,19 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
+    "OpsServer",
     "QueryReport",
+    "RequestContext",
+    "RequestLog",
     "Span",
     "Tracer",
+    "WindowRing",
     "format_span_tree",
     "load_snapshot",
+    "parse_prometheus",
     "to_chrome_trace",
     "to_jsonl",
+    "to_prometheus",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -57,6 +57,7 @@ def span_to_dict(tracer: Tracer, span: Span) -> dict:
         "span_id": span.span_id,
         "parent_id": span.parent_id,
         "depth": span.depth,
+        "thread_id": span.thread_id,
         "start": round(tracer.relative(span.start), 9),
         "duration": round(span.duration, 9),
         "attributes": span.attributes,
@@ -89,9 +90,21 @@ def to_chrome_trace(tracer: Tracer) -> dict:
 
     Load the serialized form in ``chrome://tracing`` or
     https://ui.perfetto.dev to see the pipeline phases on a timeline.
+    Each OS thread that produced spans gets its own stable track
+    (``tid`` assigned in first-appearance order), so a scatter-gather
+    request renders as parallel per-shard lanes; span/parent ids ride
+    along in ``args`` to keep the tree reconstructable from the export.
     """
     events = []
+    # Map raw threading.get_ident() values (large, non-deterministic)
+    # to small stable tids in first-appearance order over `finished`.
+    tids: dict[int, int] = {}
     for span in tracer.finished:
+        tid = tids.setdefault(span.thread_id, len(tids) + 1)
+        args = {str(k): str(v) for k, v in span.attributes.items()}
+        args["span_id"] = str(span.span_id)
+        if span.parent_id is not None:
+            args["parent_id"] = str(span.parent_id)
         events.append(
             {
                 "name": span.name,
@@ -99,10 +112,8 @@ def to_chrome_trace(tracer: Tracer) -> dict:
                 "ts": tracer.relative(span.start) * 1e6,
                 "dur": span.duration * 1e6,
                 "pid": 1,
-                "tid": 1,
-                "args": {
-                    str(k): str(v) for k, v in span.attributes.items()
-                },
+                "tid": tid,
+                "args": args,
             }
         )
     for event in tracer.events:

@@ -15,6 +15,14 @@ A :class:`MetricsRegistry` is a flat namespace of named instruments:
 ``snapshot_json()``/``load_snapshot`` round-trip through JSON so a
 benchmark run can persist its metrics next to the trace.
 
+Counters and histograms additionally feed an O(1)-memory
+:class:`~repro.obs.window.WindowRing`, so every instrument answers both
+"how many ever" (lifetime) and "how many *lately*" —
+``Counter.rate(60)`` is events/sec over the last minute,
+``Histogram.window(60)`` is windowed count/qps/p50/p90/p99, and
+``MetricsRegistry.windows_snapshot(60)`` renders the whole namespace's
+recent behaviour for the ops endpoint.
+
 The registry is thread-safe: instrument creation is guarded by a
 registry lock and each instrument serializes its own updates, so the
 serving layer's pool/executor threads can hammer one shared registry
@@ -28,20 +36,47 @@ import json
 import threading
 from dataclasses import dataclass, field
 
+from repro.obs.window import WindowRing
+
+
+def _rate_ring() -> WindowRing:
+    return WindowRing(bins=False)
+
+
+def _value_ring() -> WindowRing:
+    return WindowRing(bins=True)
+
 
 @dataclass
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total (with a windowed rate)."""
 
     name: str
     value: int = 0
+    window_ring: WindowRing = field(
+        default_factory=_rate_ring, repr=False, compare=False
+    )
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
 
+    def __post_init__(self) -> None:
+        # Share the ring's lock: one acquisition per inc() covers both
+        # the lifetime total and the windowed rate (hot-path cost).
+        self._lock = self.window_ring._lock
+
     def inc(self, amount: int = 1) -> None:
         with self._lock:
             self.value += amount
+            self.window_ring._add_locked(amount)
+
+    def window_count(self, seconds: float = 60.0) -> int:
+        """Increments observed over the last *seconds*."""
+        return self.window_ring.count(seconds)
+
+    def rate(self, seconds: float = 60.0) -> float:
+        """Increments per second over the last *seconds*."""
+        return self.window_ring.rate(seconds)
 
 
 @dataclass
@@ -82,7 +117,8 @@ MAX_OBSERVATIONS = 65536
 
 @dataclass
 class Histogram:
-    """A distribution with exact percentiles over retained samples."""
+    """A distribution with exact percentiles over retained samples,
+    plus a sliding window of recent behaviour (:meth:`window`)."""
 
     name: str
     count: int = 0
@@ -90,9 +126,16 @@ class Histogram:
     min: float | None = None
     max: float | None = None
     observations: list[float] = field(default_factory=list)
+    window_ring: WindowRing = field(
+        default_factory=_value_ring, repr=False, compare=False
+    )
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+
+    def __post_init__(self) -> None:
+        # As with Counter: one lock acquisition per observation.
+        self._lock = self.window_ring._lock
 
     def observe(self, value: float) -> None:
         with self._lock:
@@ -104,6 +147,12 @@ class Histogram:
                 self.max = value
             if len(self.observations) < MAX_OBSERVATIONS:
                 self.observations.append(value)
+            self.window_ring._observe_locked(value)
+
+    def window(self, seconds: float = 60.0) -> dict:
+        """Windowed count/qps/mean/min/max/p50/p90/p99 over the last
+        *seconds* (log-binned estimates; see :mod:`repro.obs.window`)."""
+        return self.window_ring.summary(seconds)
 
     def percentile(self, p: float) -> float | None:
         """The *p*-th percentile (nearest-rank) of retained samples."""
@@ -170,6 +219,15 @@ class MetricsRegistry:
         counter = self._counters.get(name)
         return counter.value if counter else 0
 
+    def counter_window_count(
+        self, name: str, seconds: float = 60.0
+    ) -> int:
+        """Windowed count of counter *name* — 0 when the counter was
+        never touched, *without* creating it (readers like health
+        checks must not add instruments to the registry)."""
+        counter = self._counters.get(name)
+        return counter.window_count(seconds) if counter else 0
+
     def is_empty(self) -> bool:
         """True when no instrument was ever touched."""
         return not (self._counters or self._gauges or self._histograms)
@@ -215,6 +273,44 @@ class MetricsRegistry:
             },
             "histograms": {
                 name: histograms[name].summary()
+                for name in sorted(histograms)
+            },
+        }
+
+    def windows_snapshot(
+        self, seconds: float = 60.0, prefix: str | None = None
+    ) -> dict:
+        """Recent behaviour of every instrument: windowed summaries for
+        histograms, windowed count + rate for counters.
+
+        Unlike :meth:`snapshot` this is time-dependent (it reads the
+        sliding windows), so it is reported separately — snapshots stay
+        reproducible and JSON-round-trippable, windows answer "what is
+        the system doing *now*" for ``/metrics`` and ``/snapshot``.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        if prefix is not None:
+            counters = {
+                name: counter for name, counter in counters.items()
+                if name.startswith(prefix)
+            }
+            histograms = {
+                name: histogram for name, histogram in histograms.items()
+                if name.startswith(prefix)
+            }
+        return {
+            "window_seconds": seconds,
+            "counters": {
+                name: {
+                    "count": counters[name].window_count(seconds),
+                    "rate": counters[name].rate(seconds),
+                }
+                for name in sorted(counters)
+            },
+            "histograms": {
+                name: histograms[name].window(seconds)
                 for name in sorted(histograms)
             },
         }

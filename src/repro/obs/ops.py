@@ -1,0 +1,339 @@
+"""Live ops surface: Prometheus text exposition + an embedded endpoint.
+
+:func:`to_prometheus` renders a :class:`~repro.obs.metrics.MetricsRegistry`
+as Prometheus text exposition format 0.0.4 — counters as ``_total``,
+gauges as-is, histograms as summaries (``{quantile="0.5"}`` series plus
+``_sum``/``_count``), and each instrument's *sliding window* as a
+separate ``_window`` family labelled ``window="60s"`` so dashboards can
+plot "p99 over the last minute" next to the lifetime p99.
+
+:func:`parse_prometheus` is the matching validator: a strict-enough
+parser of the exposition format used by the tests and the CI smoke job
+to assert the endpoint serves well-formed output (no scrape stack in
+this zero-dependency repo, so we check our own homework).
+
+:class:`OpsServer` mounts three read-only endpoints on a daemon
+``ThreadingHTTPServer``:
+
+* ``GET /metrics``  — Prometheus text (``text/plain; version=0.0.4``),
+* ``GET /snapshot`` — one JSON document: lifetime snapshot, windowed
+  snapshot, health, and the recent wide-event tail,
+* ``GET /healthz``  — liveness JSON; HTTP 200 when ``status == "ok"``,
+  503 otherwise, so a load balancer can act on the status code alone.
+
+The server binds 127.0.0.1 on an ephemeral port by default and runs
+entirely on stdlib ``http.server`` — no dependency, no framework.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import re
+import threading
+import time
+
+from repro.obs.events import RequestLog
+from repro.obs.metrics import MetricsRegistry
+
+#: Prefix for every exported metric family.
+PROM_PREFIX = "xmlrel_"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Quantiles exported for histogram summaries (lifetime and windowed).
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def _prom_name(name: str) -> str:
+    """A registry instrument name as a valid Prometheus metric name."""
+    return PROM_PREFIX + _NAME_RE.sub("_", name)
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    return repr(float(value))
+
+
+def to_prometheus(
+    registry: MetricsRegistry,
+    windows: tuple[float, ...] = (60.0,),
+    extra: dict | None = None,
+) -> str:
+    """Render *registry* in Prometheus text exposition format 0.0.4.
+
+    *windows* lists the sliding-window widths (seconds) to export next
+    to the lifetime series; *extra* adds flat ``name -> value`` gauges
+    (e.g. health facts) without registering instruments.
+    """
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+
+    for name, value in snapshot["counters"].items():
+        metric = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(value)}")
+
+    for name, gauge in snapshot["gauges"].items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(gauge['value'])}")
+        lines.append(
+            f"{metric}_high_water {_prom_value(gauge['high_water'])}"
+        )
+
+    for name, summary in snapshot["histograms"].items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in _QUANTILES:
+            lines.append(
+                f'{metric}{{quantile="{quantile}"}} '
+                f"{_prom_value(summary.get(key))}"
+            )
+        lines.append(f"{metric}_sum {_prom_value(summary['total'])}")
+        lines.append(f"{metric}_count {_prom_value(summary['count'])}")
+
+    for seconds in windows:
+        windowed = registry.windows_snapshot(seconds)
+        label = f'window="{seconds:g}s"'
+        for name, data in windowed["counters"].items():
+            metric = _prom_name(name) + "_window"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(
+                f'{metric}_count{{{label}}} {_prom_value(data["count"])}'
+            )
+            lines.append(
+                f'{metric}_rate{{{label}}} {_prom_value(data["rate"])}'
+            )
+        for name, summary in windowed["histograms"].items():
+            metric = _prom_name(name) + "_window"
+            lines.append(f"# TYPE {metric} gauge")
+            for quantile, key in _QUANTILES:
+                lines.append(
+                    f'{metric}{{{label},quantile="{quantile}"}} '
+                    f"{_prom_value(summary.get(key))}"
+                )
+            lines.append(
+                f'{metric}_count{{{label}}} {_prom_value(summary["count"])}'
+            )
+            lines.append(
+                f'{metric}_qps{{{label}}} {_prom_value(summary["qps"])}'
+            )
+
+    if extra:
+        for name, value in extra.items():
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_prom_value(value)}")
+
+    return "\n".join(lines) + "\n"
+
+
+#: ``metric_name{labels} value`` — the sample shape we emit and accept.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+
+_LABEL_RE = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"$'
+)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition-format *text*; raises ``ValueError`` on malformed
+    lines.
+
+    Returns ``{"samples": [{"name", "labels", "value"}...],
+    "types": {family: type}}``.  Used by the tests and the CI ops-smoke
+    job to assert ``/metrics`` output is well-formed.
+    """
+    samples: list[dict] = []
+    types: dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE: {raw!r}")
+            if parts[3] not in (
+                "counter", "gauge", "summary", "histogram", "untyped"
+            ):
+                raise ValueError(
+                    f"line {lineno}: unknown metric type {parts[3]!r}"
+                )
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP or comment
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample: {raw!r}")
+        labels: dict[str, str] = {}
+        body = match.group("labels")
+        if body:
+            for pair in body.split(","):
+                pair = pair.strip()
+                label = _LABEL_RE.match(pair)
+                if not label:
+                    raise ValueError(
+                        f"line {lineno}: malformed label {pair!r}"
+                    )
+                labels[label.group("key")] = label.group("value")
+        value_text = match.group("value")
+        if value_text == "NaN":
+            value = float("nan")
+        else:
+            try:
+                value = float(value_text)
+            except ValueError as exc:
+                raise ValueError(
+                    f"line {lineno}: malformed value {value_text!r}"
+                ) from exc
+        samples.append(
+            {"name": match.group("name"), "labels": labels, "value": value}
+        )
+    return {"samples": samples, "types": types}
+
+
+class OpsServer:
+    """An embedded HTTP ops endpoint over a registry (+ optional health,
+    snapshot extras, and request-log tail).
+
+    :param metrics: the registry behind ``/metrics`` and ``/snapshot``.
+    :param health_fn: zero-arg callable returning a JSON-able dict with
+        at least ``{"status": "ok" | ...}``; absent → always ok.
+    :param snapshot_fn: zero-arg callable returning extra JSON-able
+        state merged into ``/snapshot`` under ``"server"``.
+    :param request_log: recent wide events served in ``/snapshot``.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        health_fn=None,
+        snapshot_fn=None,
+        request_log: RequestLog | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        windows: tuple[float, ...] = (60.0,),
+        tail_events: int = 50,
+    ) -> None:
+        self.metrics = metrics
+        self.health_fn = health_fn
+        self.snapshot_fn = snapshot_fn
+        self.request_log = request_log
+        self.windows = windows
+        self.tail_events = tail_events
+        ops = self
+
+        class _Handler(http.server.BaseHTTPRequestHandler):
+            # The ops endpoint must not spam the serving process's
+            # stderr on every scrape.
+            def log_message(self, fmt, *args):  # noqa: ARG002
+                return
+
+            def do_GET(self):  # noqa: N802 (http.server API)
+                try:
+                    ops._route(self)
+                except BrokenPipeError:
+                    pass
+
+        self._server = http.server.ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="ops-endpoint",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- request handling -----------------------------------------------------------
+
+    def _route(self, handler: http.server.BaseHTTPRequestHandler) -> None:
+        path = handler.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = to_prometheus(self.metrics, windows=self.windows).encode()
+            self._reply(
+                handler, 200, body, "text/plain; version=0.0.4; charset=utf-8"
+            )
+        elif path == "/snapshot":
+            body = json.dumps(self.snapshot(), default=str).encode()
+            self._reply(handler, 200, body, "application/json")
+        elif path == "/healthz":
+            health = self.health()
+            status = 200 if health.get("status") == "ok" else 503
+            body = json.dumps(health, default=str).encode()
+            self._reply(handler, status, body, "application/json")
+        else:
+            self._reply(handler, 404, b'{"error": "not found"}',
+                        "application/json")
+
+    @staticmethod
+    def _reply(handler, status: int, body: bytes, content_type: str) -> None:
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)
+
+    # -- documents ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        if self.health_fn is None:
+            return {"status": "ok"}
+        try:
+            return self.health_fn()
+        except Exception as exc:  # health must never take the endpoint down
+            return {"status": "error", "error": f"{type(exc).__name__}: {exc}"}
+
+    def snapshot(self) -> dict:
+        document = {
+            "generated_at": time.time(),
+            "health": self.health(),
+            "metrics": self.metrics.snapshot(),
+            "windows": {
+                f"{seconds:g}s": self.metrics.windows_snapshot(seconds)
+                for seconds in self.windows
+            },
+        }
+        if self.request_log is not None:
+            document["requests"] = {
+                "stats": self.request_log.stats(),
+                "tail": self.request_log.tail(self.tail_events),
+            }
+        if self.snapshot_fn is not None:
+            try:
+                document["server"] = self.snapshot_fn()
+            except Exception as exc:
+                document["server"] = {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }
+        return document
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._server.server_close()
+
+    def __enter__(self) -> "OpsServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

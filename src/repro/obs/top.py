@@ -1,0 +1,193 @@
+"""``repro.obs.top`` — a live per-shard view of a serving store.
+
+Polls an :class:`~repro.obs.ops.OpsServer`'s ``/snapshot`` endpoint and
+renders a ``top``-style table: per-shard qps / windowed p50 / p99 /
+pool occupancy / replica lag, plus request outcomes and health, updated
+in place.
+
+Run it against a store started with ``ShardedStore.serve_ops()``::
+
+    python -m repro.obs.top --url http://127.0.0.1:9641
+
+``--plain`` (or a non-tty stdout) prints one frame per poll instead of
+using curses; ``--iterations N`` stops after N polls (CI/smoke use).
+The rendering is a pure function (:func:`render_snapshot`) so tests can
+exercise it without a terminal or a server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import time
+import urllib.request
+
+_SHARD_RE = re.compile(r"^serve\.shard(\d+)\.query_seconds$")
+_POOL_RE = re.compile(r"^pool\.(shard\d+)\.in_use$")
+
+
+def fetch_snapshot(url: str, timeout: float = 5.0) -> dict:
+    """GET ``<url>/snapshot`` and parse the JSON document."""
+    target = url.rstrip("/") + "/snapshot"
+    with urllib.request.urlopen(target, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _ms(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value * 1000:.2f}"
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Render one ``/snapshot`` document as a fixed-width text frame."""
+    health = snapshot.get("health", {})
+    windows = snapshot.get("windows", {})
+    window_key = next(iter(windows), None)
+    windowed = windows.get(window_key, {}) if window_key else {}
+    win_hist = windowed.get("histograms", {})
+    win_counters = windowed.get("counters", {})
+    metrics = snapshot.get("metrics", {})
+    gauges = metrics.get("gauges", {})
+
+    lines = [
+        f"xmlrel ops — status={health.get('status', '?')}"
+        f"  window={window_key or '-'}"
+        f"  in_flight="
+        f"{gauges.get('serve.in_flight', {}).get('value', 0):g}",
+        "",
+        f"{'shard':>6} {'qps':>8} {'p50 ms':>9} {'p99 ms':>9} "
+        f"{'pool in_use':>12} {'repl lag':>9} {'state':>8}",
+    ]
+
+    shard_health = {
+        str(entry.get("shard")): entry
+        for entry in health.get("shards", [])
+    }
+    shards: dict[str, dict] = {}
+    for name, summary in win_hist.items():
+        match = _SHARD_RE.match(name)
+        if match:
+            shards[match.group(1)] = summary
+    for entry in health.get("shards", []):
+        shards.setdefault(str(entry.get("shard")), {})
+
+    for shard in sorted(shards, key=lambda s: int(s) if s.isdigit() else 0):
+        summary = shards[shard]
+        entry = shard_health.get(shard, {})
+        in_use = gauges.get(f"pool.shard{shard}.in_use", {}).get("value", 0)
+        pool_size = entry.get("pool", {}).get("size")
+        pool_text = (
+            f"{in_use:g}/{pool_size}" if pool_size is not None
+            else f"{in_use:g}"
+        )
+        lag = entry.get("max_replica_lag_writes")
+        lines.append(
+            f"{shard:>6} "
+            f"{summary.get('qps', 0) or 0:>8.1f} "
+            f"{_ms(summary.get('p50')):>9} "
+            f"{_ms(summary.get('p99')):>9} "
+            f"{pool_text:>12} "
+            f"{('-' if lag is None else str(lag)):>9} "
+            f"{entry.get('status', '?'):>8}"
+        )
+
+    outcome_counts = {
+        name.rsplit(".", 1)[-1]: data.get("count", 0)
+        for name, data in win_counters.items()
+        if name.startswith("serve.query.outcome.")
+    }
+    if outcome_counts:
+        rendered = "  ".join(
+            f"{outcome}={count}"
+            for outcome, count in sorted(outcome_counts.items())
+        )
+        lines.append("")
+        lines.append(f"outcomes ({window_key}): {rendered}")
+
+    requests = snapshot.get("requests", {}).get("stats")
+    if requests:
+        lines.append(
+            f"request log: emitted={requests.get('emitted', 0)}"
+            f" dropped={requests.get('dropped', 0)}"
+        )
+    return "\n".join(lines)
+
+
+def _plain_loop(url: str, interval: float, iterations: int | None) -> int:
+    count = 0
+    while iterations is None or count < iterations:
+        try:
+            frame = render_snapshot(fetch_snapshot(url))
+        except OSError as exc:
+            frame = f"xmlrel ops — unreachable: {exc}"
+        print(frame)
+        print("-" * 72)
+        sys.stdout.flush()
+        count += 1
+        if iterations is not None and count >= iterations:
+            break
+        time.sleep(interval)
+    return 0
+
+
+def _curses_loop(url: str, interval: float, iterations: int | None) -> int:
+    import curses
+
+    def run(screen) -> None:
+        curses.use_default_colors()
+        screen.nodelay(True)
+        count = 0
+        while iterations is None or count < iterations:
+            try:
+                frame = render_snapshot(fetch_snapshot(url))
+            except OSError as exc:
+                frame = f"xmlrel ops — unreachable: {exc}"
+            screen.erase()
+            max_y, max_x = screen.getmaxyx()
+            for y, line in enumerate(frame.splitlines()):
+                if y >= max_y - 1:
+                    break
+                screen.addnstr(y, 0, line, max_x - 1)
+            screen.refresh()
+            count += 1
+            if screen.getch() in (ord("q"), 27):
+                return
+            time.sleep(interval)
+
+    curses.wrapper(run)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.top",
+        description="Live per-shard view of a serving xmlrel store.",
+    )
+    parser.add_argument("--url", required=True,
+                        help="ops endpoint base URL (OpsServer.url)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between polls (default 1.0)")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="stop after N frames (default: run until ^C)")
+    parser.add_argument("--plain", action="store_true",
+                        help="print frames instead of a curses screen")
+    options = parser.parse_args(argv)
+
+    use_plain = options.plain or not sys.stdout.isatty()
+    try:
+        if use_plain:
+            return _plain_loop(
+                options.url, options.interval, options.iterations
+            )
+        return _curses_loop(
+            options.url, options.interval, options.iterations
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

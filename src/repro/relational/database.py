@@ -47,6 +47,7 @@ from repro.errors import (
     ReadOnlyDatabaseError,
     StorageError,
     TransientStorageError,
+    XmlRelError,
 )
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.relational.introspect import SchemaCatalog, build_catalog
@@ -89,13 +90,26 @@ _WRITE_KEYWORDS = frozenset(
 )
 
 
+#: Statement-keyword memo.  The serving layer replays a small set of
+#: interned SQL strings (cached plans, schema statements) thousands of
+#: times; ``lstrip()`` copies the whole statement, so the scan is worth
+#: remembering.  Bounded so adversarial statement churn cannot grow it.
+_KEYWORD_CACHE: dict[str, str] = {}
+_KEYWORD_CACHE_MAX = 4096
+
+
 def _statement_keyword(sql: str) -> str:
     """The first keyword of *sql*, uppercased (empty for blank text)."""
-    head = sql.lstrip()
-    end = 0
-    while end < len(head) and (head[end].isalpha() or head[end] == "_"):
-        end += 1
-    return head[:end].upper()
+    keyword = _KEYWORD_CACHE.get(sql)
+    if keyword is None:
+        head = sql.lstrip()
+        end = 0
+        while end < len(head) and (head[end].isalpha() or head[end] == "_"):
+            end += 1
+        keyword = head[:end].upper()
+        if len(_KEYWORD_CACHE) < _KEYWORD_CACHE_MAX:
+            _KEYWORD_CACHE[sql] = keyword
+    return keyword
 
 
 def _xpath_num(value) -> float | None:
@@ -258,6 +272,24 @@ class Database:
     def _raw_executemany(self, sql: str, rows) -> None:
         self._conn.executemany(sql, rows)
 
+    def ping(self) -> bool:
+        """Liveness probe: does the connection still answer ``SELECT 1``?
+
+        Deliberately outside tracing, retries, and statement metrics —
+        connection pools run this on every acquire, and a probe that
+        emitted a ``sql.statement`` span per checkout would bury real
+        query spans under health-check noise (and pay tracing overhead
+        on the hottest path in the serving layer).  It still goes
+        through :meth:`_raw_execute` so fault injection sees it.
+        """
+        try:
+            return self._raw_execute("SELECT 1", ()).fetchone() == (1,)
+        except (sqlite3.Error, XmlRelError):
+            # Engine and storage-layer failures mean "not alive";
+            # anything else (e.g. an injected crash) propagates so
+            # callers see the shard's real failure mode.
+            return False
+
     def _convert_error(
         self, error: BaseException, sql: str
     ) -> StorageError:
@@ -310,11 +342,15 @@ class Database:
                 metrics.counter("db.transient_errors").inc()
             span.set(retries=retries, error=str(error))
             tracer.end_span(span)
+            # Failed statements spend real time too — skipping them here
+            # would bias the latency distribution toward successes.
+            metrics.histogram("db.statement_seconds").observe(span.duration)
             raise self._convert_error(error, sql) from error
         except BaseException:
             metrics.counter("db.errors").inc()
             span.set(retries=retries)
             tracer.end_span(span)
+            metrics.histogram("db.statement_seconds").observe(span.duration)
             raise
         tracer.end_span(span)
         span.set(retries=retries)
@@ -325,7 +361,7 @@ class Database:
             metrics.counter("db.rows_written").inc(batch_size)
         elif (
             getattr(result, "rowcount", -1) >= 0
-            and not sql.lstrip()[:6].upper().startswith("SELECT")
+            and _statement_keyword(sql) != "SELECT"
         ):
             span.set(rows=result.rowcount)
         threshold = tracer.slow_query_threshold

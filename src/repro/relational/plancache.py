@@ -81,6 +81,14 @@ class PlanCache:
             self.hits += 1
             return plans
 
+    def peek(self, key: tuple) -> tuple[CachedPlan, ...] | None:
+        """Look up *key* without counting a hit/miss or touching LRU
+        order — for observers (the wide-event log's ``plan_cached``
+        field, lint-verdict reporting) that must not perturb the cache
+        statistics the serving tests assert on."""
+        with self._lock:
+            return self._entries.get(key)
+
     def put(self, key: tuple, plans: tuple[CachedPlan, ...]) -> None:
         with self._lock:
             self._entries[key] = plans

@@ -37,7 +37,7 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.errors import DocumentNotFoundError, StorageError, XmlRelError
+from repro.errors import DocumentNotFoundError, StorageError
 from repro.relational.database import Database
 from repro.relational.schema import Column, INTEGER, REAL, TEXT, Table
 
@@ -103,11 +103,13 @@ REBALANCE_STATES = ("copying", "copied", "flipped")
 
 
 def connection_alive(db: Database) -> bool:
-    """One cheap round trip proving a pooled connection still answers."""
-    try:
-        return db.scalar("SELECT 1") == 1
-    except XmlRelError:
-        return False
+    """One cheap round trip proving a pooled connection still answers.
+
+    Delegates to :meth:`~repro.relational.database.Database.ping` — an
+    untraced, unmetered probe, so per-acquire health checks never bury
+    real query spans under ``SELECT 1`` noise.
+    """
+    return db.ping()
 
 
 def pin_shard_config(

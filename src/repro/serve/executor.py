@@ -63,9 +63,17 @@ from repro.errors import (
     StorageError,
     XmlRelError,
 )
+from repro.obs.events import RequestLog
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import NULL_TRACER, Tracer
+from repro.obs.trace import NULL_TRACER, RequestContext, Tracer
 from repro.serve.pool import ConnectionPool, ReadSession
+
+#: Request outcomes used as the dimension on ``serve.query_seconds.*``
+#: histograms, ``serve.query.outcome.*`` counters, and wide events.
+QUERY_OUTCOMES = (
+    "ok", "partial", "overloaded", "deadline_exceeded", "shard_error",
+    "error",
+)
 
 #: Degraded-mode policies for shard failures during scatter-gather.
 SHARD_ERROR_MODES = ("fail", "partial")
@@ -135,6 +143,7 @@ class QueryExecutor:
         replica_pools: dict[int, list[ConnectionPool]] | None = None,
         read_from: str = "primary",
         shard_state=None,
+        request_log: RequestLog | None = None,
     ) -> None:
         if not pools:
             raise StorageError("executor needs at least one shard pool")
@@ -164,7 +173,15 @@ class QueryExecutor:
         self.default_deadline = default_deadline
         self.on_shard_error = on_shard_error
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Lazy caches for instruments with formatted names — the warm
+        # query path must not rebuild "serve.shardN.query_seconds"
+        # strings on every request.  Lazy (not eager) so an untouched
+        # shard or outcome never materializes an empty instrument.
+        self._shard_seconds: dict = {}
+        self._outcome_instruments: dict = {}
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optional wide-event sink: one structured record per query.
+        self.request_log = request_log
         self._gate = threading.Semaphore(max_in_flight)
         self._threads = ThreadPoolExecutor(
             max_workers=max_workers or max(4, len(self.pools)),
@@ -192,6 +209,25 @@ class QueryExecutor:
             self.metrics.gauge("serve.in_flight").add(-1)
             self._gate.release()
 
+    def _shard_histogram(self, shard: int):
+        """``serve.shard{N}.query_seconds``, resolved once per shard."""
+        histogram = self._shard_seconds.get(shard)
+        if histogram is None:
+            histogram = self._shard_seconds[shard] = self.metrics.histogram(
+                f"serve.shard{shard}.query_seconds"
+            )
+        return histogram
+
+    def _outcome_pair(self, outcome: str):
+        """The ``(histogram, counter)`` pair for one query outcome."""
+        pair = self._outcome_instruments.get(outcome)
+        if pair is None:
+            pair = self._outcome_instruments[outcome] = (
+                self.metrics.histogram(f"serve.query_seconds.{outcome}"),
+                self.metrics.counter(f"serve.query.outcome.{outcome}"),
+            )
+        return pair
+
     # -- per-shard work -----------------------------------------------------------
 
     def _pick_replica(self, shard: int) -> tuple[ConnectionPool, int] | None:
@@ -212,26 +248,110 @@ class QueryExecutor:
         deadline_at: float | None,
         deadline_budget: float | None,
         read_from: str,
+        ctx: RequestContext | None = None,
+        breakdown: dict | None = None,
     ) -> _ShardAnswer:
         """Run *xpath* over every targeted document of one shard.
 
         Routes to a read replica when asked (and one exists), falling
         back to the primary if the replica is down or overloaded.
+
+        *ctx* is the request's trace context (adopted here, so this
+        shard's spans nest under the request root even on a pool
+        thread); *breakdown* — when the wide-event log is on — collects
+        this shard's entry of the per-shard fan-out record (latency,
+        replica choice, plan-cache warmth, lint verdict, outcome).
         """
         if not docs:
             return _ShardAnswer(rows=[])
+        with self.tracer.adopt(ctx):
+            with self.tracer.span(
+                "serve.shard", shard=shard, docs=len(docs)
+            ) as span:
+                return self._query_shard_traced(
+                    shard, docs, xpath, deadline_at, deadline_budget,
+                    read_from, span, breakdown,
+                )
+
+    def _query_shard_traced(
+        self,
+        shard: int,
+        docs: list[tuple[int, int]],
+        xpath: str,
+        deadline_at: float | None,
+        deadline_budget: float | None,
+        read_from: str,
+        span,
+        breakdown: dict | None,
+    ) -> _ShardAnswer:
+        started = time.perf_counter()
+        info: dict | None = None
+        if breakdown is not None:
+            info = {"shard": shard, "docs": len(docs), "read_from": "primary"}
+            breakdown[shard] = info
+        try:
+            answer = self._route_shard_read(
+                shard, docs, xpath, deadline_at, deadline_budget,
+                read_from, info,
+            )
+        except XmlRelError as error:
+            elapsed = time.perf_counter() - started
+            self._shard_histogram(shard).observe(elapsed)
+            if info is not None:
+                info["elapsed_seconds"] = elapsed
+                info["outcome"] = "error"
+                info["error"] = f"{type(error).__name__}: {error}"
+            raise
+        elapsed = time.perf_counter() - started
+        self._shard_histogram(shard).observe(elapsed)
+        if span:
+            span.set(rows=len(answer.rows))
+            if answer.replica is not None:
+                span.set(replica=answer.replica)
+        if info is not None:
+            info["elapsed_seconds"] = elapsed
+            info["outcome"] = "ok"
+            info["rows"] = len(answer.rows)
+            if answer.replica is not None:
+                info["read_from"] = "replica"
+                info["replica"] = answer.replica
+                info["replica_lag_writes"] = answer.lag_writes
+                info["replica_age_seconds"] = answer.age_seconds
+            pool = self.pools[shard]
+            plans = pool.plan_cache.peek(
+                (pool.scheme_name, pool.epoch, xpath)
+            )
+            info["plan_cached"] = plans is not None
+            info["lint"] = self._lint_verdict(pool, plans)
+        return answer
+
+    def _route_shard_read(
+        self,
+        shard: int,
+        docs: list[tuple[int, int]],
+        xpath: str,
+        deadline_at: float | None,
+        deadline_budget: float | None,
+        read_from: str,
+        info: dict | None,
+    ) -> _ShardAnswer:
+        """Replica-or-primary routing (the pre-telemetry body of
+        ``_query_shard``)."""
         picked = (
             self._pick_replica(shard) if read_from == "replica" else None
         )
         if picked is not None:
             pool, replica = picked
             try:
-                rows = self._query_on_pool(
-                    pool, docs, xpath, deadline_at, deadline_budget
-                )
+                with self.tracer.span("serve.replica_read", replica=replica):
+                    rows = self._query_on_pool(
+                        pool, docs, xpath, deadline_at, deadline_budget
+                    )
             except (Overloaded, StorageError):
                 # The replica could not answer; its primary still can.
                 self.metrics.counter("serve.replica_fallbacks").inc()
+                if info is not None:
+                    info["replica_fallback"] = True
             else:
                 self.metrics.counter("serve.replica_reads").inc()
                 lag = age = None
@@ -245,10 +365,27 @@ class QueryExecutor:
                     lag_writes=lag,
                     age_seconds=age,
                 )
-        rows = self._query_on_pool(
-            self.pools[shard], docs, xpath, deadline_at, deadline_budget
-        )
+        with self.tracer.span("serve.execute", shard=shard):
+            rows = self._query_on_pool(
+                self.pools[shard], docs, xpath, deadline_at, deadline_budget
+            )
         return _ShardAnswer(rows=rows)
+
+    @staticmethod
+    def _lint_verdict(pool: ConnectionPool, plans) -> str:
+        """The plan linter's word on this query's cached plans:
+        ``off`` (linting disabled on the pool), ``unknown`` (no cached
+        plan to inspect), ``clean``, ``warn``, or ``error``."""
+        if pool.lint == "off":
+            return "off"
+        if plans is None:
+            return "unknown"
+        diagnostics = [d for plan in plans for d in plan.diagnostics]
+        if any(d.is_error for d in diagnostics):
+            return "error"
+        if diagnostics:
+            return "warn"
+        return "clean"
 
     def _query_on_pool(
         self,
@@ -309,6 +446,13 @@ class QueryExecutor:
         doc-scoped fast lane (no thread handoff), anything else
         scatters across the worker pool.  *read_from* overrides the
         executor default per query (``"primary"`` or ``"replica"``).
+
+        Every exit — success, Overloaded shed, deadline miss, shard
+        failure — lands in ``serve.query_seconds`` (plus the
+        outcome-dimensioned ``serve.query_seconds.<outcome>`` /
+        ``serve.query.outcome.<outcome>`` series) and, when a
+        :class:`~repro.obs.events.RequestLog` is attached, emits one
+        wide event carrying the full per-shard breakdown.
         """
         if self._closed:
             raise StorageError("query executor is closed")
@@ -323,25 +467,131 @@ class QueryExecutor:
             None if budget is None else time.monotonic() + budget
         )
         started = time.perf_counter()
-        with self._admitted():
-            self.metrics.counter("serve.queries").inc()
-            with self.tracer.span(
-                "serve.query", xpath=str(xpath), shards=len(targets)
-            ):
-                if len(targets) <= 1:
-                    self.metrics.counter("serve.doc_scoped_queries").inc()
-                    result = self._run_single(
-                        xpath, targets, deadline_at, budget, started, route
-                    )
-                else:
-                    self.metrics.counter("serve.scatter_queries").inc()
-                    result = self._scatter(
-                        xpath, targets, deadline_at, budget, started, route
-                    )
-        self.metrics.histogram("serve.query_seconds").observe(
-            result.elapsed_seconds
+        breakdown: dict | None = (
+            {} if self.request_log is not None else None
         )
-        return result
+        ctx: RequestContext | None = None
+        result: ScatterResult | None = None
+        outcome = "error"
+        error_text: str | None = None
+        try:
+            with self._admitted():
+                self.metrics.counter("serve.queries").inc()
+                with self.tracer.span(
+                    "serve.query", xpath=str(xpath), shards=len(targets)
+                ) as root:
+                    ctx = self.tracer.capture()
+                    if root:
+                        root.set(request_id=ctx.request_id)
+                    if len(targets) <= 1:
+                        self.metrics.counter(
+                            "serve.doc_scoped_queries"
+                        ).inc()
+                        result = self._run_single(
+                            xpath, targets, deadline_at, budget, started,
+                            route, ctx, breakdown,
+                        )
+                    else:
+                        self.metrics.counter("serve.scatter_queries").inc()
+                        result = self._scatter(
+                            xpath, targets, deadline_at, budget, started,
+                            route, ctx, breakdown,
+                        )
+                    if root:
+                        root.set(rows=len(result.rows))
+            outcome = "partial" if result.partial else "ok"
+            return result
+        except Overloaded as error:
+            outcome, error_text = "overloaded", str(error)
+            raise
+        except DeadlineExceeded as error:
+            outcome, error_text = "deadline_exceeded", str(error)
+            raise
+        except ShardError as error:
+            outcome, error_text = "shard_error", str(error)
+            raise
+        except BaseException as error:
+            error_text = f"{type(error).__name__}: {error}"
+            raise
+        finally:
+            self._finish_query(
+                xpath=xpath,
+                targets=targets,
+                route=route,
+                budget=budget,
+                started=started,
+                outcome=outcome,
+                error_text=error_text,
+                result=result,
+                ctx=ctx,
+                breakdown=breakdown,
+            )
+
+    def _finish_query(
+        self,
+        xpath,
+        targets,
+        route: str,
+        budget: float | None,
+        started: float,
+        outcome: str,
+        error_text: str | None,
+        result: ScatterResult | None,
+        ctx: RequestContext | None,
+        breakdown: dict | None,
+    ) -> None:
+        """Latency + outcome accounting and the wide event, on every
+        exit path of :meth:`query` (success and all raises alike)."""
+        elapsed = (
+            result.elapsed_seconds if result is not None
+            else time.perf_counter() - started
+        )
+        self.metrics.histogram("serve.query_seconds").observe(elapsed)
+        outcome_histogram, outcome_counter = self._outcome_pair(outcome)
+        outcome_histogram.observe(elapsed)
+        outcome_counter.inc()
+        if self.request_log is None:
+            return
+        request_id = (
+            ctx.request_id if ctx is not None
+            else self.tracer.capture().request_id
+        )
+        event = {
+            "event": "query",
+            "request_id": request_id,
+            "ts": time.time(),
+            "xpath": str(xpath),
+            "read_from": route,
+            "shards": len(targets),
+            "docs": sum(len(docs) for docs in targets.values()),
+            "outcome": outcome,
+            "elapsed_seconds": elapsed,
+            "deadline_seconds": budget,
+            "deadline_slack_seconds": (
+                None if budget is None else budget - elapsed
+            ),
+        }
+        if error_text is not None:
+            event["error"] = error_text
+        if result is not None:
+            event["rows"] = len(result.rows)
+            event["partial"] = result.partial
+            if result.failed_shards:
+                event["failed_shards"] = list(result.failed_shards)
+            event["replica_reads"] = result.replica_reads
+            if result.max_replica_lag_writes is not None:
+                event["max_replica_lag_writes"] = (
+                    result.max_replica_lag_writes
+                )
+            if result.max_replica_age_seconds is not None:
+                event["max_replica_age_seconds"] = (
+                    result.max_replica_age_seconds
+                )
+        if breakdown:
+            event["per_shard"] = [
+                breakdown[shard] for shard in sorted(breakdown)
+            ]
+        self.request_log.emit(event)
 
     @staticmethod
     def _merge(
@@ -382,7 +632,8 @@ class QueryExecutor:
         )
 
     def _run_single(
-        self, xpath, targets, deadline_at, budget, started, read_from
+        self, xpath, targets, deadline_at, budget, started, read_from,
+        ctx=None, breakdown=None,
     ) -> ScatterResult:
         """The pruned path: one shard, executed on the calling thread."""
         failures: list[tuple[int, str]] = []
@@ -391,7 +642,8 @@ class QueryExecutor:
             try:
                 answers.append(
                     self._query_shard(
-                        shard, docs, xpath, deadline_at, budget, read_from
+                        shard, docs, xpath, deadline_at, budget,
+                        read_from, ctx, breakdown,
                     )
                 )
             except DeadlineExceeded:
@@ -399,10 +651,12 @@ class QueryExecutor:
                 raise
             except XmlRelError as error:
                 self._note_shard_failure(shard, error, failures)
-        return self._merge(answers, len(targets), started, failures)
+        with self.tracer.span("serve.merge", answers=len(answers)):
+            return self._merge(answers, len(targets), started, failures)
 
     def _scatter(
-        self, xpath, targets, deadline_at, budget, started, read_from
+        self, xpath, targets, deadline_at, budget, started, read_from,
+        ctx=None, breakdown=None,
     ) -> ScatterResult:
         """Fan out one task per shard; gather, merge, and sort."""
         futures = {
@@ -414,6 +668,8 @@ class QueryExecutor:
                 deadline_at,
                 budget,
                 read_from,
+                ctx,
+                breakdown,
             ): shard
             for shard, docs in targets.items()
         }
@@ -458,7 +714,8 @@ class QueryExecutor:
                 raise
             except XmlRelError as error:
                 self._note_shard_failure(shard, error, failures)
-        return self._merge(answers, len(targets), started, failures)
+        with self.tracer.span("serve.merge", answers=len(answers)):
+            return self._merge(answers, len(targets), started, failures)
 
     def _note_shard_failure(
         self,

@@ -104,6 +104,7 @@ class ConnectionPool:
         database_factory: Callable | None = None,
         scheme_kwargs: dict | None = None,
         retry: RetryPolicy | None = None,
+        tracer=None,
     ) -> None:
         if size < 1:
             raise StorageError("pool size must be >= 1")
@@ -123,6 +124,9 @@ class ConnectionPool:
         #: Backoff for fresh-connection health failures (None: report
         #: shard-down on the first one, the pre-retry behaviour).
         self.retry = retry
+        #: Tracer threaded into every pooled Database so per-statement
+        #: ``sql.statement`` spans nest under adopted request roots.
+        self.tracer = tracer
         #: One warm translation cache for the whole pool.
         self.plan_cache = PlanCache()
         self._idle: queue.LifoQueue[ReadSession] = queue.LifoQueue()
@@ -144,14 +148,18 @@ class ConnectionPool:
 
     def _build(self) -> ReadSession:
         factory = self.database_factory or Database
-        db = factory(
-            self.path,
+        kwargs = dict(
             profile=self.profile,
             lint=self.lint,
             read_only=True,
             check_same_thread=False,
             plan_cache=self.plan_cache,
         )
+        # Only pass the tracer when one was provided — injected
+        # database factories (fault policies) may not accept the kwarg.
+        if self.tracer is not None:
+            kwargs["tracer"] = self.tracer
+        db = factory(self.path, **kwargs)
         try:
             scheme = create_scheme(self.scheme_name, db, **self.scheme_kwargs)
         except BaseException:

@@ -63,6 +63,7 @@ class ReplicaSet:
         fault_policy=None,
         scheme_kwargs: dict | None = None,
         retry=None,
+        tracer=None,
     ) -> None:
         if count < 1:
             raise StorageError("replica count must be >= 1")
@@ -77,6 +78,7 @@ class ReplicaSet:
         self.fault_policy = fault_policy
         self.scheme_kwargs = dict(scheme_kwargs or {})
         self.retry = retry
+        self.tracer = tracer
         #: replica index → pool, created on first ship (before that the
         #: replica file does not exist and nothing should read it).
         self.pools: dict[int, ConnectionPool] = {}
@@ -157,6 +159,7 @@ class ReplicaSet:
             ),
             scheme_kwargs=self.scheme_kwargs,
             retry=self.retry,
+            tracer=self.tracer,
         )
 
     def shipped_pools(self) -> list[ConnectionPool]:

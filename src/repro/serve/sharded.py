@@ -72,6 +72,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
@@ -79,8 +80,10 @@ from dataclasses import dataclass, replace
 from repro import updates as updates_module
 from repro.core.registry import create_scheme, scheme_class
 from repro.core.store import XmlRelStore, build_query_report
-from repro.errors import DocumentNotFoundError, StorageError
+from repro.errors import DocumentNotFoundError, Overloaded, StorageError
+from repro.obs.events import RequestLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.ops import OpsServer
 from repro.obs.report import QueryReport
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.reliability.audit import IntegrityReport
@@ -181,6 +184,11 @@ class ShardedStore:
         self._rr_counter = len(shard_map)
         if self.executor.shard_state is None:
             self.executor.shard_state = self.shard_state
+        #: The embedded ops endpoint, once :meth:`serve_ops` starts it.
+        self._ops_server: OpsServer | None = None
+        #: True when :meth:`serve_ops` auto-created the request log (we
+        #: close it); caller-provided logs stay the caller's to close.
+        self._owned_request_log = False
 
     # -- opening ------------------------------------------------------------------
 
@@ -205,6 +213,7 @@ class ShardedStore:
         replicas: int = 0,
         replica_pool_size: int = 2,
         read_from: str = "primary",
+        request_log: RequestLog | None = None,
         **scheme_kwargs,
     ) -> "ShardedStore":
         """Open (creating if needed) a sharded store under *directory*.
@@ -218,7 +227,9 @@ class ShardedStore:
         rebalance, and replica-ship paths.  *replicas* creates that many
         snapshot-shipped read replicas per shard (served once
         :meth:`ship_replicas` runs); *read_from* sets the default read
-        routing (``"primary"`` / ``"replica"``).  *retry* backs off
+        routing (``"primary"`` / ``"replica"``).  *request_log* attaches
+        a wide-event sink: one structured record per query/update (see
+        :class:`~repro.obs.events.RequestLog`).  *retry* backs off
         transient busy errors on writers **and** fresh-connection health
         failures in the read pools.  Remaining arguments parallel
         :meth:`XmlRelStore.open`; ``scheme_kwargs`` pass to the scheme.
@@ -279,6 +290,7 @@ class ShardedStore:
                 ),
                 scheme_kwargs=scheme_kwargs,
                 retry=retry,
+                tracer=the_tracer if the_tracer.enabled else None,
             )
             if replicas:
                 replica_sets[shard] = ReplicaSet(
@@ -293,6 +305,7 @@ class ShardedStore:
                     fault_policy=fault_policy,
                     scheme_kwargs=scheme_kwargs,
                     retry=retry,
+                    tracer=the_tracer if the_tracer.enabled else None,
                 )
         executor = QueryExecutor(
             pools,
@@ -304,6 +317,7 @@ class ShardedStore:
             tracer=the_tracer,
             read_from=read_from,
             shard_state=shard_state,
+            request_log=request_log,
         )
         store = cls(
             directory,
@@ -333,6 +347,52 @@ class ShardedStore:
         return shard
 
     # -- write plumbing -----------------------------------------------------------
+
+    @property
+    def request_log(self) -> RequestLog | None:
+        """The wide-event sink shared with the executor (None when the
+        store runs without one)."""
+        return self.executor.request_log
+
+    @contextmanager
+    def _observed_update(self, op: str, **fields):
+        """Outcome accounting + one wide event around a write operation.
+
+        The write-side twin of the executor's ``_finish_query``: every
+        exit (commit or raise) lands in ``serve.update_seconds`` with an
+        outcome dimension, and — when a request log is attached — emits
+        one ``update`` event with the operation, target, and error.
+        """
+        started = time.perf_counter()
+        outcome = "error"
+        error_text: str | None = None
+        try:
+            yield
+            outcome = "ok"
+        except BaseException as error:
+            error_text = f"{type(error).__name__}: {error}"
+            raise
+        finally:
+            elapsed = time.perf_counter() - started
+            self.metrics.histogram("serve.update_seconds").observe(elapsed)
+            self.metrics.histogram(
+                f"serve.update_seconds.{outcome}"
+            ).observe(elapsed)
+            self.metrics.counter(f"serve.update.outcome.{outcome}").inc()
+            log = self.request_log
+            if log is not None:
+                event = {
+                    "event": "update",
+                    "op": op,
+                    "request_id": self.tracer.capture().request_id,
+                    "ts": time.time(),
+                    "outcome": outcome,
+                    "elapsed_seconds": elapsed,
+                    **fields,
+                }
+                if error_text is not None:
+                    event["error"] = error_text
+                log.emit(event)
 
     def _post_write(self, shard: int) -> None:
         """Bookkeeping after one committed write to *shard* (shard lock
@@ -374,16 +434,17 @@ class ShardedStore:
         between the two leaves an orphan for :meth:`recover` to sweep,
         never a map entry pointing at nothing.
         """
-        with self._map_lock:
-            shard = self.place(name)
-            self._rr_counter += 1
-        with self._shard_locks[shard]:
-            local = self.writers[shard].store(document, name)
+        with self._observed_update("store", name=name):
             with self._map_lock:
-                doc_id = self.shard_map.register(shard, local, name)
-            self._post_write(shard)
-        self.metrics.counter("serve.documents_stored").inc()
-        return doc_id
+                shard = self.place(name)
+                self._rr_counter += 1
+            with self._shard_locks[shard]:
+                local = self.writers[shard].store(document, name)
+                with self._map_lock:
+                    doc_id = self.shard_map.register(shard, local, name)
+                self._post_write(shard)
+            self.metrics.counter("serve.documents_stored").inc()
+            return doc_id
 
     def store_text(self, text: str, name: str = "document") -> int:
         return self.store(
@@ -445,11 +506,12 @@ class ShardedStore:
         leaves an orphan (swept by :meth:`recover`), never a map entry
         resolving to missing rows.
         """
-        with self._owning_shard(doc_id) as record:
-            with self._map_lock:
-                self.shard_map.remove(doc_id)
-            self.writers[record.shard].delete(record.local_doc_id)
-            self._post_write(record.shard)
+        with self._observed_update("delete", doc_id=doc_id):
+            with self._owning_shard(doc_id) as record:
+                with self._map_lock:
+                    self.shard_map.remove(doc_id)
+                self.writers[record.shard].delete(record.local_doc_id)
+                self._post_write(record.shard)
 
     # -- updates ------------------------------------------------------------------
 
@@ -472,19 +534,22 @@ class ShardedStore:
         transaction, so a fault at any statement rolls the whole update
         back while pooled readers keep serving the pre-update state.
         """
-        with self._owning_shard(doc_id) as record:
-            writer = self.writers[record.shard]
-            with writer.db.transaction():
-                stats = updates_module.insert_subtree(
-                    writer.scheme,
-                    record.local_doc_id,
-                    parent_pre,
-                    fragment,
-                    index,
-                )
-            self._post_write(record.shard)
-        self.metrics.counter("serve.subtree_inserts").inc()
-        return stats
+        with self._observed_update(
+            "insert_subtree", doc_id=doc_id, parent_pre=parent_pre
+        ):
+            with self._owning_shard(doc_id) as record:
+                writer = self.writers[record.shard]
+                with writer.db.transaction():
+                    stats = updates_module.insert_subtree(
+                        writer.scheme,
+                        record.local_doc_id,
+                        parent_pre,
+                        fragment,
+                        index,
+                    )
+                self._post_write(record.shard)
+            self.metrics.counter("serve.subtree_inserts").inc()
+            return stats
 
     def delete_subtree(self, doc_id: int, pre: int) -> UpdateStats:
         """Delete the subtree rooted at node *pre* of one document.
@@ -492,15 +557,18 @@ class ShardedStore:
         Same serialization and atomicity contract as
         :meth:`insert_subtree`.
         """
-        with self._owning_shard(doc_id) as record:
-            writer = self.writers[record.shard]
-            with writer.db.transaction():
-                stats = updates_module.delete_subtree(
-                    writer.scheme, record.local_doc_id, pre
-                )
-            self._post_write(record.shard)
-        self.metrics.counter("serve.subtree_deletes").inc()
-        return stats
+        with self._observed_update(
+            "delete_subtree", doc_id=doc_id, pre=pre
+        ):
+            with self._owning_shard(doc_id) as record:
+                writer = self.writers[record.shard]
+                with writer.db.transaction():
+                    stats = updates_module.delete_subtree(
+                        writer.scheme, record.local_doc_id, pre
+                    )
+                self._post_write(record.shard)
+            self.metrics.counter("serve.subtree_deletes").inc()
+            return stats
 
     # -- rebalancing --------------------------------------------------------------
 
@@ -518,20 +586,23 @@ class ShardedStore:
             raise StorageError(
                 f"no shard {to_shard} (store has {len(self.writers)})"
             )
-        while True:
-            record = self.shard_map.resolve(doc_id)
-            if record.shard == to_shard:
-                return record  # already home
-            first, second = sorted((record.shard, to_shard))
-            with self._shard_locks[first]:
-                with self._shard_locks[second]:
-                    current = self.shard_map.resolve(doc_id)
-                    if current.shard != record.shard:
-                        continue  # moved underneath us; chase it
-                    self._rebalance_locked(current, to_shard)
-                    moved = self.shard_map.resolve(doc_id)
-            self.metrics.counter("serve.rebalances").inc()
-            return moved
+        with self._observed_update(
+            "rebalance", doc_id=doc_id, to_shard=to_shard
+        ):
+            while True:
+                record = self.shard_map.resolve(doc_id)
+                if record.shard == to_shard:
+                    return record  # already home
+                first, second = sorted((record.shard, to_shard))
+                with self._shard_locks[first]:
+                    with self._shard_locks[second]:
+                        current = self.shard_map.resolve(doc_id)
+                        if current.shard != record.shard:
+                            continue  # moved underneath us; chase it
+                        self._rebalance_locked(current, to_shard)
+                        moved = self.shard_map.resolve(doc_id)
+                self.metrics.counter("serve.rebalances").inc()
+                return moved
 
     def _rebalance_locked(
         self, record: ShardedDocument, to_shard: int
@@ -928,9 +999,156 @@ class ShardedStore:
     def reconstruct_xml(self, doc_id: int) -> str:
         return serialize(self.reconstruct(doc_id))
 
+    # -- operations surface -------------------------------------------------------
+
+    #: Outcomes counted against the availability budget: sheds, misses,
+    #: and failures all consume it; ``ok``/``partial`` do not.
+    _BUDGET_ERRORS = {
+        "query": ("overloaded", "deadline_exceeded", "shard_error",
+                  "error"),
+        "update": ("error",),
+    }
+
+    def _error_budget(
+        self, window_seconds: float = 60.0, budget: float = 0.01
+    ) -> dict:
+        """Per op class: request/error counts over the window and the
+        *burn rate* — error ratio over the allowed ratio (1.0 means
+        exactly spending the budget; >1 means burning ahead of it)."""
+        out = {}
+        for op, error_outcomes in self._BUDGET_ERRORS.items():
+            good_outcomes = ("ok", "partial") if op == "query" else ("ok",)
+            errors = sum(
+                self.metrics.counter_window_count(
+                    f"serve.{op}.outcome.{outcome}", window_seconds
+                )
+                for outcome in error_outcomes
+            )
+            total = errors + sum(
+                self.metrics.counter_window_count(
+                    f"serve.{op}.outcome.{outcome}", window_seconds
+                )
+                for outcome in good_outcomes
+            )
+            error_rate = (errors / total) if total else 0.0
+            out[op] = {
+                "window_seconds": window_seconds,
+                "requests": total,
+                "errors": errors,
+                "error_rate": error_rate,
+                "budget": budget,
+                "burn_rate": (error_rate / budget) if budget else 0.0,
+            }
+        return out
+
+    def health(self, window_seconds: float = 60.0) -> dict:
+        """Liveness and load: per-shard pool reachability, document
+        counts, replica staleness, in-flight occupancy, and error-budget
+        burn per operation class.
+
+        ``status`` is ``"ok"`` unless some shard is down (``"degraded"``)
+        — a busy shard (pool momentarily exhausted) stays ``ok``: it is
+        serving, just saturated.  The ops endpoint maps non-ok statuses
+        to HTTP 503.
+        """
+        counts = self.shard_counts()
+        staleness = self.replica_staleness() if self.replica_sets else {}
+        shards = []
+        status = "ok"
+        for shard in range(len(self.writers)):
+            pool = self.pools[shard]
+            shard_status = "ok"
+            try:
+                # One cheap acquire proves the shard file answers; a
+                # short timeout keeps scrapes from queueing behind load.
+                with pool.connection(timeout=0.05):
+                    pass
+            except Overloaded:
+                shard_status = "busy"
+            except Exception:
+                # StorageError, sqlite errors, injected faults — a probe
+                # that cannot even acquire a connection is a down shard.
+                shard_status = "down"
+                status = "degraded"
+            entry: dict = {
+                "shard": shard,
+                "status": shard_status,
+                "docs": counts.get(shard, 0),
+                "pool": pool.stats(),
+            }
+            per_replica = staleness.get(shard)
+            if per_replica:
+                entry["max_replica_lag_writes"] = max(
+                    lag for lag, _ in per_replica.values()
+                )
+                entry["max_replica_age_seconds"] = max(
+                    age for _, age in per_replica.values()
+                )
+            shards.append(entry)
+        return {
+            "status": status,
+            "scheme": self.scheme_name,
+            "shards": shards,
+            "in_flight": {
+                "value": self.metrics.gauge("serve.in_flight").value,
+                "limit": self.executor.max_in_flight,
+            },
+            "error_budget": self._error_budget(window_seconds),
+        }
+
+    def _ops_state(self) -> dict:
+        """Static-ish store facts for the ``/snapshot`` document."""
+        return {
+            "directory": self.directory,
+            "scheme": self.scheme_name,
+            "placement": self.placement,
+            "shards": len(self.writers),
+            "documents": len(self.shard_map),
+            "shard_counts": self.shard_counts(),
+            "replicas": {
+                shard: replica_set.count
+                for shard, replica_set in self.replica_sets.items()
+            },
+        }
+
+    def serve_ops(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        windows: tuple[float, ...] = (60.0,),
+    ) -> OpsServer:
+        """Start (or return) the embedded ops endpoint for this store.
+
+        Serves ``/metrics`` (Prometheus text), ``/snapshot`` (JSON), and
+        ``/healthz`` on a daemon thread; ``python -m repro.obs.top --url
+        <server.url>`` renders it live.  When the store has no request
+        log yet, an in-memory one is attached so ``/snapshot`` can show
+        recent requests.  Stopped by :meth:`close` (or ``.stop()``).
+        """
+        if self._ops_server is not None:
+            return self._ops_server
+        if self.executor.request_log is None:
+            self.executor.request_log = RequestLog(capacity=1024)
+            self._owned_request_log = True
+        self._ops_server = OpsServer(
+            self.metrics,
+            health_fn=self.health,
+            snapshot_fn=self._ops_state,
+            request_log=self.executor.request_log,
+            host=host,
+            port=port,
+            windows=windows,
+        )
+        return self._ops_server
+
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self) -> None:
+        if self._ops_server is not None:
+            self._ops_server.stop()
+            self._ops_server = None
+        if self._owned_request_log and self.executor.request_log is not None:
+            self.executor.request_log.close()
         self.executor.close()
         for pool in self.pools.values():
             pool.close()

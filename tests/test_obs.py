@@ -2,6 +2,8 @@
 query introspection, and the bounded-overhead guarantee."""
 
 import json
+import tempfile
+import threading
 import time
 
 import pytest
@@ -14,6 +16,8 @@ from repro.obs import (
     Explanation,
     MetricsRegistry,
     QueryReport,
+    RequestLog,
+    WindowRing,
     format_span_tree,
     load_snapshot,
     to_chrome_trace,
@@ -360,4 +364,227 @@ class TestOverheadGuard:
         assert traced <= untraced * 3.0 + 0.05, (
             f"tracing overhead too high: traced={traced:.4f}s "
             f"untraced={untraced:.4f}s"
+        )
+
+
+class TestWindowedMetrics:
+    """Sliding-window aggregation (satellite of the telemetry plane)."""
+
+    def test_window_ring_counts_rates_and_percentiles(self):
+        clock = [1000.0]
+        ring = WindowRing(clock=lambda: clock[0])
+        for _ in range(95):
+            ring.observe(0.010)
+        for _ in range(5):
+            ring.observe(0.500)  # a 5% slow tail
+        summary = ring.summary(60.0)
+        assert summary["count"] == 100
+        assert summary["qps"] == pytest.approx(100 / 60.0)
+        assert summary["min"] == 0.010
+        assert summary["max"] == 0.500
+        # Log-binned estimates: bounded relative error (~9% per octave
+        # sub-bin), so p50 lands near 10ms and p99 in the slow tail.
+        assert 0.009 <= summary["p50"] <= 0.012
+        assert 0.4 <= summary["p99"] <= 0.500
+
+    def test_window_ring_forgets_old_buckets(self):
+        clock = [1000.0]
+        ring = WindowRing(clock=lambda: clock[0])
+        ring.observe(1.0)
+        clock[0] += 30.0
+        ring.observe(2.0)
+        assert ring.count(60.0) == 2
+        clock[0] += 45.0  # first value now 75s old, second 45s old
+        assert ring.count(60.0) == 1
+        assert ring.summary(60.0)["max"] == 2.0
+        clock[0] += 120.0  # everything aged out
+        assert ring.count(60.0) == 0
+        assert ring.summary(60.0)["p99"] is None
+
+    def test_counter_rate_and_histogram_window(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        histogram = registry.histogram("latency")
+        for _ in range(10):
+            counter.inc()
+            histogram.observe(0.005)
+        assert counter.window_count(60.0) == 10
+        assert counter.rate(60.0) == pytest.approx(10 / 60.0)
+        window = histogram.window(60.0)
+        assert window["count"] == 10
+        assert window["p99"] is not None
+        # Lifetime summaries are untouched by the windowed view.
+        assert histogram.summary()["count"] == 10
+
+    def test_windows_snapshot_filters_by_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.queries").inc(3)
+        registry.counter("db.statements").inc(5)
+        registry.histogram("serve.query_seconds").observe(0.01)
+        snap = registry.windows_snapshot(60.0, prefix="serve.")
+        assert set(snap["counters"]) == {"serve.queries"}
+        assert set(snap["histograms"]) == {"serve.query_seconds"}
+        assert snap["counters"]["serve.queries"]["count"] == 3
+
+
+class TestSnapshotUnderConcurrency:
+    """snapshot(prefix)/load_snapshot round-trip with writer threads."""
+
+    def test_prefix_snapshot_round_trips_while_writers_hammer(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer(worker: int):
+            while not stop.is_set():
+                registry.counter(f"serve.w{worker}.ops").inc()
+                registry.histogram("serve.latency").observe(0.001)
+                registry.counter("other.noise").inc()
+
+        threads = [
+            threading.Thread(target=writer, args=(worker,))
+            for worker in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            # Snapshots taken mid-hammer must stay internally
+            # consistent and JSON-round-trippable.
+            for _ in range(20):
+                snap = registry.snapshot(prefix="serve.")
+                assert all(
+                    name.startswith("serve.") for name in snap["counters"]
+                )
+                assert all(
+                    name.startswith("serve.")
+                    for name in snap["histograms"]
+                )
+                restored = load_snapshot(json.dumps(snap))
+                assert restored == snap
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        # Quiesced: full snapshot equals its JSON round trip exactly.
+        restored = load_snapshot(registry.snapshot_json())
+        assert restored == registry.snapshot()
+
+
+class TestCrossThreadSpans:
+    def test_unadopted_worker_root_is_tagged_detached(self):
+        tracer = Tracer()
+
+        def worker():
+            with tracer.span("orphan"):
+                pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert tracer.roots[0].attributes.get("detached") is True
+        # ...and the tag survives into every export.
+        exported = json.loads(to_jsonl(tracer).splitlines()[0])
+        assert exported["attributes"]["detached"] is True
+
+    def test_home_thread_root_is_not_tagged(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        assert "detached" not in tracer.roots[0].attributes
+
+    def test_adopted_worker_spans_join_the_request_tree(self):
+        tracer = Tracer()
+        with tracer.span("request") as root:
+            context = tracer.capture()
+            assert context.span is root
+            assert context.request_id.startswith("req-")
+
+            def worker(n):
+                with tracer.adopt(context):
+                    with tracer.span("work", n=n):
+                        pass
+
+            threads = [
+                threading.Thread(target=worker, args=(n,))
+                for n in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(tracer.roots) == 1
+        children = tracer.roots[0].children
+        assert sorted(c.attributes["n"] for c in children) == [0, 1, 2, 3]
+        assert all(c.parent_id == tracer.roots[0].span_id for c in children)
+        assert all(c.depth == 1 for c in children)
+        assert not any(
+            "detached" in span.attributes
+            for span in tracer.roots[0].walk()
+        )
+
+    def test_adoption_never_closes_the_borrowed_span(self):
+        tracer = Tracer()
+        with tracer.span("request"):
+            context = tracer.capture()
+
+            def rogue():
+                with tracer.adopt(context):
+                    # A worker double-ending must not close the
+                    # borrowed request root out from under its owner.
+                    tracer.end_span(context.span)
+
+            thread = threading.Thread(target=rogue)
+            thread.start()
+            thread.join()
+            assert tracer.current_span is context.span
+        assert len(tracer.roots) == 1
+        assert tracer.roots[0].finished
+
+    def test_disabled_tracer_adoption_is_a_noop(self):
+        context = NULL_TRACER.capture()
+        assert context.span is None
+        with NULL_TRACER.adopt(context) as span:
+            assert span is None
+
+
+class TestFullTelemetryOverheadGuard:
+    """Satellite: tracing + windows + event log within a fixed budget
+    vs NULL_TRACER on the warm-query path."""
+
+    def _warm_queries_seconds(self, tracer, request_log):
+        from repro.serve import ShardedStore
+
+        with tempfile.TemporaryDirectory() as tmp:
+            with ShardedStore.open(
+                tmp + "/store",
+                scheme="interval",
+                shards=2,
+                placement="round_robin",
+                tracer=tracer,
+                request_log=request_log,
+            ) as store:
+                doc_id = store.store_text(BIB_XML, "bib")
+                store.query_pres(doc_id, "/bib/book/title")  # warm plans
+                started = time.perf_counter()
+                for _ in range(100):
+                    store.query_pres(doc_id, "/bib/book/title")
+                return time.perf_counter() - started
+
+    def test_full_telemetry_stays_within_overhead_budget(self):
+        # Same shape as TestOverheadGuard, with the full plane on: span
+        # tree + windowed metrics + wide-event log.  The strict <= 5%
+        # acceptance lives in benchmarks/bench_e18_telemetry.py; this
+        # guard trips on order-of-magnitude regressions, not jitter.
+        baseline = min(
+            self._warm_queries_seconds(None, None) for _ in range(3)
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            telemetry = min(
+                self._warm_queries_seconds(
+                    Tracer(), RequestLog(path=tmp + "/events.jsonl")
+                )
+                for _ in range(3)
+            )
+        assert telemetry <= baseline * 3.0 + 0.05, (
+            f"telemetry overhead too high: on={telemetry:.4f}s "
+            f"off={baseline:.4f}s"
         )
