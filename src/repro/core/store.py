@@ -30,6 +30,7 @@ from repro.relational.sql import bind_doc_id
 from repro.reliability.audit import IntegrityReport
 from repro.storage.base import BulkSession, MappingScheme, ShredResult
 from repro.xml.dom import Document, Node
+from repro.xml.events import parse_events
 from repro.xml.parser import ParseOptions, parse_document
 from repro.xml.serialize import serialize
 
@@ -156,21 +157,38 @@ class XmlRelStore:
                 span.set(chars=len(text), document=name)
         return self.store(document, name)
 
+    def store_stream(
+        self,
+        source,
+        name: str = "document",
+        keep_whitespace: bool = True,
+    ) -> int:
+        """Shred *source* (XML text, an open file object, or a path)
+        without ever building a DOM: the pull parser feeds the scheme's
+        streaming inserter, so memory stays O(document depth) plus one
+        row batch regardless of document size."""
+        events = parse_events(
+            source, ParseOptions(keep_whitespace=keep_whitespace)
+        )
+        return self.scheme.store_stream(events, name).doc_id
+
     def store_file(self, path: str, name: str | None = None) -> int:
-        """Parse and store the XML file at *path*.
+        """Shred the XML file at *path*, streaming straight from the
+        file handle — the file is never read into memory whole.
 
         I/O failures (missing file, bad encoding) are wrapped in
         :class:`~repro.errors.XmlRelError` so callers keep the single
-        ``except XmlRelError`` clause the library promises.
+        ``except XmlRelError`` clause the library promises; decode
+        errors surface lazily from the streaming reads and land in the
+        same clause.
         """
         try:
             with open(path, encoding="utf-8") as handle:
-                text = handle.read()
+                return self.store_stream(handle, name or path)
         except (OSError, UnicodeDecodeError) as error:
             raise XmlRelError(
                 f"cannot read XML file {path!r}: {error}"
             ) from error
-        return self.store_text(text, name or path)
 
     # -- bulk loading -------------------------------------------------------------
 

@@ -26,6 +26,7 @@ import urllib.request
 
 _SHARD_RE = re.compile(r"^serve\.shard(\d+)\.query_seconds$")
 _POOL_RE = re.compile(r"^pool\.(shard\d+)\.in_use$")
+_INGEST_RE = re.compile(r"^ingest\.shard(\d+)\.load_seconds$")
 
 
 def fetch_snapshot(url: str, timeout: float = 5.0) -> dict:
@@ -93,6 +94,30 @@ def render_snapshot(snapshot: dict) -> str:
             f"{('-' if lag is None else str(lag)):>9} "
             f"{entry.get('status', '?'):>8}"
         )
+
+    ingest_shards = {
+        match.group(1): summary
+        for name, summary in win_hist.items()
+        if (match := _INGEST_RE.match(name))
+    }
+    docs_rate = win_counters.get("ingest.documents", {}).get("rate", 0) or 0
+    rows_rate = win_counters.get("ingest.rows", {}).get("rate", 0) or 0
+    if ingest_shards or docs_rate or rows_rate:
+        depth = gauges.get("ingest.queue_depth", {}).get("value", 0)
+        lines.append("")
+        lines.append(
+            f"ingest ({window_key}): {docs_rate:.1f} docs/s"
+            f"  {rows_rate:.1f} rows/s  queue={depth:g}"
+        )
+        for shard in sorted(
+            ingest_shards, key=lambda s: int(s) if s.isdigit() else 0
+        ):
+            summary = ingest_shards[shard]
+            lines.append(
+                f"  shard {shard}: {summary.get('count', 0)} doc(s)"
+                f"  load p50={_ms(summary.get('p50'))} ms"
+                f"  p99={_ms(summary.get('p99'))} ms"
+            )
 
     outcome_counts = {
         name.rsplit(".", 1)[-1]: data.get("count", 0)

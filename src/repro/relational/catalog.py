@@ -82,6 +82,23 @@ class Catalog:
             "DELETE FROM xmlrel_documents WHERE doc_id = ?", (doc_id,)
         )
 
+    def finalize(
+        self, doc_id: int, root_tag: str, node_count: int
+    ) -> None:
+        """Fill in the fields a streaming load only knows at the end.
+
+        ``store_stream`` registers the catalog row first (same crash
+        ordering as the DOM path: catalog row and node rows commit or
+        roll back together) with placeholder root_tag/node_count, then
+        patches them here once the stream is exhausted — all inside the
+        same transaction.
+        """
+        self.db.execute(
+            "UPDATE xmlrel_documents SET root_tag = ?, node_count = ? "
+            "WHERE doc_id = ?",
+            (root_tag, node_count, doc_id),
+        )
+
     def update_node_count(self, doc_id: int, node_count: int) -> None:
         self.get(doc_id)
         self.db.execute(

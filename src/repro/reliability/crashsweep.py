@@ -2,7 +2,8 @@
 
 Proves the crash-safety claim mechanically: for every mapping scheme
 and every fault-sensitive operation (subtree insert/delete, document
-rebalance, replica ship), run the operation once uninjured to count how
+rebalance, replica ship, parallel corpus load), run the operation once
+uninjured to count how
 many statements it executes on each shard, then re-run it once per
 statement boundary with a :class:`~repro.reliability.faults.
 ShardFaultPolicy` crash injected exactly there.  After each crash the
@@ -60,9 +61,18 @@ SWEEP_XML = """\
 
 FRAGMENT_XML = "<book year='2003'><title>Holistic twig joins</title></book>"
 
+#: The corpus fed to the ``load`` sweep (the parallel streaming
+#: loader): three documents, which round-robin placement spreads over
+#: both shards, so the crash can land in either loader thread's
+#: statement stream.
+CORPUS_XMLS = tuple(
+    f'<bib><book year="199{n}"><title>Corpus {n}</title></book></bib>'
+    for n in range(3)
+)
+
 #: Operations swept per scheme; insert/delete only where the scheme's
 #: update machinery exists.
-OPERATIONS = ("insert", "delete", "rebalance", "ship")
+OPERATIONS = ("insert", "delete", "rebalance", "ship", "load")
 
 
 def _open_store(directory: str, scheme: str, policy: ShardFaultPolicy):
@@ -84,14 +94,19 @@ def _open_store(directory: str, scheme: str, policy: ShardFaultPolicy):
 
 
 def _observe(store: ShardedStore, doc_id: int) -> str:
-    """The document's observable content, as reconstructed XML.
+    """The store's observable content, as reconstructed XML.
 
-    Node ids are deliberately NOT part of the observation: a rebalance
-    re-stores the document on its destination shard, and some schemes
-    (inlining) assign fresh ids there — content is the invariant, ids
-    are not.
+    Every mapped document is observed (keyed by name), not just the
+    sweep document — the ``load`` sweep's all-or-nothing claim is about
+    which corpus documents exist at all.  Node ids are deliberately NOT
+    part of the observation: a rebalance re-stores the document on its
+    destination shard, and some schemes (inlining) assign fresh ids
+    there — content is the invariant, ids are not.
     """
-    return store.reconstruct_xml(doc_id)
+    parts = [store.reconstruct_xml(doc_id)]
+    for entry in sorted(store.documents(), key=lambda e: e.name):
+        parts.append(f"{entry.name}={store.reconstruct_xml(entry.doc_id)}")
+    return "\n".join(parts)
 
 
 def _run_operation(store: ShardedStore, doc_id: int, operation: str) -> None:
@@ -107,6 +122,11 @@ def _run_operation(store: ShardedStore, doc_id: int, operation: str) -> None:
         store.rebalance(doc_id, 1 - store.resolve(doc_id).shard)
     elif operation == "ship":
         store.ship_replicas(store.resolve(doc_id).shard)
+    elif operation == "load":
+        store.store_corpus(
+            CORPUS_XMLS,
+            names=[f"corpus-{n}" for n in range(len(CORPUS_XMLS))],
+        )
     else:
         raise ValueError(f"unknown sweep operation {operation!r}")
 
@@ -114,7 +134,7 @@ def _run_operation(store: ShardedStore, doc_id: int, operation: str) -> None:
 def _sweep_shards(store: ShardedStore, doc_id: int, operation: str) -> list[int]:
     """Which shards' statement streams the operation touches."""
     home = store.resolve(doc_id).shard
-    if operation == "rebalance":
+    if operation in ("rebalance", "load"):
         return [home, 1 - home]
     return [home]
 

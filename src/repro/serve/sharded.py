@@ -70,7 +70,9 @@ a staleness bound (writes behind + snapshot age) surfaced through
 
 from __future__ import annotations
 
+import gc
 import os
+import queue as queue_module
 import threading
 import time
 import zlib
@@ -100,6 +102,7 @@ from repro.serve.pool import ConnectionPool
 from repro.serve.replicas import ReplicaSet
 from repro.updates import UpdateStats
 from repro.xml.dom import Document, Element, Node
+from repro.xml.events import parse_events, stream_events
 from repro.xml.parser import ParseOptions, parse_document
 from repro.xml.serialize import serialize
 
@@ -498,6 +501,163 @@ class ShardedStore:
             ]
         self.metrics.counter("serve.documents_stored").inc(len(documents))
         return doc_ids
+
+    def _corpus_events(self, source, keep_whitespace: bool):
+        """Event stream of one corpus payload: a parsed
+        :class:`Document` replays through ``stream_events``; XML text,
+        open file objects, and paths go through the pull parser without
+        ever materializing a tree."""
+        if isinstance(source, Document):
+            return stream_events(source)
+        return parse_events(
+            source, ParseOptions(keep_whitespace=keep_whitespace)
+        )
+
+    def store_corpus(
+        self,
+        sources,
+        names: list[str] | None = None,
+        queue_depth: int = 8,
+        keep_whitespace: bool = True,
+    ) -> list[int]:
+        """Stream a corpus into all shards concurrently.
+
+        *sources* is any iterable of payloads — XML text, open file
+        objects, filesystem paths, or already-parsed
+        :class:`~repro.xml.dom.Document` objects; it is consumed
+        lazily, so a generator over a multi-gigabyte corpus never has
+        more than ``shards × queue_depth`` payloads in flight.  Each
+        shard gets one loader thread running the streaming shredder
+        inside that writer's bulk session (one transaction, one
+        ANALYZE), so N shards parse and insert concurrently while the
+        bounded per-shard queues push back on the producer.
+
+        Atomicity matches :meth:`store_many`: shard-map entries
+        register only after **every** shard committed, so any failure
+        (including an injected crash) leaves zero registered documents
+        and only orphans that :meth:`recover` sweeps — never a map
+        entry pointing at missing rows.
+
+        Returns global doc ids in input order.
+        """
+        if (names is not None and hasattr(sources, "__len__")
+                and len(names) != len(sources)):
+            raise StorageError(
+                f"{len(sources)} document(s) but {len(names)} name(s)"
+            )
+        sentinel = object()
+        queues: dict[int, queue_module.Queue] = {}
+        threads: dict[int, threading.Thread] = {}
+        errors: dict[int, BaseException] = {}
+        locals_by_position: dict[int, int] = {}
+        placed: list[tuple[int, str]] = []
+        captured = self.tracer.capture()
+        depth_gauge = self.metrics.gauge("ingest.queue_depth")
+        docs_counter = self.metrics.counter("ingest.documents")
+        rows_counter = self.metrics.counter("ingest.rows")
+
+        def worker(shard: int) -> None:
+            shard_queue = queues[shard]
+            consumed_sentinel = False
+            load_seconds = self.metrics.histogram(
+                f"ingest.shard{shard}.load_seconds"
+            )
+            try:
+                with self.tracer.adopt(captured), \
+                        self.tracer.span("ingest_shard") as span:
+                    loaded = 0
+                    with self._shard_locks[shard]:
+                        with self.writers[shard].bulk_session() as session:
+                            while True:
+                                item = shard_queue.get()
+                                if item is sentinel:
+                                    consumed_sentinel = True
+                                    break
+                                depth_gauge.add(-1)
+                                position, name, source = item
+                                started = time.perf_counter()
+                                result = session.store_stream(
+                                    self._corpus_events(
+                                        source, keep_whitespace
+                                    ),
+                                    name,
+                                )
+                                load_seconds.observe(
+                                    time.perf_counter() - started
+                                )
+                                locals_by_position[position] = result.doc_id
+                                loaded += 1
+                                docs_counter.inc()
+                                rows_counter.inc(
+                                    sum(result.row_counts.values())
+                                )
+                        self._post_write(shard)
+                    if span:
+                        span.set(shard=shard, documents=loaded)
+            except BaseException as error:  # noqa: BLE001 — reported to caller
+                errors[shard] = error
+                # Keep the producer from blocking on a full queue: eat
+                # the backlog (and the sentinel, unless already taken).
+                while not consumed_sentinel:
+                    if shard_queue.get() is sentinel:
+                        consumed_sentinel = True
+                    else:
+                        depth_gauge.add(-1)
+
+        with self._observed_update("load", queue_depth=queue_depth):
+            # Bulk-load GC stance: the streaming shredder allocates
+            # millions of short-lived, cycle-free tuples per document,
+            # and every generational sweep stops all loader threads.
+            # Collect once up front, switch the cycle detector off for
+            # the load, and restore it afterwards.
+            gc_was_enabled = gc.isenabled()
+            if gc_was_enabled:
+                gc.collect()
+                gc.disable()
+            try:
+                for position, source in enumerate(sources):
+                    name = (
+                        names[position] if names is not None
+                        else f"document-{position}"
+                    )
+                    with self._map_lock:
+                        shard = self.place(name)
+                        self._rr_counter += 1
+                    placed.append((shard, name))
+                    shard_queue = queues.get(shard)
+                    if shard_queue is None:
+                        shard_queue = queue_module.Queue(maxsize=queue_depth)
+                        queues[shard] = shard_queue
+                        thread = threading.Thread(
+                            target=worker,
+                            args=(shard,),
+                            name=f"ingest-shard-{shard}",
+                            daemon=True,
+                        )
+                        threads[shard] = thread
+                        thread.start()
+                    depth_gauge.add(1)
+                    shard_queue.put((position, name, source))
+                    if errors:
+                        break  # a shard already failed; stop feeding
+            finally:
+                for shard_queue in queues.values():
+                    shard_queue.put(sentinel)
+                for thread in threads.values():
+                    thread.join()
+                if gc_was_enabled:
+                    gc.enable()
+            if errors:
+                raise errors[min(errors)]
+            with self._map_lock:
+                doc_ids = [
+                    self.shard_map.register(
+                        shard, locals_by_position[position], name
+                    )
+                    for position, (shard, name) in enumerate(placed)
+                ]
+            self.metrics.counter("serve.documents_stored").inc(len(doc_ids))
+            return doc_ids
 
     def delete(self, doc_id: int) -> None:
         """Remove a document from its shard and the shard map.

@@ -32,6 +32,7 @@ from repro.storage.numbering import (
     build_document,
     build_subtree,
     number_document,
+    shred_into,
 )
 from repro.xml.dom import Document, Node
 
@@ -59,6 +60,75 @@ class ShredResult:
     @property
     def total_rows(self) -> int:
         return sum(self.row_counts.values())
+
+
+#: Rows buffered per streaming-insert flush (one ``executemany`` each).
+STREAM_BATCH = 2048
+
+
+class StreamInserter:
+    """Per-scheme sink for :func:`~repro.storage.numbering.shred_stream`.
+
+    ``store_stream`` drives one of these per document: :meth:`enter` at
+    every element start tag (pre order — the hook order-sensitive side
+    tables need), :meth:`add` at every node completion, :meth:`finish`
+    once the stream is exhausted.  True-streaming schemes buffer at most
+    :data:`STREAM_BATCH` rows; schemes whose row layout needs the whole
+    document (universal's leaf chains, inlining's DTD walk) use the
+    :class:`BufferedStreamInserter` fallback instead.
+    """
+
+    #: True for inserters whose :meth:`enter` does real work (binary's
+    #: partition registry, XRel's path dictionary).  ``store_stream``
+    #: skips the call entirely when False — one fewer no-op method call
+    #: per element on the hot path.
+    needs_enter = False
+
+    def __init__(self, scheme: "MappingScheme", doc_id: int) -> None:
+        self.scheme = scheme
+        self.doc_id = doc_id
+
+    def enter(self, pre: int, name: str, parent_pre: int) -> None:
+        """An element opened (called in pre order, before its rows)."""
+
+    def add(self, record: NodeRecord, content: str | None) -> None:
+        """One completed node (elements arrive in post order)."""
+        raise NotImplementedError
+
+    def finish(self) -> dict[str, int]:
+        """Flush remaining rows; return per-table inserted-row counts."""
+        raise NotImplementedError
+
+
+class BufferedStreamInserter(StreamInserter):
+    """Fallback inserter: collect every record, then run the scheme's
+    ordinary :meth:`MappingScheme._insert_records`.
+
+    Memory is O(document) — the price of schemes that genuinely need
+    global context.  ``needs_document`` additionally rebuilds the DOM
+    for schemes whose insert path walks it (inlining); universal's
+    insert ignores the document, so it skips that copy.
+    """
+
+    def __init__(
+        self, scheme: "MappingScheme", doc_id: int,
+        needs_document: bool = False,
+    ) -> None:
+        super().__init__(scheme, doc_id)
+        self.needs_document = needs_document
+        self._records: list[NodeRecord] = []
+
+    def add(self, record: NodeRecord, content: str | None) -> None:
+        self._records.append(record)
+
+    def finish(self) -> dict[str, int]:
+        self._records.sort(key=lambda r: r.pre)
+        document = (
+            build_document(self._records) if self.needs_document else None
+        )
+        return self.scheme._insert_records(
+            self.doc_id, self._records, document
+        )
 
 
 class MappingScheme(abc.ABC):
@@ -173,6 +243,64 @@ class MappingScheme(abc.ABC):
         """Insert the rows for one document (inside a transaction) and
         return per-table inserted-row counts — the accounting that feeds
         :class:`ShredResult` without rescanning any table."""
+
+    def stream_inserter(self, doc_id: int) -> StreamInserter:
+        """The streaming row sink for one document.
+
+        Schemes with a one-record-one-row layout override this with a
+        constant-memory inserter; the default buffers and replays
+        through :meth:`_insert_records` (still one pass over the input,
+        just not memory-bounded).
+        """
+        return BufferedStreamInserter(self, doc_id, needs_document=True)
+
+    def store_stream(
+        self, events, name: str = "document"
+    ) -> ShredResult:
+        """Shred an event stream into rows as it is parsed.
+
+        *events* is any :class:`~repro.xml.events.Event` iterable —
+        usually :func:`repro.xml.events.parse_events` over text or a
+        file, in which case parsing, numbering and insertion all
+        interleave and (for schemes with a streaming inserter) peak
+        memory is O(depth) + one row batch, independent of document
+        size.  Same atomicity as :meth:`store`: the catalog row
+        registers first and commits or rolls back with the node rows.
+        """
+        tracer = self.db.tracer
+        with tracer.span("store") as span:
+            if span:
+                span.set(scheme=self.name, document=name, streaming=True)
+            with tracer.span("stream_shred"):
+                with self.db.transaction():
+                    doc_id = self.catalog.register(name, self.name, "", 0)
+                    inserter = self.stream_inserter(doc_id)
+                    node_count, root_tag = shred_into(
+                        events,
+                        inserter.add,
+                        inserter.enter if inserter.needs_enter else None,
+                    )
+                    if node_count == 0:
+                        raise StorageError(
+                            "refusing to store an empty document"
+                        )
+                    row_counts = inserter.finish()
+                    self.catalog.finalize(doc_id, root_tag, node_count)
+            if self.translation_depends_on_data:
+                self.invalidate_plans()
+            if not self._defer_analyze:
+                with tracer.span("analyze"):
+                    self.db.analyze()
+            if span:
+                span.set(
+                    doc_id=doc_id, nodes=node_count,
+                    rows=sum(row_counts.values()),
+                )
+                tracer.metrics.counter("store.documents").inc()
+                tracer.metrics.counter("store.nodes_shredded").inc(
+                    node_count
+                )
+            return ShredResult(doc_id, node_count, row_counts)
 
     # -- retrieval -----------------------------------------------------------------
 
@@ -475,12 +603,22 @@ class BulkSession:
     Row accounting comes from the insert side (see
     :meth:`MappingScheme._insert_records`), so closing a session never
     rescans any table.
+
+    Secondary indexes are dropped for the session's duration and rebuilt
+    in one pass at close — incremental b-tree maintenance per inserted
+    row is the dominant cost of a bulk load, and a single post-load
+    ``CREATE INDEX`` scan is far cheaper (it is also one long C call,
+    so concurrent per-shard sessions overlap instead of trading the
+    interpreter lock row by row).  Both the drop and the rebuild happen
+    inside the session transaction, so a crash or error at any point
+    rolls back to the fully-indexed pre-session state.
     """
 
     def __init__(self, scheme: MappingScheme) -> None:
         self.scheme = scheme
         self.results: list[ShredResult] = []
         self._txn = None
+        self._deferred_indexes = []
 
     @property
     def doc_ids(self) -> list[int]:
@@ -493,6 +631,16 @@ class BulkSession:
         self.scheme._defer_analyze = True
         self._txn = self.scheme.db.transaction()
         self._txn.__enter__()
+        self._deferred_indexes = [
+            index
+            for table in self.scheme.tables()
+            for index in table.indexes
+            if not index.unique
+        ]
+        for index in self._deferred_indexes:
+            self.scheme.db.execute(
+                f'DROP INDEX IF EXISTS "{index.name}"'
+            )
         return self
 
     def store(
@@ -507,9 +655,35 @@ class BulkSession:
         self.results.append(result)
         return result
 
+    def store_stream(self, events, name: str = "document") -> ShredResult:
+        """Stream-shred one document inside the session's transaction
+        (the per-shard corpus loader's write path: the store's inner
+        transaction nests as a savepoint, ANALYZE stays deferred)."""
+        if self._txn is None:
+            raise StorageError(
+                "bulk session is not active (use it as a context manager)"
+            )
+        result = self.scheme.store_stream(events, name)
+        self.results.append(result)
+        return result
+
     def __exit__(self, exc_type, exc, tb):
         txn, self._txn = self._txn, None
         self.scheme._defer_analyze = False
+        if exc_type is None:
+            tracer = self.scheme.db.tracer
+            try:
+                with tracer.span("index_rebuild"):
+                    for index in self._deferred_indexes:
+                        self.scheme.db.execute(index.ddl())
+            except BaseException as rebuild_error:
+                # A failed rebuild (e.g. injected crash) must still
+                # roll the session back to the fully-indexed state.
+                txn.__exit__(
+                    type(rebuild_error), rebuild_error,
+                    rebuild_error.__traceback__,
+                )
+                raise
         handled = txn.__exit__(exc_type, exc, tb)
         if exc_type is None:
             tracer = self.scheme.db.tracer

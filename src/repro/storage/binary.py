@@ -32,7 +32,7 @@ from repro.relational.schema import (
     TEXT,
     quote_identifier,
 )
-from repro.storage.base import MappingScheme
+from repro.storage.base import STREAM_BATCH, MappingScheme, StreamInserter
 from repro.storage.edge import (
     edge_label,
     fetch_edge_subtrees,
@@ -88,6 +88,63 @@ def partition_table(label: str) -> Table:
             Index(f"{name}_value", name, ("doc_id", "value")),
         ],
     )
+
+
+class _BinaryStreamInserter(StreamInserter):
+    """Streaming sink with per-partition row buffers.
+
+    Partitions are created at the *first sighting* of each label —
+    element labels at the start tag (:meth:`enter`), other labels at
+    their node's completion, which for non-elements is their document
+    position — so the ``binary_labels`` registry fills in exactly the
+    pre-order first-seen sequence the DOM insert path produces.  Memory
+    is bounded by labels × one row batch.
+    """
+
+    def __init__(self, scheme, doc_id):
+        super().__init__(scheme, doc_id)
+        self._tables: dict[str, str] = {}   # label -> partition table
+        self._rows: dict[str, list[tuple]] = {}
+        self._counts: dict[str, int] = {}
+
+    def _table_for(self, label: str) -> str:
+        table = self._tables.get(label)
+        if table is None:
+            table = self.scheme._ensure_partition(label)
+            self._tables[label] = table
+        return table
+
+    needs_enter = True
+
+    def enter(self, pre, name, parent_pre):
+        self._table_for(name or "")
+
+    def add(self, r, content):
+        label = edge_label(r)
+        table = self._table_for(label)
+        bucket = self._rows.setdefault(label, [])
+        bucket.append(
+            (self.doc_id, r.parent_pre, r.ordinal, label, r.kind,
+             r.pre, r.value, content)
+        )
+        if len(bucket) >= STREAM_BATCH:
+            self._flush(label, table, bucket)
+
+    def _flush(self, label, table, bucket):
+        self.scheme.db.executemany(
+            f"INSERT INTO {quote_identifier(table)} "
+            "(doc_id, source, ordinal, label, kind, target, value, "
+            "content) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            bucket,
+        )
+        self._counts[table] = self._counts.get(table, 0) + len(bucket)
+        bucket.clear()
+
+    def finish(self):
+        for label, bucket in self._rows.items():
+            if bucket:
+                self._flush(label, self._tables[label], bucket)
+        return self._counts
 
 
 class BinaryScheme(MappingScheme):
@@ -147,6 +204,9 @@ class BinaryScheme(MappingScheme):
 
     def table_names(self) -> list[str]:
         return ["binary_labels"] + sorted(self.partitions().values())
+
+    def stream_inserter(self, doc_id):
+        return _BinaryStreamInserter(self, doc_id)
 
     # -- shred / fetch / delete ------------------------------------------------------
 

@@ -22,7 +22,12 @@ scheme's full renumbering.
 from __future__ import annotations
 
 from repro.relational.schema import Column, INTEGER, Index, Table, TEXT
-from repro.storage.base import MappingScheme, iter_batches
+from repro.storage.base import (
+    STREAM_BATCH,
+    MappingScheme,
+    StreamInserter,
+    iter_batches,
+)
 from repro.storage.interval import element_content
 from repro.storage.numbering import (
     DEWEY_SEPARATOR,
@@ -66,6 +71,32 @@ def prefix_range(label: str) -> tuple[str, str]:
     return label + DEWEY_SEPARATOR, label + PREFIX_RANGE_END
 
 
+class _DeweyStreamInserter(StreamInserter):
+    """Constant-memory row sink: every completed node is one dewey row."""
+
+    def __init__(self, scheme, doc_id):
+        super().__init__(scheme, doc_id)
+        self._rows: list[tuple] = []
+        self._count = 0
+
+    def add(self, r, content):
+        self._rows.append(
+            (self.doc_id, r.dewey, dewey_parent(r.dewey), r.level,
+             r.kind, r.name, r.value, content, r.pre, r.ordinal)
+        )
+        if len(self._rows) >= STREAM_BATCH:
+            self._flush()
+
+    def _flush(self):
+        self.scheme.db.insert_rows(DEWEY_TABLE, self._rows)
+        self._count += len(self._rows)
+        self._rows.clear()
+
+    def finish(self):
+        self._flush()
+        return {DEWEY_TABLE.name: self._count}
+
+
 class DeweyScheme(MappingScheme):
     """The Dewey order-label mapping."""
 
@@ -73,6 +104,9 @@ class DeweyScheme(MappingScheme):
 
     def tables(self):
         return [DEWEY_TABLE]
+
+    def stream_inserter(self, doc_id):
+        return _DeweyStreamInserter(self, doc_id)
 
     def _insert_records(
         self, doc_id: int, records: list[NodeRecord], document: Document

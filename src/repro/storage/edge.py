@@ -22,7 +22,12 @@ mapping's published weakness and the subject of experiment E4.
 from __future__ import annotations
 
 from repro.relational.schema import Column, INTEGER, Index, Table, TEXT
-from repro.storage.base import MappingScheme, iter_batches
+from repro.storage.base import (
+    STREAM_BATCH,
+    MappingScheme,
+    StreamInserter,
+    iter_batches,
+)
 from repro.storage.interval import element_content
 from repro.storage.numbering import NodeRecord
 from repro.xml.dom import Document, NodeKind
@@ -163,6 +168,32 @@ def fetch_edge_subtrees(
     return groups
 
 
+class _EdgeStreamInserter(StreamInserter):
+    """Constant-memory row sink: every completed node is one edge row."""
+
+    def __init__(self, scheme, doc_id):
+        super().__init__(scheme, doc_id)
+        self._rows: list[tuple] = []
+        self._count = 0
+
+    def add(self, r, content):
+        self._rows.append(
+            (self.doc_id, r.parent_pre, r.ordinal, edge_label(r),
+             r.kind, r.pre, r.value, content)
+        )
+        if len(self._rows) >= STREAM_BATCH:
+            self._flush()
+
+    def _flush(self):
+        self.scheme.db.insert_rows(EDGE_TABLE, self._rows)
+        self._count += len(self._rows)
+        self._rows.clear()
+
+    def finish(self):
+        self._flush()
+        return {EDGE_TABLE.name: self._count}
+
+
 class EdgeScheme(MappingScheme):
     """The single-edge-table mapping."""
 
@@ -170,6 +201,9 @@ class EdgeScheme(MappingScheme):
 
     def tables(self):
         return [EDGE_TABLE]
+
+    def stream_inserter(self, doc_id):
+        return _EdgeStreamInserter(self, doc_id)
 
     def _insert_records(
         self, doc_id: int, records: list[NodeRecord], document: Document

@@ -19,7 +19,12 @@ of text-only elements, giving value predicates a single-column compare.
 from __future__ import annotations
 
 from repro.relational.schema import Column, INTEGER, Index, Table, TEXT
-from repro.storage.base import MappingScheme, iter_batches
+from repro.storage.base import (
+    STREAM_BATCH,
+    MappingScheme,
+    StreamInserter,
+    iter_batches,
+)
 from repro.storage.numbering import NodeRecord
 from repro.xml.dom import Document, NodeKind
 
@@ -73,6 +78,32 @@ def element_content(
     return contents
 
 
+class _IntervalStreamInserter(StreamInserter):
+    """Constant-memory row sink: every completed node is one accel row."""
+
+    def __init__(self, scheme, doc_id):
+        super().__init__(scheme, doc_id)
+        self._rows: list[tuple] = []
+        self._count = 0
+
+    def add(self, r, content):
+        self._rows.append(
+            (self.doc_id, r.pre, r.post, r.size, r.level, r.kind,
+             r.name, r.value, content, r.parent_pre, r.ordinal)
+        )
+        if len(self._rows) >= STREAM_BATCH:
+            self._flush()
+
+    def _flush(self):
+        self.scheme.db.insert_rows(ACCEL_TABLE, self._rows)
+        self._count += len(self._rows)
+        self._rows.clear()
+
+    def finish(self):
+        self._flush()
+        return {ACCEL_TABLE.name: self._count}
+
+
 class IntervalScheme(MappingScheme):
     """The pre/post/size/level region mapping."""
 
@@ -80,6 +111,9 @@ class IntervalScheme(MappingScheme):
 
     def tables(self):
         return [ACCEL_TABLE]
+
+    def stream_inserter(self, doc_id):
+        return _IntervalStreamInserter(self, doc_id)
 
     def _insert_records(
         self, doc_id: int, records: list[NodeRecord], document: Document

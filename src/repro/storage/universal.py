@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from repro.errors import SchemaMappingError, StorageError
 from repro.relational.schema import Column, INTEGER, Table, TEXT
-from repro.storage.base import MappingScheme
+from repro.storage.base import BufferedStreamInserter, MappingScheme
 from repro.storage.interval import element_content
 from repro.storage.numbering import NodeRecord
 from repro.xml.dom import Document, NodeKind
@@ -107,6 +107,11 @@ class UniversalScheme(MappingScheme):
 
     def tables(self):
         return [LABELS_TABLE, PATHS_TABLE]
+
+    def stream_inserter(self, doc_id):
+        # The wide relation needs the whole record set (each tuple spans a
+        # root-to-leaf chain), but not the DOM — buffer records only.
+        return BufferedStreamInserter(self, doc_id, needs_document=False)
 
     def create_schema(self) -> None:
         super().create_schema()

@@ -29,7 +29,12 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 
 from repro.relational.schema import Column, INTEGER, Index, Table, TEXT
-from repro.storage.base import MappingScheme, iter_batches
+from repro.storage.base import (
+    STREAM_BATCH,
+    MappingScheme,
+    StreamInserter,
+    iter_batches,
+)
 from repro.storage.interval import element_content
 from repro.storage.numbering import NodeRecord
 from repro.xml.dom import Document, NodeKind
@@ -124,6 +129,91 @@ def record_pathexp(record: NodeRecord, parent_path: str) -> str:
     return parent_path
 
 
+class _XRelStreamInserter(StreamInserter):
+    """Streaming sink tracking the open-element path expressions.
+
+    The path dictionary is numbered by first use: element paths at the
+    start tag (:meth:`enter`), attribute paths at the attribute node,
+    non-element paths by reuse of the open parent's — the same order the
+    DOM insert path's pre-order walk assigns, so ``xrel_paths`` comes out
+    identical.  Node rows land in completion order (elements close after
+    their descendants); the tables are keyed and queried by ``start``, so
+    insertion order is immaterial.  Memory is bounded by the path
+    dictionary plus one row batch per table.
+    """
+
+    def __init__(self, scheme, doc_id):
+        super().__init__(scheme, doc_id)
+        self._path_ids: dict[str, int] = {}
+        self._stack: list[str] = [""]  # pathexps of open elements
+        self._tables = {
+            t.name: t for t in (ELEMENT_TABLE, ATTRIBUTE_TABLE, TEXT_TABLE)
+        }
+        self._rows = {name: [] for name in self._tables}
+        self._counts = {name: 0 for name in self._tables}
+
+    def _pid(self, pathexp: str) -> int:
+        pid = self._path_ids.get(pathexp)
+        if pid is None:
+            pid = len(self._path_ids) + 1
+            self._path_ids[pathexp] = pid
+        return pid
+
+    needs_enter = True
+
+    def enter(self, pre, name, parent_pre):
+        pathexp = f"{self._stack[-1]}{PATH_SEP}{name}"
+        self._pid(pathexp)
+        self._stack.append(pathexp)
+
+    def _buffer(self, table, row):
+        rows = self._rows[table.name]
+        rows.append(row)
+        if len(rows) >= STREAM_BATCH:
+            self._flush(table.name)
+
+    def _flush(self, name):
+        rows = self._rows[name]
+        if rows:
+            self.scheme.db.insert_rows(self._tables[name], rows)
+            self._counts[name] += len(rows)
+            rows.clear()
+
+    def add(self, r, content):
+        start, end = r.pre, r.pre + r.size
+        if r.kind == int(NodeKind.ELEMENT):
+            pid = self._path_ids[self._stack.pop()]
+            self._buffer(
+                ELEMENT_TABLE,
+                (self.doc_id, pid, start, end, r.ordinal, r.name, content),
+            )
+        elif r.kind == int(NodeKind.ATTRIBUTE):
+            pid = self._pid(f"{self._stack[-1]}{PATH_SEP}@{r.name}")
+            self._buffer(
+                ATTRIBUTE_TABLE,
+                (self.doc_id, pid, start, end, r.ordinal, r.name, r.value),
+            )
+        else:
+            pid = self._pid(self._stack[-1])
+            self._buffer(
+                TEXT_TABLE,
+                (self.doc_id, pid, start, end, r.ordinal, r.kind, r.name,
+                 r.value),
+            )
+
+    def finish(self):
+        for name in self._rows:
+            self._flush(name)
+        self.scheme.db.executemany(
+            "INSERT INTO xrel_paths (doc_id, path_id, pathexp) "
+            "VALUES (?, ?, ?)",
+            [(self.doc_id, pid, exp)
+             for exp, pid in self._path_ids.items()],
+        )
+        self._counts[PATHS_TABLE.name] = len(self._path_ids)
+        return self._counts
+
+
 class XRelScheme(MappingScheme):
     """The path + region mapping."""
 
@@ -131,6 +221,9 @@ class XRelScheme(MappingScheme):
 
     def tables(self):
         return [PATHS_TABLE, ELEMENT_TABLE, ATTRIBUTE_TABLE, TEXT_TABLE]
+
+    def stream_inserter(self, doc_id):
+        return _XRelStreamInserter(self, doc_id)
 
     def _insert_records(
         self, doc_id: int, records: list[NodeRecord], document: Document

@@ -7,10 +7,9 @@ conversions in both directions:
 
 * :func:`stream_events` — DOM tree → event iterator (lazy),
 * :func:`build_tree` — event iterator → DOM tree,
-* :func:`parse_events` — XML text → events without materializing a full
-  tree first (a pull parser built on the document parser's machinery is
-  unnecessary here: documents are parsed and streamed; the interface is
-  what downstream code depends on).
+* :func:`parse_events` — XML text/file → events through the streaming
+  pull parser (:mod:`repro.xml.stream`): the tree is never built, so
+  memory stays O(depth) however large the document.
 
 Shredders consume events so that every storage scheme is implementable in
 one pass over the stream — this keeps shredding O(n) and mirrors how a
@@ -20,8 +19,8 @@ production loader would ingest documents too large for memory.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from collections.abc import Iterable, Iterator
+from typing import NamedTuple
 
 from repro.errors import XmlRelError
 from repro.xml.dom import (
@@ -48,13 +47,16 @@ class EventKind(enum.Enum):
     PROCESSING_INSTRUCTION = "processing-instruction"
 
 
-@dataclass(frozen=True)
-class Event:
+class Event(NamedTuple):
     """One token in the stream.
 
     ``name`` is the element tag, attribute name, or PI target; ``value`` is
     the attribute value, text data, comment data, or PI data.  Structural
     events (start/end document, end element) carry neither.
+
+    A named tuple rather than a dataclass: streaming shredders build one
+    Event per token, so construction cost is on the ingest hot path and
+    tuple construction is several times cheaper.
     """
 
     kind: EventKind
@@ -177,11 +179,19 @@ def build_tree(events: Iterable[Event]) -> Document:
     return document
 
 
-def parse_events(source: str) -> Iterator[Event]:
-    """Token stream of an XML source text."""
-    from repro.xml.parser import parse_document
+def parse_events(source, options=None) -> Iterator[Event]:
+    """Token stream of an XML source — *without* building a tree.
 
-    return stream_events(parse_document(source))
+    *source* may be XML text, an open text-mode file object, or a path
+    (:class:`os.PathLike`); *options* a
+    :class:`~repro.xml.parser.ParseOptions`.  Since PR 8 this is a true
+    pull parser (:mod:`repro.xml.stream`): memory is O(depth), so the
+    stream works for documents far larger than RAM.  The events are
+    exactly ``stream_events(parse_document(text))``.
+    """
+    from repro.xml.stream import iter_events
+
+    return iter_events(source, options)
 
 
 def count_events(events: Iterable[Event]) -> dict[EventKind, int]:

@@ -1,0 +1,609 @@
+"""Streaming (iterparse-style) XML tokenizer with O(depth) memory.
+
+:func:`iter_events` turns an XML source — a text string, a file object,
+or anything with ``read(n)`` — into the same
+:class:`~repro.xml.events.Event` stream :func:`~repro.xml.events.stream_events`
+produces from a parsed tree, *without materializing the tree*.  The
+working set is the open-element stack plus one ~64 KiB read buffer, so
+documents far larger than memory shred fine; this is what
+:meth:`~repro.core.store.XmlRelStore.store_stream` and the sharded
+corpus loader are built on.
+
+Two pieces:
+
+* :class:`ChunkedScanner` — a :class:`~repro.xml.lexer.Scanner` whose
+  buffer refills from a reader on demand and compacts consumed text,
+  so every scanning primitive (``peek``/``looking_at``/``read_name``/
+  ``read_until``/…) works across chunk boundaries.  Line/column error
+  positions stay exact across compaction.
+* :class:`_StreamingParser` — reuses the recursive-descent parser's
+  prolog/DOCTYPE/attribute/entity machinery
+  (:class:`~repro.xml.parser._XmlParser`) but replaces the recursive
+  element builder with an explicit-stack loop that *yields* events as
+  tags open and close.  Adjacent character data, CDATA sections and
+  entity expansions merge into one TEXT event, exactly as the DOM
+  parser merges them into one text node, so the streamed event
+  sequence is byte-for-byte the DOM parse's ``stream_events`` output.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from collections.abc import Iterator
+
+from repro.errors import XmlSyntaxError
+from repro.xml.chars import (
+    WHITESPACE,
+    is_name_char,
+    is_name_start_char,
+    is_whitespace,
+)
+from repro.xml.dom import Document, Element
+from repro.xml.events import Event, EventKind
+from repro.xml.lexer import Scanner
+from repro.xml.parser import MAX_ELEMENT_DEPTH, ParseOptions, _XmlParser
+
+#: Bytes of source text pulled per refill.
+CHUNK_SIZE = 64 * 1024
+
+#: Consumed prefix beyond which the buffer is compacted on refill.
+COMPACT_THRESHOLD = 64 * 1024
+
+#: Buffered lookahead guaranteed before trying a fast-path tag match.
+_FAST_LOOKAHEAD = 4096
+
+# C-speed fast paths for the two hottest productions.  The character
+# classes are the ASCII subsets of NameStartChar/NameChar; attribute
+# values additionally exclude ``&`` (entities), ``<`` (illegal), and
+# tab/newline (attribute-value normalization) — any tag these regexes
+# cannot match falls back to the general scanner-primitive path, so
+# they are pure accelerators, never semantics.
+_ASCII_NAME = r"[A-Za-z_:][A-Za-z0-9_:.\-]*"
+_FAST_START_TAG = re.compile(
+    "<(" + _ASCII_NAME + ")"
+    "((?:[ \t\r\n]+" + _ASCII_NAME + "[ \t\r\n]*=[ \t\r\n]*"
+    "(?:\"[^\"&<\t\r\n]*\"|'[^'&<\t\r\n]*'))*)"
+    "[ \t\r\n]*(/?)>"
+)
+_FAST_ATTR = re.compile(
+    "(" + _ASCII_NAME + ")[ \t\r\n]*=[ \t\r\n]*"
+    "(?:\"([^\"&<\t\r\n]*)\"|'([^'&<\t\r\n]*)')"
+)
+_FAST_END_TAG = re.compile("</(" + _ASCII_NAME + ")[ \t\r\n]*>")
+# A whole leaf element — ``<tag a="v">plain text</tag>`` — in one match.
+# The backreference pins the end tag to the start tag; the text may not
+# contain markup or entities.  Data-oriented XML is mostly such leaves,
+# so this skips the per-element content loop for the common case.
+_FAST_LEAF = re.compile(
+    "<(" + _ASCII_NAME + ")"
+    "((?:[ \t\r\n]+" + _ASCII_NAME + "[ \t\r\n]*=[ \t\r\n]*"
+    "(?:\"[^\"&<\t\r\n]*\"|'[^'&<\t\r\n]*'))*)"
+    "[ \t\r\n]*>"
+    "([^<&]*)"
+    "</\\1[ \t\r\n]*>"
+)
+
+
+class ChunkedScanner(Scanner):
+    """A :class:`Scanner` over an incrementally-read source.
+
+    The buffer holds a sliding window of the source; ``_refill`` appends
+    the next chunk and drops the consumed prefix once it exceeds
+    :data:`COMPACT_THRESHOLD` (tracking how many characters and newlines
+    were trimmed, so :meth:`line_column` stays exact).  All multi-
+    character reads accumulate parts across refills instead of slicing
+    the buffer afterwards — a refill may move ``pos``.
+    """
+
+    __slots__ = ("_read", "_eof", "_trimmed", "_trimmed_lines",
+                 "_last_nl_abs")
+
+    def __init__(self, read) -> None:
+        super().__init__("")
+        self._read = read
+        self._eof = False
+        self._trimmed = 0          # chars dropped before source[0]
+        self._trimmed_lines = 0    # newlines among them
+        self._last_nl_abs = -1     # absolute offset of last trimmed '\n'
+
+    # -- buffer management ----------------------------------------------------
+
+    def _refill(self) -> bool:
+        """Append one chunk; returns False at end of input."""
+        if self._eof:
+            return False
+        chunk = self._read(CHUNK_SIZE)
+        if not chunk:
+            self._eof = True
+            return False
+        if self.pos > COMPACT_THRESHOLD:
+            dropped = self.source[: self.pos]
+            self._trimmed += self.pos
+            newlines = dropped.count("\n")
+            if newlines:
+                self._trimmed_lines += newlines
+                self._last_nl_abs = (
+                    self._trimmed - (len(dropped) - dropped.rfind("\n"))
+                )
+            self.source = self.source[self.pos:] + chunk
+            self.pos = 0
+        else:
+            self.source = self.source + chunk
+        self.length = len(self.source)
+        return True
+
+    def _ensure(self, count: int) -> None:
+        """Buffer at least *count* chars past the cursor (or hit EOF)."""
+        while self.length - self.pos < count:
+            if not self._refill():
+                return
+
+    # -- refill-aware primitives ----------------------------------------------
+
+    @property
+    def at_end(self) -> bool:
+        if self.pos < self.length:
+            return False
+        return not self._refill()
+
+    def peek(self, offset: int = 0) -> str:
+        if self.pos + offset >= self.length:
+            self._ensure(offset + 1)
+        i = self.pos + offset
+        return self.source[i] if i < self.length else ""
+
+    def looking_at(self, literal: str) -> bool:
+        if self.pos + len(literal) > self.length:
+            self._ensure(len(literal))
+        return self.source.startswith(literal, self.pos)
+
+    def skip_whitespace(self) -> bool:
+        skipped = False
+        while True:
+            src, n = self.source, self.length
+            pos = self.pos
+            while pos < n and src[pos] in WHITESPACE:
+                pos += 1
+            if pos > self.pos:
+                skipped = True
+                self.pos = pos
+            if pos < n or not self._refill():
+                return skipped
+
+    def read_name(self, context: str = "name") -> str:
+        ch = self.peek()
+        if not ch or not is_name_start_char(ch):
+            self.error(f"expected {context}, found {ch or '<end of input>'!r}")
+        parts: list[str] = []
+        self.pos += 1
+        parts.append(ch)
+        while True:
+            src, n = self.source, self.length
+            start = self.pos
+            pos = start
+            while pos < n and is_name_char(src[pos]):
+                pos += 1
+            if pos > start:
+                parts.append(src[start:pos])
+                self.pos = pos
+            if pos < n or not self._refill():
+                return "".join(parts)
+
+    def read_until(self, terminator: str, context: str) -> str:
+        # The in-memory scanner reports "unterminated" at the start of
+        # the data (its cursor never moves on failure); remember that
+        # position so the streamed error lands on the same column.
+        start_line, start_column = self.line_column()
+        parts: list[str] = []
+        keep = len(terminator) - 1
+        while True:
+            end = self.source.find(terminator, self.pos)
+            if end >= 0:
+                parts.append(self.source[self.pos:end])
+                self.pos = end + len(terminator)
+                return "".join(parts)
+            # Keep the last len-1 chars: the terminator may straddle
+            # the chunk boundary.
+            cut = max(self.pos, self.length - keep)
+            if cut > self.pos:
+                parts.append(self.source[self.pos:cut])
+                self.pos = cut
+            if not self._refill():
+                raise XmlSyntaxError(
+                    f"unterminated {context}: missing {terminator!r}",
+                    start_line, start_column,
+                )
+
+    # -- positions -------------------------------------------------------------
+
+    def line_column(self, pos: int | None = None) -> tuple[int, int]:
+        if pos is None:
+            pos = self.pos
+        pos = min(pos, self.length)
+        line = self._trimmed_lines + self.source.count("\n", 0, pos) + 1
+        last_nl = self.source.rfind("\n", 0, pos)
+        if last_nl >= 0:
+            column = pos - last_nl
+        else:
+            column = self._trimmed + pos - self._last_nl_abs
+        return line, column
+
+
+class _StreamingParser(_XmlParser):
+    """Event-yielding parser sharing the DOM parser's machinery.
+
+    The prolog, DOCTYPE (internal DTD → entity table), attributes,
+    entity expansion, comments and PIs are the inherited methods; only
+    element structure is re-implemented as an explicit-stack loop so
+    nothing above the current path is retained.
+    """
+
+    def __init__(self, read, options: ParseOptions) -> None:
+        # Deliberately skips _XmlParser.__init__: the source is a
+        # reader, not a string (BOM handling moves to the first chunk).
+        first = read(CHUNK_SIZE)
+        if first.startswith("﻿"):
+            first = first[1:]
+        pending = [first]
+
+        def reader(count: int) -> str:
+            if pending:
+                return pending.pop()
+            return read(count)
+
+        self.scanner = ChunkedScanner(reader)
+        self.options = options
+        self.document = Document()  # DOCTYPE side-effects land here
+        self.entities: dict[str, str] = {}
+        self._depth = 0
+
+    # -- event generation -------------------------------------------------------
+
+    def events(self) -> Iterator[Event]:
+        s = self.scanner
+        yield Event(EventKind.START_DOCUMENT)
+        self._parse_xml_declaration()
+        yield from self._misc_events(allow_doctype=True)
+        if s.at_end or not s.looking_at("<"):
+            s.error("expected root element")
+        yield from self._element_events()
+        yield from self._misc_events(allow_doctype=False)
+        if not s.at_end:
+            s.error("unexpected content after root element")
+        yield Event(EventKind.END_DOCUMENT)
+
+    def _misc_events(self, allow_doctype: bool) -> Iterator[Event]:
+        s = self.scanner
+        while True:
+            s.skip_whitespace()
+            if s.looking_at("<!--"):
+                comment = self._parse_comment()
+                yield Event(EventKind.COMMENT, value=comment.data)
+            elif s.looking_at("<?"):
+                pi = self._parse_pi()
+                yield Event(
+                    EventKind.PROCESSING_INSTRUCTION,
+                    name=pi.target,
+                    value=pi.data,
+                )
+            elif allow_doctype and s.looking_at("<!DOCTYPE"):
+                self._parse_doctype()
+                allow_doctype = False
+            else:
+                return
+
+    def _read_internal_subset(self) -> str:
+        # Parts-accumulating override: the base method slices the buffer
+        # across what may be several refills (which can compact it).
+        s = self.scanner
+        parts: list[str] = []
+        while True:
+            src, n = s.source, s.length
+            pos = s.pos
+            start = pos
+            stopped = ""
+            while pos < n:
+                ch = src[pos]
+                if ch in ("]", "'", '"', "<"):
+                    stopped = ch
+                    break
+                pos += 1
+            parts.append(src[start:pos])
+            s.pos = pos
+            if not stopped:
+                if not s._refill():
+                    s.error("unterminated internal DTD subset")
+                continue
+            if stopped == "]":
+                s.advance()
+                return "".join(parts)
+            if stopped in ("'", '"'):
+                s.advance()
+                literal = s.read_until(stopped, "quoted literal in DTD")
+                parts.append(stopped + literal + stopped)
+            elif s.looking_at("<!--"):
+                s.advance(4)
+                body = s.read_until("-->", "comment in DTD")
+                parts.append("<!--" + body + "-->")
+            else:
+                parts.append("<")
+                s.advance()
+
+    def _element_events(self) -> Iterator[Event]:
+        s = self.scanner
+        keep_ws = self.options.keep_whitespace
+        stack: list[str] = []
+        text_parts: list[str] = []
+        ensure = s._ensure
+        start_match = _FAST_START_TAG.match
+        end_match = _FAST_END_TAG.match
+        leaf_match = _FAST_LEAF.match
+        attr_findall = _FAST_ATTR.findall
+        kind_start = EventKind.START_ELEMENT
+        kind_attr = EventKind.ATTRIBUTE
+        kind_end = EventKind.END_ELEMENT
+        kind_text = EventKind.TEXT
+        # Build events via tuple.__new__: Event is a NamedTuple, so this
+        # is the generated __new__ minus its Python frame — noticeable
+        # at one call per token.
+        event_new = tuple.__new__
+
+        def flush_text() -> Event | None:
+            if not text_parts:
+                return None
+            data = "".join(text_parts)
+            text_parts.clear()
+            if not data:
+                return None
+            if not keep_ws and is_whitespace(data):
+                # Same predicate the DOM parser's close-time whitespace
+                # sweep applies to each merged text node.
+                return None
+            return event_new(Event, (kind_text, None, data))
+
+        def _duplicate(attrs) -> bool:
+            if len(attrs) < 2:
+                return False
+            seen = set()
+            for name, _, _ in attrs:
+                if name in seen:
+                    return True
+                seen.add(name)
+            return False
+
+        while True:
+            # -- one start tag (cursor is at '<') -------------------------
+            ensure(_FAST_LOOKAHEAD)
+            # Leaf fast path: a whole ``<tag a="v">text</tag>`` element
+            # in one C-level match — no content loop at all.  Any
+            # disqualifier (markup/entities in the text, depth at the
+            # limit, duplicate attributes, truncation at the buffer
+            # edge) falls through to the tag-at-a-time paths below.
+            leaf_done = False
+            m = leaf_match(s.source, s.pos)
+            if (m is not None and m.end() < s.length
+                    and len(stack) < MAX_ELEMENT_DEPTH
+                    and "]]>" not in m.group(3)):
+                tag, attr_blob, text = m.group(1, 2, 3)
+                attrs = attr_findall(attr_blob) if attr_blob else ()
+                if not _duplicate(attrs):
+                    s.pos = m.end()
+                    yield event_new(Event, (kind_start, tag, None))
+                    for name, dquoted, squoted in attrs:
+                        yield event_new(
+                            Event,
+                            (kind_attr, name,
+                             dquoted if dquoted else squoted),
+                        )
+                    if text and (keep_ws or not is_whitespace(text)):
+                        yield event_new(Event, (kind_text, None, text))
+                    yield event_new(Event, (kind_end, tag, None))
+                    if not stack:
+                        return
+                    # Leaf consumed: resume the parent's content loop.
+                    leaf_done = True
+            if not leaf_done:
+                # Fast path: a complete plain-ASCII start tag inside the
+                # buffer, matched in one C call.  (The end() < length
+                # guard rules out a tag artificially truncated by the
+                # buffer edge — that case re-parses the general way.)
+                m = start_match(s.source, s.pos)
+                attrs = ()
+                if m is not None and m.end() < s.length:
+                    tag, attr_blob, closed = m.group(1, 2, 3)
+                    if attr_blob:
+                        attrs = attr_findall(attr_blob)
+                        if _duplicate(attrs):
+                            # Duplicate: re-parse slowly so the error
+                            # lands on the DOM parser's column.
+                            m = None
+                if m is not None and m.end() < s.length:
+                    s.pos = m.end()
+                    yield event_new(Event, (kind_start, tag, None))
+                    for name, dquoted, squoted in attrs:
+                        yield event_new(
+                            Event,
+                            (kind_attr, name,
+                             dquoted if dquoted else squoted),
+                        )
+                else:
+                    # General path: non-ASCII names, entity references
+                    # in attribute values, oversized tags, or a syntax
+                    # error.
+                    s.expect("<", "element start tag")
+                    tag = s.read_name("element name")
+                    holder = Element(tag, validate=False)
+                    self._parse_attributes(holder)
+                    yield Event(kind_start, name=tag)
+                    for attr in holder.attributes:
+                        yield Event(
+                            kind_attr, name=attr.name, value=attr.value
+                        )
+                    if s.match("/>"):
+                        closed = "/"
+                    else:
+                        s.expect(">", f"start tag of <{tag}>")
+                        closed = ""
+                if closed:
+                    yield event_new(Event, (kind_end, tag, None))
+                    if not stack:
+                        return
+                else:
+                    stack.append(tag)
+                    if len(stack) > MAX_ELEMENT_DEPTH:
+                        s.error(
+                            f"element nesting exceeds "
+                            f"{MAX_ELEMENT_DEPTH} levels"
+                        )
+
+            # -- content until the next child start tag -------------------
+            while stack:
+                ensure(2)
+                src, pos, n = s.source, s.pos, s.length
+                if pos >= n:
+                    s.error(f"unterminated element <{stack[-1]}>")
+                if src[pos] != "<":
+                    self._stream_char_data(text_parts)
+                    continue
+                nxt = src[pos + 1] if pos + 1 < n else ""
+                if nxt == "/":
+                    text = flush_text()
+                    if text:
+                        yield text
+                    ensure(_FAST_LOOKAHEAD)
+                    tag = stack.pop()
+                    m = end_match(s.source, s.pos)
+                    if (m is not None and m.end() < s.length
+                            and m.group(1) == tag):
+                        s.pos = m.end()
+                    else:
+                        # Mismatches fall through too: the re-parse
+                        # reports the error at the DOM parser's column.
+                        s.advance(2)
+                        end_tag = s.read_name("end tag name")
+                        if end_tag != tag:
+                            s.error(
+                                f"mismatched end tag: expected </{tag}>, "
+                                f"got </{end_tag}>"
+                            )
+                        s.skip_whitespace()
+                        s.expect(">", f"end tag of <{tag}>")
+                    yield event_new(Event, (kind_end, tag, None))
+                elif nxt == "!":
+                    if s.looking_at("<!--"):
+                        text = flush_text()
+                        if text:
+                            yield text
+                        comment = self._parse_comment()
+                        yield Event(EventKind.COMMENT, value=comment.data)
+                    elif s.looking_at("<![CDATA["):
+                        s.advance(9)
+                        data = s.read_until("]]>", "CDATA section")
+                        if data:
+                            text_parts.append(data)
+                    else:
+                        s.error("markup declarations not allowed in content")
+                elif nxt == "?":
+                    text = flush_text()
+                    if text:
+                        yield text
+                    pi = self._parse_pi()
+                    yield Event(
+                        EventKind.PROCESSING_INSTRUCTION,
+                        name=pi.target,
+                        value=pi.data,
+                    )
+                else:
+                    text = flush_text()
+                    if text:
+                        yield text
+                    break  # child start tag: outer loop parses it
+            if not stack:
+                return
+
+    def _stream_char_data(self, parts: list[str]) -> None:
+        """One maximal run of character data into *parts*.
+
+        Scans with ``str.find`` (C speed, unlike the DOM parser's
+        per-character loop) and carries the last two characters across
+        refills so a ``]]>`` straddling a chunk boundary is still
+        rejected.  Entity/char references are expanded in place, ending
+        the literal run for the ``]]>`` check exactly as the DOM parser
+        does (``]]&gt;`` is legal).
+        """
+        s = self.scanner
+        carry = ""
+        while True:
+            src, n = s.source, s.length
+            lt = src.find("<", s.pos)
+            amp = src.find("&", s.pos)
+            if lt < 0:
+                end = amp if amp >= 0 else n
+            elif amp < 0:
+                end = lt
+            else:
+                end = min(lt, amp)
+            raw = src[s.pos:end]
+            s.pos = end
+            if raw:
+                if "]]>" in (carry + raw if carry else raw):
+                    s.error("']]>' not allowed in character data")
+                parts.append(raw)
+                carry = raw[-2:] if len(raw) >= 2 else (carry + raw)[-2:]
+            if end >= n:
+                if s._refill():
+                    continue
+                return  # EOF; the content loop reports the open element
+            if src[end] == "&":
+                expanded = self._parse_entity_reference()
+                if expanded:
+                    parts.append(expanded)
+                carry = ""
+                continue
+            return  # '<'
+
+
+def _reader_for(source) -> tuple:
+    """(read, close) for *source*: XML text, file object, or path."""
+    if isinstance(source, str):
+        scanner = {"pos": 0}
+
+        def read(count: int) -> str:
+            start = scanner["pos"]
+            scanner["pos"] = start + count
+            return source[start:start + count]
+
+        return read, None
+    if hasattr(source, "read"):
+        return source.read, None
+    # os.PathLike
+    handle = open(os.fspath(source), encoding="utf-8")
+    return handle.read, handle.close
+
+
+def iter_events(
+    source, options: ParseOptions | None = None
+) -> Iterator[Event]:
+    """Stream the token sequence of *source* with O(depth) memory.
+
+    *source* may be XML text (``str``), an open text-mode file object,
+    or a path (:class:`os.PathLike`).  The events are exactly what
+    ``stream_events(parse_document(text))`` would yield, but the tree is
+    never built: memory is the open-element stack plus one read buffer.
+    """
+    read, close = _reader_for(source)
+    parser = _StreamingParser(read, options or ParseOptions())
+    if close is None:
+        # Caller-owned source: hand back the event generator with no
+        # wrapper frame (one fewer generator hop per event).
+        return parser.events()
+    return _events_then_close(parser, close)
+
+
+def _events_then_close(parser, close) -> Iterator[Event]:
+    try:
+        yield from parser.events()
+    finally:
+        if close is not None:
+            close()
