@@ -14,7 +14,13 @@ record type:
   explicit child chains when the content model is non-recursive;
 * :mod:`repro.analysis.lint` — ``xmlrel-lint``, the Python-AST repo
   linter enforcing project invariants (run as
-  ``python -m repro.analysis.lint``).
+  ``python -m repro.analysis.lint``);
+* :mod:`repro.analysis.concurrency` — ``xmlrel-concurrency``, the
+  static lock-discipline analyzer (rules C001–C005) built around the
+  canonical lock order :data:`~repro.analysis.concurrency.LOCK_ORDER`
+  (run as ``python -m repro.analysis.concurrency``); its runtime
+  companion :mod:`repro.analysis.lockharness` polices the same order
+  on live locks under the test suites.
 
 :mod:`repro.analysis.sweep` lints the full benchmark query corpus across
 every registered scheme (the CI gate; run as
@@ -34,11 +40,26 @@ from repro.analysis.xpathlint import XPathAnalyzer
 
 __all__ = [
     "Diagnostic",
+    "LOCK_ORDER",
     "SEVERITY_ADVICE",
     "SEVERITY_ERROR",
     "SEVERITY_WARNING",
     "XPathAnalyzer",
     "format_diagnostics",
     "has_errors",
+    "lint_concurrency",
     "lint_statement",
 ]
+
+
+def __getattr__(name):
+    # Lazy: importing the concurrency analyzer at package-import time
+    # would trip runpy's double-import warning under
+    # ``python -m repro.analysis.concurrency``.
+    if name in ("LOCK_ORDER", "lint_concurrency"):
+        from repro.analysis import concurrency
+
+        return getattr(concurrency, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

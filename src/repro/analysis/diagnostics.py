@@ -1,8 +1,8 @@
 """The shared diagnostic record all analyzers emit.
 
 Every check in :mod:`repro.analysis` — the SQL plan linter, the XPath
-static analyzer, and the repo linter — reports through one frozen
-:class:`Diagnostic` shape so callers (strict-mode raising, span
+static analyzer, the repo linter, and the concurrency analyzer —
+reports through one frozen :class:`Diagnostic` shape so callers (strict-mode raising, span
 attachment, :class:`~repro.obs.report.QueryReport`, CI report files)
 handle them uniformly.
 
@@ -21,12 +21,16 @@ Severities
     column no index covers).
 
 Diagnostic codes are stable strings (``P0xx`` for plan lint, ``X0xx``
-for XPath analysis, ``L0xx`` for the repo lint); the full table lives in
-DESIGN.md §7.
+for XPath analysis, ``L0xx`` for the repo lint, ``C0xx`` for the
+concurrency analyzer); the full table lives in DESIGN.md §7 and §12.
+
+False positives from the AST-based linters are suppressed in place with
+``# lint: allow(CODE)`` pragmas — see :func:`collect_pragmas`.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from collections.abc import Iterable
 
@@ -98,3 +102,37 @@ def sorted_by_severity(
 def format_diagnostics(diagnostics: Iterable[Diagnostic]) -> str:
     """All diagnostics, one formatted line each, most severe first."""
     return "\n".join(d.format() for d in sorted_by_severity(diagnostics))
+
+
+#: In-source suppression: ``# lint: allow(C002)`` (comma-separated for
+#: several codes).  On a code line it covers that line; on a line that
+#: is only a comment it covers the next line too, so long statements
+#: can carry the pragma above them.
+_PRAGMA = re.compile(r"#\s*lint:\s*allow\(([^)]*)\)")
+
+
+def collect_pragmas(text: str) -> dict[int, frozenset[str]]:
+    """``{line number: allowed codes}`` for every pragma in *text*."""
+    allows: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip()
+            for code in match.group(1).split(",")
+            if code.strip()
+        )
+        if not codes:
+            continue
+        allows[lineno] = allows.get(lineno, frozenset()) | codes
+        if line.lstrip().startswith("#"):
+            allows[lineno + 1] = allows.get(lineno + 1, frozenset()) | codes
+    return allows
+
+
+def is_suppressed(
+    pragmas: dict[int, frozenset[str]], line: int, code: str
+) -> bool:
+    """True when a pragma on *line* allows *code*."""
+    return code in pragmas.get(line, frozenset())

@@ -22,6 +22,17 @@ L004
     non-empty ``name`` that is not mentioned in ``core/registry.py`` —
     an unregistered scheme silently disappears from
     ``available_schemes()`` and the differential suite.
+L005
+    Raw ``threading.Lock()`` / ``threading.RLock()`` construction in a
+    module not registered in the lock-order registry
+    (:data:`repro.analysis.concurrency.LOCK_SITES`).  Every lock must
+    either join the registry — so the concurrency analyzer and the
+    runtime harness know its rank — or carry an explicit
+    ``# lint: allow(L005)`` pragma.
+
+A finding is suppressed in place by ``# lint: allow(L00x)`` on the
+offending line or on a comment-only line directly above it (the same
+pragma syntax the concurrency analyzer honors).
 
 Findings come back as the shared :class:`~repro.analysis.Diagnostic`
 record; the CLI exits non-zero when any are found, which is what makes
@@ -36,10 +47,13 @@ import re
 import sys
 from pathlib import Path
 
+from repro.analysis.concurrency import LOCK_SITES
 from repro.analysis.diagnostics import (
     SEVERITY_ERROR,
     Diagnostic,
+    collect_pragmas,
     format_diagnostics,
+    is_suppressed,
 )
 
 #: Modules allowed to contain raw SQL string literals (L001), as
@@ -106,14 +120,24 @@ def _docstring_constants(tree: ast.AST) -> set[int]:
 
 
 class _FileLinter(ast.NodeVisitor):
-    """One file's worth of L001–L003 checks."""
+    """One file's worth of L001–L003 and L005 checks."""
 
     def __init__(self, rel_path: str, tree: ast.AST) -> None:
         self.rel_path = rel_path
         self.findings: list[Diagnostic] = []
         self._sql_allowed = _is_allowed(rel_path, SQL_ALLOWED)
         self._conn_allowed = _is_allowed(rel_path, CONN_ALLOWED)
+        self._lock_site = _is_allowed(rel_path, tuple(LOCK_SITES))
         self._docstrings = _docstring_constants(tree)
+        #: Names imported from ``threading`` (so bare ``Lock()`` after
+        #: ``from threading import Lock`` still trips L005).
+        self._threading_names = {
+            alias.asname or alias.name
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ImportFrom)
+            and node.module == "threading"
+            for alias in node.names
+        }
 
     def _add(self, code: str, message: str, line: int) -> None:
         self.findings.append(
@@ -176,6 +200,34 @@ class _FileLinter(ast.NodeVisitor):
             self._check_sqlite_import(
                 [ast.alias(name="sqlite3")], node.lineno
             )
+        self.generic_visit(node)
+
+    # -- L005: unregistered lock construction ------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self._lock_site:
+            func = node.func
+            name = ""
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "threading"
+            ):
+                name = func.attr
+            elif (
+                isinstance(func, ast.Name)
+                and func.id in self._threading_names
+            ):
+                name = func.id
+            if name in ("Lock", "RLock"):
+                self._add(
+                    "L005",
+                    f"threading.{name}() constructed outside the modules "
+                    "registered in repro.analysis.concurrency.LOCK_SITES "
+                    "— register the lock (so the concurrency analyzer "
+                    "can rank it) or add '# lint: allow(L005)'",
+                    node.lineno,
+                )
         self.generic_visit(node)
 
     # -- L003: bare except -------------------------------------------------------
@@ -285,10 +337,12 @@ def lint_paths(paths: list[Path], root: Path | None = None) -> list[Diagnostic]:
         root = Path.cwd()
     findings: list[Diagnostic] = []
     trees: dict[str, ast.AST] = {}
+    pragmas_by_file: dict[str, dict[int, frozenset[str]]] = {}
     for file in files:
         rel_path = _relative(file, root)
+        text = file.read_text(encoding="utf-8")
         try:
-            tree = ast.parse(file.read_text(encoding="utf-8"))
+            tree = ast.parse(text)
         except SyntaxError as error:
             findings.append(
                 Diagnostic(
@@ -300,11 +354,31 @@ def lint_paths(paths: list[Path], root: Path | None = None) -> list[Diagnostic]:
             )
             continue
         trees[rel_path] = tree
+        pragmas_by_file[rel_path] = collect_pragmas(text)
         linter = _FileLinter(rel_path, tree)
         linter.visit(tree)
         findings.extend(linter.findings)
     findings.extend(_check_registry(trees))
-    return findings
+    return _apply_pragmas(findings, pragmas_by_file)
+
+
+def _apply_pragmas(
+    findings: list[Diagnostic],
+    pragmas_by_file: dict[str, dict[int, frozenset[str]]],
+) -> list[Diagnostic]:
+    """Drop findings a ``# lint: allow(...)`` pragma covers."""
+    kept = []
+    for diagnostic in findings:
+        rel_path, _, line = diagnostic.location.rpartition(":")
+        pragmas = pragmas_by_file.get(rel_path)
+        if (
+            pragmas
+            and line.isdigit()
+            and is_suppressed(pragmas, int(line), diagnostic.code)
+        ):
+            continue
+        kept.append(diagnostic)
+    return kept
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -109,6 +109,14 @@ class PlanLintError(XmlRelError):
         super().__init__(f"plan lint failed: {summary}")
 
 
+class LockDisciplineError(XmlRelError):
+    """Raised by the runtime lock-order harness
+    (:mod:`repro.analysis.lockharness`) when proceeding would deadlock:
+    a non-reentrant lock re-acquired by the thread already holding it.
+    Order violations that merely *risk* deadlock are recorded, not
+    raised — the harness reports them at test teardown."""
+
+
 class ReadOnlyDatabaseError(StorageError):
     """Raised when a write statement reaches a read-only connection.
 

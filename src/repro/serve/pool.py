@@ -187,6 +187,17 @@ class ConnectionPool:
         except XmlRelError:
             pass
 
+    def _drain_idle(self, recycled: bool = False) -> None:
+        """Discard every currently idle session."""
+        while True:
+            try:
+                session = self._idle.get_nowait()
+            except queue.Empty:
+                break
+            if recycled:
+                self._counter("recycled").inc()
+            self._discard(session)
+
     # -- acquire / release --------------------------------------------------------
 
     def acquire(self, timeout: float | None = None) -> ReadSession:
@@ -290,6 +301,13 @@ class ConnectionPool:
             self._discard(session)
             return
         self._idle.put(session)
+        if self._closed:
+            # close() may have set the flag and drained the queue
+            # between our check above and the put — drain again so no
+            # connection outlives the pool.  (Found by the concurrency
+            # audit: the same window for recycle() is benign, because
+            # acquire() re-checks staleness at checkout.)
+            self._drain_idle()
 
     @contextmanager
     def connection(self, timeout: float | None = None):
@@ -328,13 +346,7 @@ class ConnectionPool:
         the unlinked old file."""
         with self._lock:
             self._generation += 1
-        while True:
-            try:
-                session = self._idle.get_nowait()
-            except queue.Empty:
-                break
-            self._counter("recycled").inc()
-            self._discard(session)
+        self._drain_idle(recycled=True)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -344,12 +356,7 @@ class ConnectionPool:
         Sessions currently checked out are closed at their release.
         """
         self._closed = True
-        while True:
-            try:
-                session = self._idle.get_nowait()
-            except queue.Empty:
-                break
-            self._discard(session)
+        self._drain_idle()
 
     def __enter__(self) -> "ConnectionPool":
         return self

@@ -66,6 +66,16 @@ records the shipped write sequence, giving every replica-served answer
 a staleness bound (writes behind + snapshot age) surfaced through
 :class:`~repro.serve.executor.ScatterResult` and
 :class:`~repro.obs.report.QueryReport`.
+
+**Lock order.**  The canonical order for every lock in this module —
+and the rest of the tree — is declared once, in
+:data:`repro.analysis.concurrency.LOCK_ORDER`: ``shard`` (the
+per-shard writer locks, outermost; several taken in ascending shard
+index only) → ``map`` (catalog/shard-map locks) → ``pool`` →
+``metrics`` (innermost).  The static analyzer
+(``python -m repro.analysis.concurrency``) and the runtime harness
+(:mod:`repro.analysis.lockharness`) both enforce it; change the
+registry, not just this prose.
 """
 
 from __future__ import annotations
@@ -181,8 +191,9 @@ class ShardedStore:
         self._shard_locks = [threading.Lock() for _ in writers]
         #: Guards the round-robin counter and *every* catalog-database
         #: write (shard map, journal, shard state) — the catalog is one
-        #: shared connection.  Lock order: shard lock(s) outer, map
-        #: lock inner; never the reverse.
+        #: shared connection.  Lock order: class "map", inside the
+        #: "shard" locks above — see the canonical registry
+        #: :data:`repro.analysis.concurrency.LOCK_ORDER`.
         self._map_lock = threading.Lock()
         self._rr_counter = len(shard_map)
         if self.executor.shard_state is None:
@@ -569,6 +580,12 @@ class ShardedStore:
                     with self._shard_locks[shard]:
                         with self.writers[shard].bulk_session() as session:
                             while True:
+                                # Waiting for work under the shard lock
+                                # is the design: the lock *is* the
+                                # single-writer serialization for the
+                                # whole bulk session, and the bounded
+                                # queue provides the backpressure.
+                                # lint: allow(C002)
                                 item = shard_queue.get()
                                 if item is sentinel:
                                     consumed_sentinel = True

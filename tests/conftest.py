@@ -1,4 +1,14 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+With ``XMLREL_LOCK_HARNESS=1`` in the environment (the CI
+``concurrency-analysis`` job), every :class:`repro.serve.ShardedStore`
+the suite opens is instrumented with the runtime lock-order harness
+(:mod:`repro.analysis.lockharness`); any recorded lock-order violation
+fails the session at teardown, and the acquisition graph is written to
+``$XMLREL_LOCK_HARNESS_REPORT`` (default ``lock-harness-report.json``).
+"""
+
+import os
 
 import pytest
 
@@ -68,3 +78,59 @@ def make_scheme(name, db, dtd=None, **kwargs):
     if name == "inlining":
         kwargs.setdefault("dtd", dtd)
     return create_scheme(name, db, **kwargs)
+
+
+# -- opt-in runtime lock-order harness ----------------------------------------
+
+_LOCK_WATCHER = None
+_ORIGINAL_OPEN = None
+
+
+def pytest_configure(config):
+    if not os.environ.get("XMLREL_LOCK_HARNESS"):
+        return
+    global _LOCK_WATCHER, _ORIGINAL_OPEN
+    from repro.analysis.lockharness import (
+        LockWatcher,
+        instrument_sharded_store,
+    )
+    from repro.serve.sharded import ShardedStore
+
+    _LOCK_WATCHER = LockWatcher()
+    _ORIGINAL_OPEN = ShardedStore.open.__func__
+
+    def opened_instrumented(cls, *args, **kwargs):
+        store = _ORIGINAL_OPEN(cls, *args, **kwargs)
+        instrument_sharded_store(store, _LOCK_WATCHER)
+        return store
+
+    ShardedStore.open = classmethod(opened_instrumented)
+
+
+def pytest_unconfigure(config):
+    global _LOCK_WATCHER, _ORIGINAL_OPEN
+    if _LOCK_WATCHER is None:
+        return
+    from repro.serve.sharded import ShardedStore
+
+    ShardedStore.open = classmethod(_ORIGINAL_OPEN)
+    _LOCK_WATCHER = None
+    _ORIGINAL_OPEN = None
+
+
+@pytest.fixture(autouse=True, scope="session")
+def lock_harness_gate():
+    """Fails the session at teardown on any recorded violation."""
+    yield
+    if _LOCK_WATCHER is None:
+        return
+    report_path = os.environ.get(
+        "XMLREL_LOCK_HARNESS_REPORT", "lock-harness-report.json"
+    )
+    _LOCK_WATCHER.write_report(report_path)
+    report = _LOCK_WATCHER.report()
+    print(
+        f"\nlock harness: {report['acquires']} acquire(s), "
+        f"{report['count']} violation(s), report at {report_path}"
+    )
+    _LOCK_WATCHER.assert_clean()

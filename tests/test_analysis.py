@@ -6,7 +6,8 @@ Four families of tests pin the layer down:
   lints clean on every scheme (the CI sweep's contract, in miniature);
 * the *positive space* — hand-built defective statements and repo
   fixtures trip each diagnostic code exactly (P001–P006, X001/X002,
-  L001–L004);
+  L001–L005; the concurrency rules C001–C005 live in
+  ``tests/test_concurrency_analysis.py``);
 * the *semantics* — an unsatisfiable query executes zero SQL statements,
   and a ``//``-expanded query returns byte-identical results to the
   unexpanded translation on real workload documents;
@@ -15,6 +16,7 @@ Four families of tests pin the layer down:
   finding the gate surfaced).
 """
 
+import json
 from pathlib import Path
 
 import pytest
@@ -23,13 +25,20 @@ from repro import PlanLintError, XmlRelStore
 from repro.analysis import (
     SEVERITY_ADVICE,
     SEVERITY_ERROR,
+    SEVERITY_WARNING,
     Diagnostic,
     XPathAnalyzer,
+    format_diagnostics,
     has_errors,
     lint_statement,
 )
-from repro.analysis.lint import lint_paths
-from repro.analysis.sweep import run_sweep
+from repro.analysis.diagnostics import (
+    collect_pragmas,
+    is_suppressed,
+    sorted_by_severity,
+)
+from repro.analysis.lint import lint_paths, main as lint_main
+from repro.analysis.sweep import main as sweep_main, run_sweep
 from repro.errors import UnsupportedQueryError, XmlRelError
 from repro.obs.trace import Tracer
 from repro.relational.sql import (
@@ -583,6 +592,46 @@ class TestRepoLint:
         )
         assert not self.lint_fixture(tmp_path, files)
 
+    def test_l005_raw_lock_outside_registry(self, tmp_path):
+        found = self.lint_fixture(
+            tmp_path,
+            {
+                "repro/query/bad.py": (
+                    "import threading\nlock = threading.Lock()\n"
+                ),
+            },
+        )
+        assert [d.code for d in found] == ["L005"]
+
+    def test_l005_bare_import_form(self, tmp_path):
+        found = self.lint_fixture(
+            tmp_path,
+            {
+                "repro/xml/bad.py": (
+                    "from threading import RLock\nguard = RLock()\n"
+                ),
+            },
+        )
+        assert [d.code for d in found] == ["L005"]
+
+    def test_l005_registered_module_and_pragma_are_exempt(self, tmp_path):
+        found = self.lint_fixture(
+            tmp_path,
+            {
+                # Registered in repro.analysis.concurrency.LOCK_SITES.
+                "repro/serve/pool.py": (
+                    "import threading\nlock = threading.Lock()\n"
+                ),
+                # Suppressed in place, with justification.
+                "repro/query/ok.py": (
+                    "import threading\n"
+                    "# guards a module-local cache, never nested\n"
+                    "lock = threading.Lock()  # lint: allow(L005)\n"
+                ),
+            },
+        )
+        assert not found
+
     def test_src_repro_is_clean(self):
         findings = lint_paths([SRC_ROOT / "repro"], root=SRC_ROOT)
         assert not findings, "\n".join(d.format() for d in findings)
@@ -605,5 +654,87 @@ class TestDiagnosticRecord:
     def test_format_and_dict(self):
         d = Diagnostic("P001", SEVERITY_ERROR, "boom", location="FROM x")
         assert d.format() == "FROM x: P001 error: boom"
-        assert d.to_dict()["code"] == "P001"
+        assert d.to_dict() == {
+            "code": "P001",
+            "severity": "error",
+            "message": "boom",
+            "location": "FROM x",
+        }
         assert d.is_error
+
+    def test_format_without_location(self):
+        d = Diagnostic("X001", SEVERITY_WARNING, "empty")
+        assert d.format() == "X001 warning: empty"
+        assert not d.is_error
+
+    def test_sorted_by_severity_and_block_format(self):
+        advice = Diagnostic("P006", SEVERITY_ADVICE, "slow", location="z")
+        warning = Diagnostic("C003", SEVERITY_WARNING, "race", location="b:9")
+        error = Diagnostic("L001", SEVERITY_ERROR, "sql", location="a:3")
+        shuffled = [advice, warning, error]
+        ordered = sorted_by_severity(shuffled)
+        assert [d.code for d in ordered] == ["L001", "C003", "P006"]
+        block = format_diagnostics(shuffled)
+        assert block.splitlines() == [d.format() for d in ordered]
+        assert has_errors(shuffled)
+        assert not has_errors([advice, warning])
+
+    def test_collect_pragmas_inline_and_comment_line(self):
+        text = (
+            "x = 1\n"
+            "y = risky()  # lint: allow(C002, L005)\n"
+            "# justified above  # lint: allow(C004)\n"
+            "z = spawn()\n"
+        )
+        pragmas = collect_pragmas(text)
+        assert pragmas[2] == frozenset({"C002", "L005"})
+        # A comment-only pragma line also covers the next line.
+        assert pragmas[3] == pragmas[4] == frozenset({"C004"})
+        assert is_suppressed(pragmas, 2, "C002")
+        assert is_suppressed(pragmas, 2, "L005")
+        assert not is_suppressed(pragmas, 2, "C004")
+        assert is_suppressed(pragmas, 4, "C004")
+        assert not is_suppressed(pragmas, 1, "C002")
+
+
+# ---------------------------------------------------------------------------
+# The --json artifacts of the linter CLIs (the CI report schemas).
+# ---------------------------------------------------------------------------
+
+
+class TestReportSchemas:
+    def test_lint_json_artifact(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "query" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "try:\n    pass\nexcept:\n    pass\n", encoding="utf-8"
+        )
+        report_path = tmp_path / "lint-report.json"
+        code = lint_main(["--json", str(report_path), str(tmp_path)])
+        assert code == 1
+        assert "finding(s)" in capsys.readouterr().out
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert set(report) == {"findings", "count"}
+        assert report["count"] == len(report["findings"]) == 1
+        finding = report["findings"][0]
+        assert set(finding) == {"code", "severity", "message", "location"}
+        assert finding["code"] == "L003"
+
+    def test_lint_clean_exit(self, tmp_path, capsys):
+        (tmp_path / "fine.py").write_text("x = 1\n", encoding="utf-8")
+        assert lint_main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_sweep_json_artifact(self, tmp_path, capsys):
+        report_path = tmp_path / "sweep-report.json"
+        code = sweep_main(["edge", "--json", str(report_path)])
+        assert code == 0
+        assert "plan-lint sweep" in capsys.readouterr().out
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert set(report) >= {
+            "checked", "skipped", "errors", "diagnostics", "entries",
+        }
+        assert report["errors"] == 0
+        assert report["checked"] > 0
+        for entry in report["entries"]:
+            assert {"corpus", "scheme", "query"} <= set(entry)

@@ -243,6 +243,30 @@ class TestConnectionPool:
             hammer(worker)
             assert pool.stats()["open"] <= 3
 
+    def test_release_racing_close_never_leaks_a_connection(self, tmp_path):
+        # Regression for a window the concurrency audit surfaced:
+        # release() checks _closed, then close() flips the flag and
+        # drains the idle queue, then release() puts the session back —
+        # leaving an open connection idling in a closed pool forever.
+        # Reproduce the interleaving deterministically by closing the
+        # pool from inside release's staleness check.
+        path = make_shard_file(tmp_path)
+        pool = ConnectionPool(path, "interval", size=1)
+        session = pool.acquire()
+        real_stale = pool._stale
+
+        def stale_then_close(candidate):
+            verdict = real_stale(candidate)
+            pool.close()  # lands between release's check and its put
+            return verdict
+
+        pool._stale = stale_then_close
+        pool.release(session)
+        assert pool.stats()["idle"] == 0
+        assert pool.stats()["open"] == 0
+        with pytest.raises(StorageError):
+            pool.acquire()
+
 
 # -- sharded stores --------------------------------------------------------------
 
