@@ -28,9 +28,11 @@ from repro.obs import (
     format_span_tree,
 )
 from repro.errors import (
+    HTTP_STATUS,
     DeadlineExceeded,
     Overloaded,
     PlanLintError,
+    ProtocolError,
     ServingError,
     ShardError,
     StorageError,
@@ -39,6 +41,8 @@ from repro.errors import (
     XmlRelError,
     XmlSyntaxError,
     XPathSyntaxError,
+    error_payload,
+    http_status,
 )
 from repro.relational.database import DURABILITY_PROFILES, Database
 from repro.relational.retry import RetryPolicy
@@ -60,6 +64,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DURABILITY_PROFILES",
+    "HTTP_STATUS",
     "ConnectionPool",
     "Database",
     "DeadlineExceeded",
@@ -70,6 +75,7 @@ __all__ = [
     "MetricsRegistry",
     "Overloaded",
     "PlanLintError",
+    "ProtocolError",
     "QueryExecutor",
     "QueryReport",
     "RetryPolicy",
@@ -90,9 +96,11 @@ __all__ = [
     "compare_schemes",
     "create_scheme",
     "deep_equal",
+    "error_payload",
     "evaluate",
     "evaluate_nodes",
     "format_span_tree",
+    "http_status",
     "open_sharded",
     "open_store",
     "parse_document",

@@ -132,6 +132,7 @@ LOCK_SITES: dict[str, dict[str, str]] = {
     "repro/serve/sharded.py": {"_shard_locks": "shard", "_map_lock": "map"},
     "repro/serve/pool.py": {"_lock": "pool"},
     "repro/serve/executor.py": {"_replica_lock": "pool", "_gate": "pool"},
+    "repro/serve/gateway.py": {"_lock": "pool"},
     "repro/relational/plancache.py": {"_lock": "pool"},
     "repro/relational/shardmap.py": {"_lock": "map"},
     "repro/obs/metrics.py": {"_lock": "metrics"},

@@ -1,0 +1,477 @@
+"""Open-loop HTTP load generation against the query gateway.
+
+A **closed-loop** client (issue, wait, issue again) self-throttles when
+the server slows down — offered load silently drops exactly when the
+system saturates, and the latency curve flatters the server.  This
+generator is **open-loop**: request *i* launches at ``start + i/rate``
+whether or not earlier requests have finished, the way independent
+clients arrive in production.  Past the saturation knee, latency grows
+without bound instead of plateauing — which is the honest curve.
+
+Per request it records the full streaming timeline:
+
+* ``latency`` — request start → response fully read,
+* ``first_byte`` — request start → first response byte,
+* ``first_row`` — request start → first NDJSON ``rows`` event
+  (streamed requests only; equals full latency for materialized ones).
+
+The client is a minimal asyncio HTTP/1.1 implementation
+(``Connection: close``, one connection per request — an open-loop
+arrival *is* a new client), enough for the gateway's JSON and
+chunked-NDJSON responses; this repo takes no dependencies.
+
+Usage::
+
+    report = run_load(url, xpath="/bib/book", rate=200, duration=2.0)
+    print(report.to_dict())
+
+or over a rate sweep::
+
+    reports = [run_load(url, ..., rate=r, duration=2) for r in RATES]
+    knee = saturation_knee(reports)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+
+__all__ = [
+    "LoadReport",
+    "Sample",
+    "percentile",
+    "run_load",
+    "saturation_knee",
+]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One request's timeline, all seconds relative to its start."""
+
+    status: int
+    latency: float
+    first_byte: float | None = None
+    first_row: float | None = None
+    error: str | None = None
+    #: How late the request launched vs its open-loop schedule — a
+    #: generator that cannot keep its own schedule (coordinated
+    #: omission) invalidates the run; reports surface the worst case.
+    schedule_slip: float = 0.0
+    rows: int = 0
+
+
+def percentile(values: list[float], q: float) -> float | None:
+    """The *q*-quantile (0..1) by linear interpolation; None when empty."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    low = int(pos)
+    high = min(low + 1, len(ordered) - 1)
+    frac = pos - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+@dataclass
+class LoadReport:
+    """One load point: offered rate in, latency distribution out."""
+
+    offered_rate: float
+    duration_seconds: float
+    samples: list[Sample] = field(default_factory=list)
+
+    @property
+    def completed(self) -> list[Sample]:
+        return [s for s in self.samples if s.error is None]
+
+    def statuses(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for sample in self.samples:
+            counts[sample.status] = counts.get(sample.status, 0) + 1
+        return counts
+
+    def _quantiles(self, values: list[float]) -> dict:
+        return {
+            "p50": percentile(values, 0.50),
+            "p90": percentile(values, 0.90),
+            "p99": percentile(values, 0.99),
+            "max": max(values) if values else None,
+        }
+
+    def to_dict(self) -> dict:
+        ok = [s for s in self.completed if s.status in (200, 206)]
+        latencies = [s.latency for s in ok]
+        first_bytes = [
+            s.first_byte for s in ok if s.first_byte is not None
+        ]
+        first_rows = [
+            s.first_row for s in ok if s.first_row is not None
+        ]
+        achieved = (
+            len(self.samples) / self.duration_seconds
+            if self.duration_seconds > 0 else 0.0
+        )
+        return {
+            "offered_rate": self.offered_rate,
+            "achieved_rate": achieved,
+            "duration_seconds": self.duration_seconds,
+            "requests": len(self.samples),
+            "ok": len(ok),
+            "statuses": {
+                str(status): count
+                for status, count in sorted(self.statuses().items())
+            },
+            "errors": sum(1 for s in self.samples if s.error is not None),
+            "latency_seconds": self._quantiles(latencies),
+            "first_byte_seconds": self._quantiles(first_bytes),
+            "first_row_seconds": self._quantiles(first_rows),
+            "max_schedule_slip_seconds": max(
+                (s.schedule_slip for s in self.samples), default=0.0
+            ),
+        }
+
+
+async def _fetch(
+    host: str,
+    port: int,
+    path: str,
+    body: bytes | None,
+    client: str,
+    timeout: float,
+) -> Sample:
+    """One request on one fresh connection, timeline recorded."""
+    started = time.perf_counter()
+    first_byte = first_row = None
+    rows = 0
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout
+        )
+    except (OSError, asyncio.TimeoutError, TimeoutError) as error:
+        return Sample(
+            status=0,
+            latency=time.perf_counter() - started,
+            error=f"connect: {type(error).__name__}",
+        )
+    try:
+        method = "POST" if body is not None else "GET"
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"X-Client-Id: {client}\r\n"
+            "Connection: close\r\n"
+        )
+        if body is not None:
+            head += (
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+            )
+        writer.write(head.encode() + b"\r\n" + (body or b""))
+        await writer.drain()
+
+        status_line = await asyncio.wait_for(
+            reader.readline(), timeout=timeout
+        )
+        first_byte = time.perf_counter() - started
+        parts = status_line.decode("latin-1").split()
+        status = int(parts[1]) if len(parts) > 1 else 0
+        streaming = False
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if (
+                name.strip().lower() == "content-type"
+                and "ndjson" in value
+            ):
+                streaming = True
+        # Remaining bytes: chunked NDJSON or a Content-Length JSON
+        # body; Connection: close makes read-to-EOF correct for both.
+        payload = await asyncio.wait_for(reader.read(), timeout=timeout)
+        latency = time.perf_counter() - started
+        if streaming:
+            for raw_line in payload.splitlines():
+                # Skip chunked framing: chunk-size lines are short hex
+                # tokens, events are JSON objects starting with '{'.
+                if not raw_line.startswith(b"{"):
+                    continue
+                event = json.loads(raw_line)
+                if event.get("event") == "rows":
+                    if first_row is None:
+                        first_row = first_byte
+                    rows += len(event.get("rows", ()))
+                if event.get("event") == "error":
+                    status = int(event.get("status", status) or status)
+        elif status in (200, 206) and payload:
+            json_start = payload.find(b"{")
+            if json_start >= 0:
+                parsed = json.loads(payload[json_start:])
+                rows = parsed.get("row_count", 0)
+                first_row = latency
+        return Sample(
+            status=status,
+            latency=latency,
+            first_byte=first_byte,
+            first_row=first_row,
+            rows=rows,
+        )
+    except (OSError, asyncio.TimeoutError, TimeoutError,
+            ValueError) as error:
+        return Sample(
+            status=0,
+            latency=time.perf_counter() - started,
+            first_byte=first_byte,
+            error=f"{type(error).__name__}: {error}",
+        )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _fetch_streamed(
+    host: str, port: int, path: str, body, client, timeout,
+) -> Sample:
+    """Like :func:`_fetch` but reads the chunked stream line by line so
+    ``first_row`` is a *measured* arrival time, not an approximation."""
+    started = time.perf_counter()
+    first_byte = first_row = None
+    rows = 0
+    status = 0
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout
+        )
+    except (OSError, asyncio.TimeoutError, TimeoutError) as error:
+        return Sample(
+            status=0,
+            latency=time.perf_counter() - started,
+            error=f"connect: {type(error).__name__}",
+        )
+    try:
+        method = "POST" if body is not None else "GET"
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"X-Client-Id: {client}\r\n"
+            "Connection: close\r\n"
+        )
+        if body is not None:
+            head += (
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+            )
+        writer.write(head.encode() + b"\r\n" + (body or b""))
+        await writer.drain()
+        status_line = await asyncio.wait_for(
+            reader.readline(), timeout=timeout
+        )
+        first_byte = time.perf_counter() - started
+        parts = status_line.decode("latin-1").split()
+        status = int(parts[1]) if len(parts) > 1 else 0
+        while True:  # headers
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+        while True:  # chunked NDJSON events, one read per line
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=timeout
+            )
+            if not line:
+                break
+            if not line.startswith(b"{"):
+                continue  # chunk framing
+            event = json.loads(line)
+            kind = event.get("event")
+            if kind == "rows":
+                if first_row is None:
+                    first_row = time.perf_counter() - started
+                rows += len(event.get("rows", ()))
+            elif kind == "error":
+                status = int(event.get("status", status) or status)
+            elif kind == "end":
+                if event.get("outcome") == "partial":
+                    status = 206
+                break
+        return Sample(
+            status=status,
+            latency=time.perf_counter() - started,
+            first_byte=first_byte,
+            first_row=first_row,
+            rows=rows,
+        )
+    except (OSError, asyncio.TimeoutError, TimeoutError,
+            ValueError) as error:
+        return Sample(
+            status=status,
+            latency=time.perf_counter() - started,
+            first_byte=first_byte,
+            error=f"{type(error).__name__}: {error}",
+        )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _open_loop(
+    url: str,
+    xpath: str,
+    rate: float,
+    duration: float,
+    stream: bool,
+    client: str,
+    timeout: float,
+    doc_id: int | None,
+    deadline_seconds: float | None,
+) -> LoadReport:
+    split = urllib.parse.urlsplit(url)
+    host, port = split.hostname or "127.0.0.1", split.port or 80
+    payload: dict = {"xpath": xpath}
+    if stream:
+        payload["stream"] = True
+    if doc_id is not None:
+        payload["doc_id"] = doc_id
+    if deadline_seconds is not None:
+        payload["deadline_seconds"] = deadline_seconds
+    body = json.dumps(payload).encode()
+    fetch = _fetch_streamed if stream else _fetch
+    total = max(1, int(rate * duration))
+    interval = 1.0 / rate
+    start = time.perf_counter()
+    tasks = []
+    slips = []
+    for i in range(total):
+        target = start + i * interval
+        delay = target - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        # Launch regardless of in-flight count: open loop.
+        slips.append(max(0.0, time.perf_counter() - target))
+        tasks.append(
+            asyncio.ensure_future(
+                fetch(host, port, "/query", body, client, timeout)
+            )
+        )
+    samples = list(await asyncio.gather(*tasks))
+    elapsed = time.perf_counter() - start
+    report = LoadReport(
+        offered_rate=rate,
+        duration_seconds=elapsed,
+        samples=[
+            Sample(
+                status=s.status,
+                latency=s.latency,
+                first_byte=s.first_byte,
+                first_row=s.first_row,
+                error=s.error,
+                schedule_slip=slip,
+                rows=s.rows,
+            )
+            for s, slip in zip(samples, slips)
+        ],
+    )
+    return report
+
+
+def run_load(
+    url: str,
+    xpath: str,
+    rate: float,
+    duration: float,
+    stream: bool = False,
+    client: str = "loadgen",
+    timeout: float = 30.0,
+    doc_id: int | None = None,
+    deadline_seconds: float | None = None,
+) -> LoadReport:
+    """Drive *url* at *rate* requests/second for *duration* seconds,
+    open-loop, and return the :class:`LoadReport`.
+
+    Synchronous wrapper — runs its own event loop on the calling thread
+    (or a private thread when one is already running, so tests inside
+    async frameworks still work).
+    """
+
+    async def main():
+        return await _open_loop(
+            url, xpath, rate, duration, stream, client, timeout,
+            doc_id, deadline_seconds,
+        )
+
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return asyncio.run(main())
+    # Called from inside a running loop: spill to a worker thread.
+    box: list = []
+
+    def runner():
+        box.append(asyncio.run(main()))
+
+    thread = threading.Thread(
+        target=runner, name="xmlrel-loadgen", daemon=True
+    )
+    thread.start()
+    thread.join()
+    return box[0]
+
+
+def saturation_knee(reports: list[LoadReport]) -> dict | None:
+    """Locate the saturation knee in a rate sweep.
+
+    The knee is the first offered rate where the server visibly stops
+    keeping up: achieved throughput falls >10% short of offered, p99
+    latency exceeds 3x the lowest-rate baseline, or rejections (429) /
+    errors appear in bulk (>5% of requests).  Returns ``{"offered_rate",
+    "reason"}`` or None when the sweep never saturates.
+    """
+    if not reports:
+        return None
+    ordered = sorted(reports, key=lambda r: r.offered_rate)
+    baseline = ordered[0].to_dict()["latency_seconds"]["p99"]
+    for report in ordered:
+        summary = report.to_dict()
+        reasons = []
+        if summary["requests"]:
+            rejected = sum(
+                count
+                for status, count in summary["statuses"].items()
+                if status in ("429", "503", "504", "0")
+            )
+            if rejected / summary["requests"] > 0.05:
+                reasons.append(
+                    f"{rejected}/{summary['requests']} shed or failed"
+                )
+        p99 = summary["latency_seconds"]["p99"]
+        if (
+            baseline is not None and p99 is not None
+            and baseline > 0 and p99 > 3 * baseline
+        ):
+            reasons.append(
+                f"p99 {p99 * 1e3:.1f}ms > 3x baseline "
+                f"{baseline * 1e3:.1f}ms"
+            )
+        if summary["achieved_rate"] < 0.9 * report.offered_rate:
+            reasons.append(
+                f"achieved {summary['achieved_rate']:.0f}/s < 90% of "
+                f"offered {report.offered_rate:.0f}/s"
+            )
+        if reasons:
+            return {
+                "offered_rate": report.offered_rate,
+                "reason": "; ".join(reasons),
+            }
+    return None

@@ -178,9 +178,78 @@ class ShardError(ServingError):
         super().__init__(f"shard {shard} failed: {cause}")
 
 
+class ProtocolError(ServingError):
+    """Raised when a network request to the serving layer is malformed:
+    unparsable JSON body, missing/mistyped fields, unknown routes or
+    parameter values.  Always the *client's* fault — maps to HTTP 400.
+    """
+
+
 class UpdateError(XmlRelError):
     """Raised when an update (insert/delete) cannot be applied."""
 
 
 class WorkloadError(XmlRelError):
     """Raised on invalid workload-generator parameters."""
+
+
+#: The serving-error → HTTP-status table — the single source of truth
+#: shared by the network gateway (:mod:`repro.serve.gateway`) and the
+#: ops endpoint (:mod:`repro.obs.ops`).  Ordered most-specific-first;
+#: :func:`http_status` walks it with ``isinstance`` so a subclass added
+#: later inherits its parent's status instead of silently falling
+#: through to 500.  Partial degraded answers are not errors and are
+#: mapped by the gateway itself (HTTP 206).
+HTTP_STATUS: tuple[tuple[type, int], ...] = (
+    (Overloaded, 429),           # shed: admission gate or quota; retryable
+    (DeadlineExceeded, 504),     # the query missed its budget
+    (ShardError, 502),           # a backend shard failed (fail-fast mode)
+    (ProtocolError, 400),        # malformed request
+    (DocumentNotFoundError, 404),
+    (XPathSyntaxError, 400),     # the client's query doesn't parse
+    (UnsupportedQueryError, 400),
+    (PlanLintError, 400),
+    (XmlSyntaxError, 400),       # malformed document payload
+    (ReadOnlyDatabaseError, 403),
+    (TransientStorageError, 503),  # safe to retry
+    (ServingError, 503),
+    (XmlRelError, 500),
+)
+
+
+def http_status(error: BaseException) -> int:
+    """The HTTP status code for *error*, per :data:`HTTP_STATUS`.
+
+    Unknown exception types (anything outside the library hierarchy)
+    map to 500.
+    """
+    for exc_type, status in HTTP_STATUS:
+        if isinstance(error, exc_type):
+            return status
+    return 500
+
+
+def error_payload(error: BaseException) -> dict:
+    """A machine-readable JSON body for *error*.
+
+    Always carries ``error`` (the exception class name), ``message``,
+    and ``status``; typed serving errors contribute their structured
+    fields (``in_flight``/``limit``, ``deadline_seconds``/``elapsed``,
+    ``shard``) so clients can act on more than prose.
+    """
+    payload: dict = {
+        "error": type(error).__name__,
+        "message": str(error),
+        "status": http_status(error),
+    }
+    if isinstance(error, Overloaded):
+        payload["in_flight"] = error.in_flight
+        payload["limit"] = error.limit
+    elif isinstance(error, DeadlineExceeded):
+        payload["deadline_seconds"] = error.deadline_seconds
+        payload["elapsed_seconds"] = error.elapsed
+    elif isinstance(error, ShardError):
+        payload["shard"] = error.shard
+    elif isinstance(error, DocumentNotFoundError):
+        payload["doc_id"] = error.doc_id
+    return payload

@@ -33,6 +33,7 @@ import re
 import threading
 import time
 
+from repro.errors import error_payload, http_status
 from repro.obs.events import RequestLog
 from repro.obs.metrics import MetricsRegistry
 
@@ -257,22 +258,40 @@ class OpsServer:
 
     def _route(self, handler: http.server.BaseHTTPRequestHandler) -> None:
         path = handler.path.split("?", 1)[0]
-        if path == "/metrics":
-            body = to_prometheus(self.metrics, windows=self.windows).encode()
+        try:
+            if path == "/metrics":
+                body = to_prometheus(
+                    self.metrics, windows=self.windows
+                ).encode()
+                self._reply(
+                    handler, 200, body,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif path == "/snapshot":
+                body = json.dumps(self.snapshot(), default=str).encode()
+                self._reply(handler, 200, body, "application/json")
+            elif path == "/healthz":
+                health = self.health()
+                status = 200 if health.get("status") == "ok" else 503
+                body = json.dumps(health, default=str).encode()
+                self._reply(handler, status, body, "application/json")
+            else:
+                body = json.dumps(
+                    {"error": "NotFound",
+                     "message": f"no route {path}",
+                     "status": 404}
+                ).encode()
+                self._reply(handler, 404, body, "application/json")
+        except BrokenPipeError:
+            raise
+        except Exception as error:
+            # Typed errors carry their own status via the shared
+            # repro.errors.HTTP_STATUS table (the gateway uses the
+            # same one); anything else is a plain 500.
+            body = json.dumps(error_payload(error), default=str).encode()
             self._reply(
-                handler, 200, body, "text/plain; version=0.0.4; charset=utf-8"
+                handler, http_status(error), body, "application/json"
             )
-        elif path == "/snapshot":
-            body = json.dumps(self.snapshot(), default=str).encode()
-            self._reply(handler, 200, body, "application/json")
-        elif path == "/healthz":
-            health = self.health()
-            status = 200 if health.get("status") == "ok" else 503
-            body = json.dumps(health, default=str).encode()
-            self._reply(handler, status, body, "application/json")
-        else:
-            self._reply(handler, 404, b'{"error": "not found"}',
-                        "application/json")
 
     @staticmethod
     def _reply(handler, status: int, body: bytes, content_type: str) -> None:

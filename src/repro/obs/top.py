@@ -27,6 +27,8 @@ import urllib.request
 _SHARD_RE = re.compile(r"^serve\.shard(\d+)\.query_seconds$")
 _POOL_RE = re.compile(r"^pool\.(shard\d+)\.in_use$")
 _INGEST_RE = re.compile(r"^ingest\.shard(\d+)\.load_seconds$")
+_GATEWAY_ROUTE_RE = re.compile(r"^gateway\.route\.([a-z_]+)\.seconds$")
+_GATEWAY_STATUS_RE = re.compile(r"^gateway\.status\.(\d{3})$")
 
 
 def fetch_snapshot(url: str, timeout: float = 5.0) -> dict:
@@ -118,6 +120,40 @@ def render_snapshot(snapshot: dict) -> str:
                 f"  load p50={_ms(summary.get('p50'))} ms"
                 f"  p99={_ms(summary.get('p99'))} ms"
             )
+
+    gateway_routes = {
+        match.group(1): summary
+        for name, summary in win_hist.items()
+        if (match := _GATEWAY_ROUTE_RE.match(name))
+    }
+    if gateway_routes:
+        connections = gauges.get("gateway.connections", {}).get("value", 0)
+        rejections = win_counters.get(
+            "gateway.quota_rejections", {}
+        ).get("count", 0)
+        lines.append("")
+        lines.append(
+            f"gateway ({window_key}): connections={connections:g}"
+            f"  quota_rejections={rejections}"
+        )
+        for route in sorted(gateway_routes):
+            summary = gateway_routes[route]
+            lines.append(
+                f"  {route:<14} {summary.get('qps', 0) or 0:>7.1f} qps"
+                f"  p50={_ms(summary.get('p50'))} ms"
+                f"  p99={_ms(summary.get('p99'))} ms"
+            )
+        status_counts = {
+            match.group(1): data.get("count", 0)
+            for name, data in win_counters.items()
+            if (match := _GATEWAY_STATUS_RE.match(name))
+        }
+        if status_counts:
+            rendered = "  ".join(
+                f"{status}={count}"
+                for status, count in sorted(status_counts.items())
+            )
+            lines.append(f"  statuses: {rendered}")
 
     outcome_counts = {
         name.rsplit(".", 1)[-1]: data.get("count", 0)

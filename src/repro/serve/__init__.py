@@ -21,8 +21,17 @@ from repro.serve.executor import (
     SHARD_ERROR_MODES,
     QueryExecutor,
     ScatterResult,
+    ScatterStream,
+    outcome_for,
 )
+from repro.serve.gateway import ClientQuotas, Gateway
 from repro.serve.pool import ConnectionPool, ReadSession
+from repro.serve.protocol import (
+    QuerySpec,
+    error_body,
+    parse_query_payload,
+    result_body,
+)
 from repro.serve.replicas import ReplicaSet, replica_fault_key
 from repro.serve.sharded import (
     PLACEMENTS,
@@ -37,15 +46,23 @@ __all__ = [
     "READ_FROM_MODES",
     "SHARD_ERROR_MODES",
     "PLACEMENTS",
+    "ClientQuotas",
     "ConnectionPool",
+    "Gateway",
     "QueryExecutor",
+    "QuerySpec",
     "ReadSession",
     "RecoveryReport",
     "ReplicaSet",
     "ScatterResult",
+    "ScatterStream",
     "ShardMap",
     "ShardedDocument",
     "ShardedStore",
+    "error_body",
     "open_sharded",
+    "outcome_for",
+    "parse_query_payload",
+    "result_body",
     "replica_fault_key",
 ]

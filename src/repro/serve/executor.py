@@ -438,6 +438,7 @@ class QueryExecutor:
         targets: dict[int, list[tuple[int, int]]],
         deadline: float | None = None,
         read_from: str | None = None,
+        ctx: RequestContext | None = None,
     ) -> ScatterResult:
         """Execute *xpath* against *targets* and merge the answers.
 
@@ -446,6 +447,9 @@ class QueryExecutor:
         doc-scoped fast lane (no thread handoff), anything else
         scatters across the worker pool.  *read_from* overrides the
         executor default per query (``"primary"`` or ``"replica"``).
+        *ctx* carries an upstream request's identity (e.g. the
+        gateway's): the wide event and span tree reuse its request id
+        instead of minting a fresh one.
 
         Every exit — success, Overloaded shed, deadline miss, shard
         failure — lands in ``serve.query_seconds`` (plus the
@@ -470,7 +474,8 @@ class QueryExecutor:
         breakdown: dict | None = (
             {} if self.request_log is not None else None
         )
-        ctx: RequestContext | None = None
+        upstream_id = ctx.request_id if ctx is not None else None
+        ctx = None
         result: ScatterResult | None = None
         outcome = "error"
         error_text: str | None = None
@@ -480,7 +485,7 @@ class QueryExecutor:
                 with self.tracer.span(
                     "serve.query", xpath=str(xpath), shards=len(targets)
                 ) as root:
-                    ctx = self.tracer.capture()
+                    ctx = self.tracer.capture(request_id=upstream_id)
                     if root:
                         root.set(request_id=ctx.request_id)
                     if len(targets) <= 1:
@@ -731,6 +736,75 @@ class QueryExecutor:
             raise ShardError(shard, error) from error
         failures.append((shard, str(error)))
 
+    def stream(
+        self,
+        xpath: str,
+        targets: dict[int, list[tuple[int, int]]],
+        deadline: float | None = None,
+        read_from: str | None = None,
+        ctx: RequestContext | None = None,
+    ) -> "ScatterStream":
+        """Begin an *incremental* scatter: per-shard futures surfaced to
+        the caller as they run, instead of one materialized
+        :class:`ScatterResult`.
+
+        Admission, deadlines, replica routing, tracing, and outcome
+        accounting all match :meth:`query`; what changes is delivery —
+        the caller (the network gateway) folds each shard's rows into
+        its response the moment that shard completes.  *ctx* optionally
+        parents the ``serve.query`` span under an outer request span.
+
+        Caller contract: consume the handle's futures (collecting each
+        through :meth:`ScatterStream.collect`), then call
+        :meth:`ScatterStream.finish` exactly once — on success *and* on
+        error paths — to release the admission slot and land the
+        latency/outcome metrics and the wide event.
+        """
+        if self._closed:
+            raise StorageError("query executor is closed")
+        route = self.read_from if read_from is None else read_from
+        if route not in READ_FROM_MODES:
+            raise StorageError(
+                f"unknown read-from mode {route!r}; available: "
+                + ", ".join(READ_FROM_MODES)
+            )
+        budget = self.default_deadline if deadline is None else deadline
+        deadline_at = (
+            None if budget is None else time.monotonic() + budget
+        )
+        started = time.perf_counter()
+        if not self._gate.acquire(blocking=False):
+            self.metrics.counter("serve.overloaded").inc()
+            error = Overloaded(
+                f"serving layer at max in-flight capacity "
+                f"({self.max_in_flight})",
+                in_flight=self.max_in_flight,
+                limit=self.max_in_flight,
+            )
+            self._finish_query(
+                xpath=xpath, targets=targets, route=route, budget=budget,
+                started=started, outcome="overloaded",
+                error_text=str(error), result=None, ctx=ctx,
+                breakdown=None,
+            )
+            raise error
+        self.metrics.gauge("serve.in_flight").add(1)
+        self.metrics.counter("serve.queries").inc()
+        self.metrics.counter("serve.streamed_queries").inc()
+        if len(targets) <= 1:
+            self.metrics.counter("serve.doc_scoped_queries").inc()
+        else:
+            self.metrics.counter("serve.scatter_queries").inc()
+        try:
+            return ScatterStream(
+                self, xpath, targets, route, budget, deadline_at,
+                started, ctx,
+            )
+        except BaseException:
+            self.metrics.gauge("serve.in_flight").add(-1)
+            self._gate.release()
+            raise
+
     def run_on_shard(
         self, shard: int, fn, timeout: float | None = None
     ):
@@ -795,3 +869,184 @@ class QueryExecutor:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+def outcome_for(error: BaseException) -> str:
+    """The :data:`QUERY_OUTCOMES` dimension one error lands in."""
+    if isinstance(error, Overloaded):
+        return "overloaded"
+    if isinstance(error, DeadlineExceeded):
+        return "deadline_exceeded"
+    if isinstance(error, ShardError):
+        return "shard_error"
+    return "error"
+
+
+class ScatterStream:
+    """One in-flight incremental scatter, created by
+    :meth:`QueryExecutor.stream`.
+
+    Holds the admission slot from construction until :meth:`finish`;
+    exposes the per-shard ``concurrent.futures`` handles in
+    :attr:`futures` so an async caller can wrap and await them in
+    completion order.  Rows flow shard-by-shard through
+    :meth:`collect`; the handle accumulates answers/failures so the
+    terminal :meth:`finish` can report the same merged
+    :class:`ScatterResult`, metrics, and wide event the materialized
+    path would have.
+
+    The ``serve.query`` root span is opened and closed *synchronously*
+    at construction (the creating thread may be an event loop
+    interleaving many requests, so no span can stay open across a
+    suspension point); per-shard child spans attach to it cross-thread
+    via the captured :class:`~repro.obs.trace.RequestContext`, and the
+    request's wall time lives in ``serve.query_seconds`` as always.
+    """
+
+    def __init__(
+        self,
+        executor: QueryExecutor,
+        xpath: str,
+        targets: dict[int, list[tuple[int, int]]],
+        route: str,
+        budget: float | None,
+        deadline_at: float | None,
+        started: float,
+        parent_ctx: RequestContext | None,
+    ) -> None:
+        self.executor = executor
+        self.xpath = xpath
+        self.targets = targets
+        self.route = route
+        self.budget = budget
+        self.deadline_at = deadline_at
+        self.started = started
+        self.breakdown: dict | None = (
+            {} if executor.request_log is not None else None
+        )
+        self._answers: list[_ShardAnswer] = []
+        self._failures: list[tuple[int, str]] = []
+        self._finished = False
+        self._result: ScatterResult | None = None
+        tracer = executor.tracer
+        upstream_id = (
+            parent_ctx.request_id if parent_ctx is not None else None
+        )
+        with tracer.adopt(parent_ctx):
+            with tracer.span(
+                "serve.query",
+                xpath=str(xpath),
+                shards=len(targets),
+                streaming=True,
+            ) as root:
+                self.ctx = tracer.capture(
+                    root if root else None, request_id=upstream_id
+                )
+                if root:
+                    root.set(request_id=self.ctx.request_id)
+        #: ``{future: shard}`` — all submitted at construction; a shard
+        #: with no targeted documents still gets a (trivial) task so
+        #: the stream always announces every shard it covers.
+        self.futures = {
+            executor._threads.submit(
+                executor._query_shard,
+                shard,
+                docs,
+                xpath,
+                deadline_at,
+                budget,
+                route,
+                self.ctx,
+                self.breakdown,
+            ): shard
+            for shard, docs in targets.items()
+        }
+
+    @property
+    def request_id(self) -> str:
+        return self.ctx.request_id
+
+    def deadline_remaining(self) -> float | None:
+        """Seconds left on the budget (None: no deadline)."""
+        if self.deadline_at is None:
+            return None
+        return max(0.0, self.deadline_at - time.monotonic())
+
+    def expire(self) -> DeadlineExceeded:
+        """The typed error for a stream that missed its deadline."""
+        self.executor.metrics.counter("serve.deadline_exceeded").inc()
+        return self.executor._deadline_error(
+            self.budget, self.deadline_at or 0.0
+        )
+
+    def collect(self, future) -> tuple[int, list | None]:
+        """Fold one *completed* future into the stream.
+
+        Returns ``(shard, rows)``; ``rows`` is ``None`` when the shard
+        failed under the ``"partial"`` degraded mode (the failure is
+        recorded for the terminal event).  Fail-fast mode and deadline
+        misses raise, exactly like the materialized gather.
+        """
+        shard = self.futures[future]
+        try:
+            answer = future.result()
+        except DeadlineExceeded:
+            self.executor.metrics.counter("serve.deadline_exceeded").inc()
+            raise
+        except XmlRelError as error:
+            self.executor._note_shard_failure(shard, error, self._failures)
+            return shard, None
+        self._answers.append(answer)
+        return shard, answer.rows
+
+    def failures(self) -> list[tuple[int, str]]:
+        """Shard failures recorded so far (``partial`` mode only)."""
+        return list(self._failures)
+
+    def finish(
+        self, error: BaseException | None = None
+    ) -> ScatterResult | None:
+        """Terminate the stream: release the admission slot and land
+        the outcome metrics plus the wide event.
+
+        With no *error*, merges the collected answers into the
+        :class:`ScatterResult` the materialized path would have
+        returned.  Idempotent — the first call wins.
+        """
+        if self._finished:
+            return self._result
+        self._finished = True
+        for future in self.futures:
+            future.cancel()  # abandon stragglers; running tasks self-abort
+        error_text: str | None = None
+        if error is None:
+            tracer = self.executor.tracer
+            with tracer.adopt(self.ctx):
+                with tracer.span(
+                    "serve.merge", answers=len(self._answers)
+                ):
+                    self._result = QueryExecutor._merge(
+                        self._answers,
+                        len(self.targets),
+                        self.started,
+                        self._failures,
+                    )
+            outcome = "partial" if self._result.partial else "ok"
+        else:
+            outcome = outcome_for(error)
+            error_text = f"{type(error).__name__}: {error}"
+        self.executor.metrics.gauge("serve.in_flight").add(-1)
+        self.executor._gate.release()
+        self.executor._finish_query(
+            xpath=self.xpath,
+            targets=self.targets,
+            route=self.route,
+            budget=self.budget,
+            started=self.started,
+            outcome=outcome,
+            error_text=error_text,
+            result=self._result,
+            ctx=self.ctx,
+            breakdown=self.breakdown,
+        )
+        return self._result

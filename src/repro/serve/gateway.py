@@ -1,0 +1,837 @@
+"""``repro.serve.gateway`` — the async network front door.
+
+Everything below :class:`Gateway` is a library; this module is the
+socket.  An asyncio HTTP/1.1 server (stdlib only, own event loop on a
+named daemon thread) fronts a :class:`~repro.serve.sharded.ShardedStore`
+with a small JSON protocol (:mod:`repro.serve.protocol`):
+
+* ``POST /query`` / ``GET /query?xpath=...`` — execute an XPath over
+  the store: one document (``doc_id``) or a full scatter-gather.
+* ``stream=true`` — chunked NDJSON: rows flushed per shard *as each
+  shard completes* instead of after the whole scatter materializes, so
+  first-byte latency tracks the fastest shard, not the slowest.
+* ``GET /healthz`` — the store's health document (200/503).
+* ``GET /stats`` — gateway-side counters and quota occupancy.
+
+**Division of labour.**  The event loop does only cheap, non-blocking
+work: HTTP parsing, XPath parsing, the optional DTD/path-summary lint
+(unsatisfiable queries short-circuit to an empty answer with zero SQL),
+per-client quota admission, and shard-map target resolution.  Execution
+always happens off-loop — materialized queries dispatch the existing
+thread-pool :class:`~repro.serve.executor.QueryExecutor` through a
+small dispatch pool; streamed queries consume the executor's
+:class:`~repro.serve.executor.ScatterStream` futures as asyncio
+awaitables.  Nothing on the loop ever touches SQLite.
+
+**Admission is layered.**  A per-client token bucket
+(:class:`ClientQuotas`) sheds abusive clients *before* any work, with a
+``Retry-After`` hint computed from the bucket's refill rate; requests
+that pass it still face the executor's global ``max_in_flight`` gate.
+Both rejections surface as the typed :class:`~repro.errors.Overloaded`
+and therefore the same HTTP 429 through the one status table in
+:mod:`repro.errors` — Overloaded→429, DeadlineExceeded→504,
+ShardError→502; a ``partial``-mode degraded answer is HTTP 206.
+
+**Observability.**  Every request opens a ``gateway.request`` span on
+the loop (closed before the first suspension point — an event loop
+interleaves requests, so spans never stay open across an ``await``;
+executor spans parent under it via the captured
+:class:`~repro.obs.trace.RequestContext`), lands in ``gateway.*``
+windowed metrics (per-route latency, status counts, quota rejections),
+and emits one ``http`` wide event when the store carries a request log.
+
+**Lock discipline.**  This module owns one lock — the quota table's —
+registered as class ``pool`` in
+:data:`repro.analysis.concurrency.LOCK_SITES`; only bucket arithmetic
+runs under it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import threading
+import time
+import urllib.parse
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import (
+    Overloaded,
+    ProtocolError,
+    StorageError,
+    XmlRelError,
+    error_payload,
+    http_status,
+)
+from repro.serve.executor import outcome_for
+from repro.serve.protocol import (
+    ANONYMOUS_CLIENT,
+    CLIENT_HEADER,
+    JSON_CONTENT_TYPE,
+    MAX_BODY_BYTES,
+    NDJSON_CONTENT_TYPE,
+    QuerySpec,
+    error_body,
+    ndjson_line,
+    parse_json_body,
+    parse_query_params,
+    result_body,
+)
+from repro.xpath.parser import parse_xpath
+
+#: Reason phrases for the statuses the gateway emits.
+_REASONS = {
+    200: "OK",
+    206: "Partial Content",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Route labels used in ``gateway.route.<route>.seconds`` histograms.
+ROUTES = ("query", "query_stream", "healthz", "stats", "other")
+
+
+class ClientQuotas:
+    """Per-client token-bucket admission, layered *before* the
+    executor's global max-in-flight gate.
+
+    Each client id refills at *rate* tokens/second up to *burst*; a
+    request costs one token.  :meth:`try_admit` returns ``None`` when
+    admitted, else the seconds until the next token — the gateway's
+    ``Retry-After``.  With ``rate=None`` the table admits everything
+    (quotas off).
+
+    The table is bounded: past *max_clients* distinct ids the stalest
+    bucket is evicted (an evicted client simply restarts with a full
+    burst — quotas bound throughput, they are not an audit log).
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float | None = None,
+        max_clients: int = 4096,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise StorageError("quota rate must be > 0 (or None: off)")
+        self.rate = rate
+        self.burst = float(burst if burst is not None else (rate or 1.0))
+        if rate is not None and self.burst < 1.0:
+            raise StorageError("quota burst must be >= 1")
+        self.max_clients = max_clients
+        # Guards the bucket table.  Lock class "pool" (registered in
+        # repro.analysis.concurrency.LOCK_SITES): bucket arithmetic
+        # only, nothing blocking.
+        self._lock = threading.Lock()
+        self._buckets: dict[str, list[float]] = {}
+
+    def try_admit(self, client: str, now: float | None = None) -> float | None:
+        """Spend one token for *client*; ``None`` when admitted, else
+        the retry-after seconds."""
+        if self.rate is None:
+            return None
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self.max_clients:
+                    stalest = min(
+                        self._buckets, key=lambda c: self._buckets[c][1]
+                    )
+                    del self._buckets[stalest]
+                bucket = self._buckets[client] = [self.burst, now]
+            tokens = min(
+                self.burst, bucket[0] + (now - bucket[1]) * self.rate
+            )
+            bucket[1] = now
+            if tokens >= 1.0:
+                bucket[0] = tokens - 1.0
+                return None
+            bucket[0] = tokens
+            return (1.0 - tokens) / self.rate
+
+    def stats(self) -> dict:
+        with self._lock:
+            clients = len(self._buckets)
+        return {
+            "rate_per_second": self.rate,
+            "burst": self.burst,
+            "clients": clients,
+            "max_clients": self.max_clients,
+        }
+
+
+class Gateway:
+    """The HTTP/JSON front end over one sharded store.
+
+    :param store: the :class:`~repro.serve.sharded.ShardedStore` served.
+    :param quota_rate: per-client admitted requests/second (None: off).
+    :param quota_burst: per-client burst allowance (default: the rate).
+    :param default_deadline: deadline applied when a request names none
+        (the executor's own default still applies underneath).
+    :param analyzer: optional
+        :class:`~repro.analysis.xpathlint.XPathAnalyzer`; queries it
+        proves unsatisfiable short-circuit on the event loop with an
+        empty answer and zero SQL.
+    :param idle_timeout: seconds a keep-alive connection may sit idle.
+
+    ``start()`` binds the socket and runs the event loop on a named
+    daemon thread; the gateway is usable from synchronous code (tests,
+    benchmarks, ``curl``) immediately after.  ``stop()`` (or the
+    owning store's ``close()``) shuts it down.
+    """
+
+    def __init__(
+        self,
+        store,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quota_rate: float | None = None,
+        quota_burst: float | None = None,
+        default_deadline: float | None = None,
+        analyzer=None,
+        max_dispatch_workers: int | None = None,
+        idle_timeout: float = 30.0,
+    ) -> None:
+        self.store = store
+        self.executor = store.executor
+        self.metrics = store.metrics
+        self.tracer = store.tracer
+        self.host = host
+        self.requested_port = port
+        self.default_deadline = default_deadline
+        self.analyzer = analyzer
+        self.idle_timeout = idle_timeout
+        self.quotas = ClientQuotas(quota_rate, quota_burst)
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=max_dispatch_workers
+            or max(4, len(store.pools)),
+            thread_name_prefix="xmlrel-gateway-dispatch",
+        )
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._port: int | None = None
+        self._route_seconds: dict = {}
+        self._status_counters: dict = {}
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> "Gateway":
+        """Bind and serve; returns once the socket accepts connections."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run_loop,
+            name="xmlrel-gateway",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise StorageError("gateway failed to start within 10s")
+        if self._startup_error is not None:
+            raise StorageError(
+                f"gateway failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as error:  # surfaced to start()/stop()
+            self._startup_error = error
+        finally:
+            self._ready.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.requested_port
+        )
+        self._port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with server:
+            await self._stop_event.wait()
+
+    def stop(self) -> None:
+        """Shut the listener and the dispatch pool down; idempotent."""
+        loop, stop_event = self._loop, self._stop_event
+        if loop is not None and stop_event is not None:
+            try:
+                loop.call_soon_threadsafe(stop_event.set)
+            except RuntimeError:
+                pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._dispatch.shutdown(wait=False, cancel_futures=True)
+
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            raise StorageError("gateway is not started")
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- metrics ------------------------------------------------------------------
+
+    def _route_histogram(self, route: str):
+        histogram = self._route_seconds.get(route)
+        if histogram is None:
+            histogram = self._route_seconds[route] = (
+                self.metrics.histogram(f"gateway.route.{route}.seconds")
+            )
+        return histogram
+
+    def _status_counter(self, status: int):
+        counter = self._status_counters.get(status)
+        if counter is None:
+            counter = self._status_counters[status] = (
+                self.metrics.counter(f"gateway.status.{status}")
+            )
+        return counter
+
+    def _observe(
+        self,
+        route: str,
+        status: int,
+        started: float,
+        request_id: str | None,
+        client: str | None,
+        xpath: str | None = None,
+        first_byte: float | None = None,
+        rows: int | None = None,
+    ) -> None:
+        """Per-request accounting: route histogram, status counter,
+        and the ``http`` wide event."""
+        elapsed = time.perf_counter() - started
+        self.metrics.counter("gateway.requests").inc()
+        self._route_histogram(route).observe(elapsed)
+        self._status_counter(status).inc()
+        if first_byte is not None:
+            self.metrics.histogram("gateway.first_byte_seconds").observe(
+                first_byte - started
+            )
+        log = self.executor.request_log
+        if log is not None:
+            event = {
+                "event": "http",
+                "ts": time.time(),
+                "route": route,
+                "status": status,
+                "elapsed_seconds": elapsed,
+            }
+            if request_id is not None:
+                event["request_id"] = request_id
+            if client is not None:
+                event["client"] = client
+            if xpath is not None:
+                event["xpath"] = xpath
+            if first_byte is not None:
+                event["first_byte_seconds"] = first_byte - started
+            if rows is not None:
+                event["rows"] = rows
+            log.emit(event)
+
+    # -- connection handling ------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self.metrics.gauge("gateway.connections").add(1)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                    if request is None:
+                        break
+                    close = await self._route_request(writer, *request)
+                except XmlRelError as error:
+                    # Wire-level failures (malformed request line,
+                    # health probe errors): typed status, then close.
+                    await self._respond_json(
+                        writer,
+                        http_status(error),
+                        error_body(error),
+                        keep_alive=False,
+                    )
+                    close = True
+                if close:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            TimeoutError,
+        ):
+            pass
+        finally:
+            self.metrics.gauge("gateway.connections").add(-1)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader):
+        """One HTTP request off the wire: ``(method, path, params,
+        headers, body)``, or None at EOF/idle timeout."""
+        try:
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=self.idle_timeout
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            return None
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ProtocolError(f"malformed request line: {line!r}")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=self.idle_timeout
+            )
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) > 100:
+                raise ProtocolError("too many request headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        body = await reader.readexactly(length) if length else b""
+        split = urllib.parse.urlsplit(target)
+        params = dict(urllib.parse.parse_qsl(split.query))
+        return method, split.path, params, headers, body
+
+    async def _route_request(
+        self, writer, method, path, params, headers, body
+    ) -> bool:
+        """Dispatch one parsed request; returns True when the
+        connection must close (streams always close)."""
+        keep_alive = headers.get("connection", "").lower() != "close"
+        if path == "/query":
+            return await self._handle_query(
+                writer, method, params, headers, body, keep_alive
+            )
+        started = time.perf_counter()
+        if path == "/healthz":
+            # Health probes acquire pooled connections — off-loop work.
+            health = await asyncio.get_running_loop().run_in_executor(
+                self._dispatch, self.store.health
+            )
+            status = 200 if health.get("status") == "ok" else 503
+            await self._respond_json(
+                writer, status, health, keep_alive=keep_alive
+            )
+            self._observe("healthz", status, started, None, None)
+            return not keep_alive
+        if path == "/stats":
+            await self._respond_json(
+                writer, 200, self.snapshot(), keep_alive=keep_alive
+            )
+            self._observe("stats", 200, started, None, None)
+            return not keep_alive
+        await self._respond_json(
+            writer,
+            404,
+            {"error": "NotFound", "message": f"no route {path}",
+             "status": 404},
+            keep_alive=keep_alive,
+        )
+        self._observe("other", 404, started, None, None)
+        return not keep_alive
+
+    # -- the query route ----------------------------------------------------------
+
+    def _prepare(self, method, params, headers, body):
+        """The on-loop phases: protocol validation, XPath parse, the
+        optional satisfiability lint, quota admission, and shard-map
+        target resolution.  Purely synchronous — runs under the
+        ``gateway.request`` span, raises typed errors only."""
+        default_client = headers.get(CLIENT_HEADER, ANONYMOUS_CLIENT)
+        with self.tracer.span("gateway.parse"):
+            if method == "POST":
+                spec = parse_json_body(body, default_client)
+            elif method == "GET":
+                spec = parse_query_params(params, default_client)
+            else:
+                raise ProtocolError(
+                    f"method {method} not allowed on /query"
+                )
+            if spec.deadline is None and self.default_deadline is not None:
+                spec = QuerySpec(
+                    xpath=spec.xpath,
+                    doc_id=spec.doc_id,
+                    deadline=self.default_deadline,
+                    read_from=spec.read_from,
+                    stream=spec.stream,
+                    client=spec.client,
+                )
+            parsed = parse_xpath(spec.xpath)
+        with self.tracer.span("gateway.admit", client=spec.client):
+            retry_after = self.quotas.try_admit(spec.client)
+        if retry_after is not None:
+            self.metrics.counter("gateway.quota_rejections").inc()
+            error = Overloaded(
+                f"client {spec.client!r} exceeded its admission quota "
+                f"({self.quotas.rate:g}/s, burst {self.quotas.burst:g})"
+            )
+            error.retry_after = retry_after
+            raise error
+        short_circuit = False
+        if self.analyzer is not None:
+            with self.tracer.span("gateway.lint"):
+                short_circuit = self.analyzer.satisfiable(parsed) is False
+            if short_circuit:
+                self.metrics.counter("gateway.short_circuits").inc()
+        if spec.doc_id is not None:
+            record = self.store.shard_map.resolve(spec.doc_id)
+            targets = {record.shard: [(spec.doc_id, record.local_doc_id)]}
+        else:
+            targets = {
+                shard: self.store.shard_map.docs_for_shard(shard)
+                for shard in self.store.pools
+            }
+        return spec, targets, short_circuit
+
+    async def _handle_query(
+        self, writer, method, params, headers, body, keep_alive
+    ) -> bool:
+        started = time.perf_counter()
+        # detached=False: this root legitimately originates on the
+        # event-loop thread — it IS the request origin, not broken
+        # cross-thread propagation (which the tracer would flag).
+        root = self.tracer.start_span(
+            "gateway.request", method=method, detached=False
+        )
+        ctx = self.tracer.capture()
+        request_id = ctx.request_id
+        route = "query"
+        status = 500
+        spec = None
+        first_byte = None
+        rows = None
+        close = not keep_alive
+        try:
+            try:
+                spec, targets, short_circuit = self._prepare(
+                    method, params, headers, body
+                )
+                if root:
+                    root.set(
+                        xpath=spec.xpath,
+                        client=spec.client,
+                        stream=spec.stream,
+                    )
+            finally:
+                # The loop interleaves requests: no span survives an
+                # await.  Children attach via the captured context.
+                self.tracer.end_span(root)
+            route = "query_stream" if spec.stream else "query"
+            if short_circuit:
+                status, rows = await self._respond_short_circuit(
+                    writer, spec, request_id, started, keep_alive
+                )
+            elif spec.stream:
+                close = True  # streams are EOF-delimited; no reuse
+                status, first_byte, rows = await self._stream_query(
+                    writer, spec, targets, ctx, request_id
+                )
+            else:
+                status, rows = await self._materialized_query(
+                    writer, spec, targets, ctx, request_id, keep_alive
+                )
+        except XmlRelError as error:
+            status = http_status(error)
+            extra = {}
+            if isinstance(error, Overloaded):
+                retry_after = getattr(error, "retry_after", None) or 1.0
+                extra["Retry-After"] = str(
+                    max(1, math.ceil(retry_after))
+                )
+            await self._respond_json(
+                writer,
+                status,
+                error_body(error, request_id),
+                keep_alive=keep_alive,
+                extra_headers=extra,
+            )
+        if root:
+            root.set(status=status)
+        self._observe(
+            route,
+            status,
+            started,
+            request_id,
+            spec.client if spec is not None else None,
+            xpath=spec.xpath if spec is not None else None,
+            first_byte=first_byte,
+            rows=rows,
+        )
+        return close
+
+    async def _respond_short_circuit(
+        self, writer, spec, request_id, started, keep_alive
+    ):
+        """An unsatisfiable query answered from the loop: zero rows,
+        zero SQL, zero executor occupancy."""
+        body = {
+            "request_id": request_id,
+            "rows": [],
+            "row_count": 0,
+            "shards_queried": 0,
+            "elapsed_seconds": time.perf_counter() - started,
+            "partial": False,
+            "short_circuit": True,
+        }
+        if spec.stream:
+            head = self._head(200, NDJSON_CONTENT_TYPE, chunked=True)
+            writer.write(head)
+            await self._chunk(
+                writer,
+                ndjson_line(
+                    {"event": "start", "request_id": request_id,
+                     "shards": 0, "short_circuit": True}
+                ),
+            )
+            await self._chunk(
+                writer,
+                ndjson_line(
+                    {"event": "end", "outcome": "ok", "rows": 0,
+                     "short_circuit": True}
+                ),
+            )
+            await self._end_chunks(writer)
+        else:
+            await self._respond_json(
+                writer, 200, body, keep_alive=keep_alive
+            )
+        return 200, 0
+
+    async def _materialized_query(
+        self, writer, spec, targets, ctx, request_id, keep_alive
+    ):
+        """Dispatch the classic materialized scatter to the executor's
+        thread world; the loop only awaits the handoff future."""
+        loop = asyncio.get_running_loop()
+
+        def run():
+            with self.tracer.adopt(ctx):
+                return self.executor.query(
+                    spec.xpath,
+                    targets,
+                    deadline=spec.deadline,
+                    read_from=spec.read_from,
+                    ctx=ctx,
+                )
+
+        result = await loop.run_in_executor(self._dispatch, run)
+        status = 206 if result.partial else 200
+        await self._respond_json(
+            writer,
+            status,
+            result_body(result, request_id),
+            keep_alive=keep_alive,
+        )
+        return status, len(result.rows)
+
+    async def _stream_query(self, writer, spec, targets, ctx, request_id):
+        """The incremental path: NDJSON rows per shard as each
+        completes, a terminal ``end`` (or ``error``) event as the
+        in-band status line."""
+        stream = self.executor.stream(
+            spec.xpath,
+            targets,
+            deadline=spec.deadline,
+            read_from=spec.read_from,
+            ctx=ctx,
+        )
+        writer.write(self._head(200, NDJSON_CONTENT_TYPE, chunked=True))
+        await self._chunk(
+            writer,
+            ndjson_line(
+                {
+                    "event": "start",
+                    "request_id": stream.request_id,
+                    "shards": len(targets),
+                    "xpath": spec.xpath,
+                }
+            ),
+        )
+        first_byte = time.perf_counter()
+        pending = {}
+        for future in stream.futures:
+            wrapped = asyncio.wrap_future(future)
+            # Consume late results/exceptions so abandoned shard tasks
+            # never log "exception was never retrieved".
+            wrapped.add_done_callback(
+                lambda f: f.cancelled() or f.exception()
+            )
+            pending[wrapped] = future
+        rows_sent = 0
+        try:
+            while pending:
+                done, _ = await asyncio.wait(
+                    pending,
+                    timeout=stream.deadline_remaining(),
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not done:
+                    raise stream.expire()
+                for wrapped in done:
+                    shard, rows = stream.collect(pending.pop(wrapped))
+                    if rows is None:
+                        message = dict(stream.failures()).get(
+                            shard, "shard failed"
+                        )
+                        await self._chunk(
+                            writer,
+                            ndjson_line(
+                                {"event": "shard_error", "shard": shard,
+                                 "message": message}
+                            ),
+                        )
+                        continue
+                    rows_sent += len(rows)
+                    await self._chunk(
+                        writer,
+                        ndjson_line(
+                            {"event": "rows", "shard": shard,
+                             "rows": [list(row) for row in rows]}
+                        ),
+                    )
+            result = stream.finish()
+            end_event = {
+                "event": "end",
+                "outcome": "partial" if result.partial else "ok",
+                "rows": len(result.rows),
+                "elapsed_seconds": result.elapsed_seconds,
+            }
+            if result.partial:
+                end_event["failed_shards"] = [
+                    {"shard": shard, "message": message}
+                    for shard, message in result.failed_shards
+                ]
+            await self._chunk(writer, ndjson_line(end_event))
+            await self._end_chunks(writer)
+            return (
+                206 if result.partial else 200, first_byte, rows_sent,
+            )
+        except XmlRelError as error:
+            stream.finish(error)
+            await self._chunk(
+                writer,
+                ndjson_line(
+                    {"event": "error", **error_body(error, request_id)}
+                ),
+            )
+            await self._end_chunks(writer)
+            return http_status(error), first_byte, rows_sent
+        except BaseException as error:
+            # Client hangup / loop shutdown: still release the slot.
+            stream.finish(error)
+            raise
+
+    # -- response plumbing --------------------------------------------------------
+
+    @staticmethod
+    def _head(
+        status: int,
+        content_type: str,
+        length: int | None = None,
+        chunked: bool = False,
+        keep_alive: bool = False,
+        extra_headers: dict | None = None,
+    ) -> bytes:
+        reason = _REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+        ]
+        if chunked:
+            lines.append("Transfer-Encoding: chunked")
+            lines.append("Connection: close")
+        else:
+            lines.append(f"Content-Length: {length or 0}")
+            lines.append(
+                "Connection: keep-alive" if keep_alive
+                else "Connection: close"
+            )
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    async def _respond_json(
+        self,
+        writer,
+        status: int,
+        obj: dict,
+        keep_alive: bool = False,
+        extra_headers: dict | None = None,
+    ) -> None:
+        body = ndjson_line(obj)  # compact JSON + trailing newline
+        writer.write(
+            self._head(
+                status,
+                JSON_CONTENT_TYPE,
+                length=len(body),
+                keep_alive=keep_alive,
+                extra_headers=extra_headers,
+            )
+        )
+        writer.write(body)
+        await writer.drain()
+        self.metrics.counter("gateway.bytes_sent").inc(len(body))
+
+    async def _chunk(self, writer, payload: bytes) -> None:
+        writer.write(
+            f"{len(payload):x}\r\n".encode("latin-1")
+            + payload + b"\r\n"
+        )
+        await writer.drain()
+        self.metrics.counter("gateway.bytes_sent").inc(len(payload))
+
+    @staticmethod
+    async def _end_chunks(writer) -> None:
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    # -- introspection ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The ``/stats`` document: where the gateway sits, what it has
+        served, and the quota table's occupancy."""
+        return {
+            "url": self.url,
+            "store": {
+                "scheme": self.store.scheme_name,
+                "shards": len(self.store.pools),
+                "documents": len(self.store.shard_map),
+            },
+            "quotas": self.quotas.stats(),
+            "default_deadline": self.default_deadline,
+            "metrics": self.metrics.snapshot(prefix="gateway."),
+        }

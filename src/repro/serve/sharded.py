@@ -200,6 +200,9 @@ class ShardedStore:
             self.executor.shard_state = self.shard_state
         #: The embedded ops endpoint, once :meth:`serve_ops` starts it.
         self._ops_server: OpsServer | None = None
+        #: The HTTP/JSON query gateway, once :meth:`serve_gateway`
+        #: starts it.
+        self._gateway = None
         #: True when :meth:`serve_ops` auto-created the request log (we
         #: close it); caller-provided logs stay the caller's to close.
         self._owned_request_log = False
@@ -1318,9 +1321,40 @@ class ShardedStore:
         )
         return self._ops_server
 
+    def serve_gateway(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **kwargs,
+    ):
+        """Start (or return) the HTTP/JSON query gateway for this store.
+
+        The network front door (:class:`~repro.serve.gateway.Gateway`):
+        ``/query`` (materialized JSON or streamed NDJSON), ``/healthz``,
+        ``/stats``, with per-client admission quotas layered on the
+        executor's global gate.  Extra *kwargs* (``quota_rate``,
+        ``default_deadline``, ``analyzer``, ...) pass through to the
+        gateway constructor.  When the store has no request log yet, an
+        in-memory one is attached so gateway wide events have a sink.
+        Stopped by :meth:`close` (or ``.stop()``).
+        """
+        if self._gateway is not None:
+            return self._gateway
+        from repro.serve.gateway import Gateway
+
+        if self.executor.request_log is None:
+            self.executor.request_log = RequestLog(capacity=1024)
+            self._owned_request_log = True
+        self._gateway = Gateway(self, host=host, port=port, **kwargs)
+        self._gateway.start()
+        return self._gateway
+
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self) -> None:
+        if self._gateway is not None:
+            self._gateway.stop()
+            self._gateway = None
         if self._ops_server is not None:
             self._ops_server.stop()
             self._ops_server = None

@@ -1,0 +1,835 @@
+"""Tests for the HTTP/JSON gateway: protocol, status mapping, quotas,
+streaming, tracing, and the ops-plane integration."""
+
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.analysis import XPathAnalyzer
+from repro.bench.loadgen import (
+    LoadReport,
+    Sample,
+    percentile,
+    run_load,
+    saturation_knee,
+)
+from repro.errors import (
+    DeadlineExceeded,
+    DocumentNotFoundError,
+    Overloaded,
+    ProtocolError,
+    ShardError,
+    StorageError,
+    XPathSyntaxError,
+    error_payload,
+    http_status,
+)
+from repro.obs.ops import parse_prometheus
+from repro.obs.trace import Tracer
+from repro.obs.top import render_snapshot
+from repro.reliability import ShardFaultPolicy
+from repro.serve import ShardedStore
+from repro.serve.gateway import ClientQuotas
+from repro.serve.protocol import (
+    parse_query_payload,
+    parse_query_params,
+)
+from repro.xml.dtd import parse_dtd
+
+from tests.conftest import BIB_XML
+
+BIB_DTD = """\
+<!ELEMENT bib (book*, article*)>
+<!ELEMENT book (title, author+, publisher?, price?)>
+<!ATTLIST book year CDATA #REQUIRED id ID #IMPLIED>
+<!ELEMENT article (title, author+)>
+<!ATTLIST article year CDATA #REQUIRED id ID #IMPLIED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (last, first?)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT last (#PCDATA)>
+<!ELEMENT first (#PCDATA)>
+"""
+
+DOCS = 6
+
+
+def _wait_for(predicate, timeout=5.0):
+    """Spin until *predicate* is true.  The gateway lands metrics and
+    wide events on the event loop *after* the response bytes reach the
+    client, so observability assertions may race the loop by a hair."""
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0.01)
+    return True
+
+
+def _open(tmp_path, name="gw", **kwargs):
+    store = ShardedStore.open(
+        str(tmp_path / name), scheme="interval", shards=3, **kwargs
+    )
+    doc_ids = [
+        store.store_text(BIB_XML, name=f"bib-{i}") for i in range(DOCS)
+    ]
+    return store, doc_ids
+
+
+def _get(url, expect_error=False):
+    """GET returning ``(status, parsed_json)``."""
+    try:
+        with urllib.request.urlopen(url) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        if not expect_error:
+            raise
+        return error.code, json.loads(error.read())
+
+
+def _post(url, payload, headers=None, expect_error=False):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        method="POST",
+        headers=headers or {},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        if not expect_error:
+            raise
+        return error.code, json.loads(error.read())
+
+
+def _stream(url, payload):
+    """POST a streaming query; returns the parsed NDJSON events
+    (urllib undoes the chunked framing)."""
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), method="POST"
+    )
+    with urllib.request.urlopen(request) as response:
+        assert response.headers.get("Content-Type") == (
+            "application/x-ndjson"
+        )
+        return [
+            json.loads(line)
+            for line in response.read().splitlines() if line
+        ]
+
+
+# -- the shared status table (satellite: one table, both servers) -------------
+
+
+class TestStatusTable:
+    def test_typed_errors_map_to_their_status(self):
+        assert http_status(Overloaded("x")) == 429
+        assert http_status(DeadlineExceeded("x")) == 504
+        assert http_status(ShardError(1, ValueError("y"))) == 502
+        assert http_status(ProtocolError("x")) == 400
+        assert http_status(DocumentNotFoundError(7)) == 404
+        assert http_status(XPathSyntaxError("x")) == 400
+        assert http_status(StorageError("x")) == 500
+
+    def test_unknown_errors_are_500(self):
+        assert http_status(ValueError("x")) == 500
+        assert http_status(RuntimeError("x")) == 500
+
+    def test_subclasses_inherit_parent_status(self):
+        class CustomShed(Overloaded):
+            pass
+
+        assert http_status(CustomShed("x")) == 429
+
+    def test_payload_carries_typed_fields(self):
+        payload = error_payload(Overloaded("x", in_flight=3, limit=3))
+        assert payload["status"] == 429
+        assert payload["error"] == "Overloaded"
+        assert payload["in_flight"] == 3 and payload["limit"] == 3
+
+        payload = error_payload(
+            DeadlineExceeded("x", deadline_seconds=0.5, elapsed=0.7)
+        )
+        assert payload["deadline_seconds"] == 0.5
+        assert payload["elapsed_seconds"] == 0.7
+
+        payload = error_payload(ShardError(2, ValueError("y")))
+        assert payload["shard"] == 2
+
+        payload = error_payload(DocumentNotFoundError(11))
+        assert payload["doc_id"] == 11 and payload["status"] == 404
+
+
+# -- wire protocol ------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_minimal_payload(self):
+        spec = parse_query_payload({"xpath": "/bib/book"})
+        assert spec.xpath == "/bib/book"
+        assert spec.doc_id is None and not spec.stream
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request field"):
+            parse_query_payload({"xpath": "/a", "bogus": 1})
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ProtocolError, match="xpath"):
+            parse_query_payload({"xpath": ""})
+        with pytest.raises(ProtocolError, match="deadline"):
+            parse_query_payload(
+                {"xpath": "/a", "deadline_seconds": "soon"}
+            )
+        with pytest.raises(ProtocolError, match="deadline"):
+            parse_query_payload({"xpath": "/a", "deadline_seconds": -1})
+        with pytest.raises(ProtocolError, match="doc_id"):
+            parse_query_payload({"xpath": "/a", "doc_id": "first"})
+        with pytest.raises(ProtocolError, match="stream"):
+            parse_query_payload({"xpath": "/a", "stream": "maybe"})
+        with pytest.raises(ProtocolError, match="read_from"):
+            parse_query_payload({"xpath": "/a", "read_from": "moon"})
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_query_payload(["not", "a", "dict"])
+
+    def test_get_aliases(self):
+        spec = parse_query_params(
+            {"xpath": "/a", "doc": "3", "deadline": "1.5", "stream": "1"},
+            default_client="curl",
+        )
+        assert spec.doc_id == 3
+        assert spec.deadline == 1.5
+        assert spec.stream and spec.client == "curl"
+
+
+# -- quotas -------------------------------------------------------------------
+
+
+class TestClientQuotas:
+    def test_refill_math(self):
+        quotas = ClientQuotas(rate=2.0, burst=2.0)
+        assert quotas.try_admit("a", now=0.0) is None
+        assert quotas.try_admit("a", now=0.0) is None
+        retry = quotas.try_admit("a", now=0.0)
+        assert retry == pytest.approx(0.5)  # 1 token at 2/s
+        # After the hinted wait, exactly one more token exists.
+        assert quotas.try_admit("a", now=0.5) is None
+        assert quotas.try_admit("a", now=0.5) is not None
+
+    def test_clients_are_independent(self):
+        quotas = ClientQuotas(rate=1.0, burst=1.0)
+        assert quotas.try_admit("a", now=0.0) is None
+        assert quotas.try_admit("a", now=0.0) is not None
+        assert quotas.try_admit("b", now=0.0) is None
+
+    def test_eviction_bounds_the_table(self):
+        quotas = ClientQuotas(rate=1.0, burst=1.0, max_clients=2)
+        quotas.try_admit("a", now=0.0)
+        quotas.try_admit("b", now=1.0)
+        quotas.try_admit("c", now=2.0)  # evicts "a" (stalest)
+        assert quotas.stats()["clients"] == 2
+        # "a" restarts with a full burst: admitted again.
+        assert quotas.try_admit("a", now=2.0) is None
+
+    def test_disabled_quota_admits_everything(self):
+        quotas = ClientQuotas(rate=None)
+        for _ in range(100):
+            assert quotas.try_admit("a") is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(StorageError):
+            ClientQuotas(rate=0)
+        with pytest.raises(StorageError):
+            ClientQuotas(rate=5.0, burst=0.5)
+
+
+# -- end-to-end over real HTTP ------------------------------------------------
+
+
+class TestGatewayQueries:
+    def test_materialized_matches_store(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway()
+            status, body = _post(
+                gateway.url + "/query", {"xpath": "/bib/book/title"}
+            )
+            expected = store.query_all("/bib/book/title")
+            assert status == 200
+            assert body["row_count"] == len(expected.rows)
+            assert [tuple(r) for r in body["rows"]] == list(expected.rows)
+            assert body["shards_queried"] == 3
+            assert not body["partial"]
+            assert body["request_id"].startswith("req-")
+
+    def test_doc_scoped_query(self, tmp_path):
+        store, doc_ids = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway()
+            status, body = _get(
+                gateway.url
+                + f"/query?xpath=/bib/book/title&doc={doc_ids[0]}"
+            )
+            assert status == 200
+            assert body["shards_queried"] == 1
+            assert body["row_count"] == len(
+                store.query_pres(doc_ids[0], "/bib/book/title")
+            )
+
+    def test_streaming_matches_materialized(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway()
+            events = _stream(
+                gateway.url + "/query",
+                {"xpath": "/bib/book/title", "stream": True},
+            )
+            kinds = [event["event"] for event in events]
+            assert kinds[0] == "start" and kinds[-1] == "end"
+            assert events[0]["shards"] == 3
+            assert events[0]["request_id"].startswith("req-")
+            streamed = sorted(
+                tuple(row)
+                for event in events if event["event"] == "rows"
+                for row in event["rows"]
+            )
+            expected = store.query_all("/bib/book/title")
+            assert streamed == list(expected.rows)
+            assert events[-1]["outcome"] == "ok"
+            assert events[-1]["rows"] == len(expected.rows)
+
+    def test_bad_requests(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway()
+            status, body = _get(
+                gateway.url + "/query?xpath=///", expect_error=True
+            )
+            assert status == 400
+            assert body["error"] == "XPathSyntaxError"
+            status, body = _post(
+                gateway.url + "/query",
+                {"xpath": "/bib", "bogus": 1},
+                expect_error=True,
+            )
+            assert status == 400 and body["error"] == "ProtocolError"
+            status, body = _get(
+                gateway.url + "/query?xpath=/bib&doc=9999",
+                expect_error=True,
+            )
+            assert status == 404
+            assert body["error"] == "DocumentNotFoundError"
+            assert body["doc_id"] == 9999
+            status, body = _get(
+                gateway.url + "/nowhere", expect_error=True
+            )
+            assert status == 404 and body["error"] == "NotFound"
+
+    def test_healthz_and_stats(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway(quota_rate=100.0)
+            status, health = _get(gateway.url + "/healthz")
+            assert status == 200 and health["status"] == "ok"
+            status, stats = _get(gateway.url + "/stats")
+            assert status == 200
+            assert stats["url"] == gateway.url
+            assert stats["store"]["shards"] == 3
+            assert stats["quotas"]["rate_per_second"] == 100.0
+
+    def test_unsatisfiable_short_circuit(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            analyzer = XPathAnalyzer.from_dtd(parse_dtd(BIB_DTD))
+            gateway = store.serve_gateway(analyzer=analyzer)
+            before = store.metrics.counter("serve.queries").value
+            status, body = _get(
+                gateway.url + "/query?xpath=/bib/magazine/title"
+            )
+            assert status == 200
+            assert body["short_circuit"] and body["row_count"] == 0
+            assert body["shards_queried"] == 0
+            # The executor never saw the query: zero SQL, zero slots.
+            assert store.metrics.counter("serve.queries").value == before
+            # A satisfiable query still executes normally.
+            status, body = _get(
+                gateway.url + "/query?xpath=/bib/book/title"
+            )
+            assert status == 200 and body["row_count"] > 0
+
+
+class TestGatewayAdmission:
+    def test_quota_429_with_retry_after(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway(
+                quota_rate=0.5, quota_burst=1.0
+            )
+            headers = {"X-Client-Id": "hammer"}
+            status, _ = _post(
+                gateway.url + "/query", {"xpath": "/bib"}, headers
+            )
+            assert status == 200
+            request = urllib.request.Request(
+                gateway.url + "/query",
+                data=json.dumps({"xpath": "/bib"}).encode(),
+                method="POST",
+                headers=headers,
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            error = excinfo.value
+            assert error.code == 429
+            assert int(error.headers["Retry-After"]) >= 1
+            body = json.loads(error.read())
+            assert body["error"] == "Overloaded"
+            assert body["status"] == 429
+            assert "quota" in body["message"]
+            rejections = store.metrics.counter(
+                "gateway.quota_rejections"
+            ).value
+            assert rejections == 1
+            # A different client is not affected.
+            status, _ = _post(
+                gateway.url + "/query", {"xpath": "/bib"},
+                {"X-Client-Id": "polite"},
+            )
+            assert status == 200
+
+    def test_executor_gate_429(self, tmp_path):
+        store, _ = _open(tmp_path, max_in_flight=2)
+        with store:
+            gateway = store.serve_gateway()
+            # Drain the global admission gate by hand: the next HTTP
+            # request must shed with the executor's own Overloaded.
+            assert store.executor._gate.acquire(blocking=False)
+            assert store.executor._gate.acquire(blocking=False)
+            try:
+                status, body = _get(
+                    gateway.url + "/query?xpath=/bib",
+                    expect_error=True,
+                )
+                assert status == 429
+                assert body["error"] == "Overloaded"
+                assert body["limit"] == 2
+            finally:
+                store.executor._gate.release()
+                store.executor._gate.release()
+            status, _ = _get(gateway.url + "/query?xpath=/bib")
+            assert status == 200
+
+    def test_deadline_504(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway()
+            status, body = _post(
+                gateway.url + "/query",
+                {"xpath": "/bib/book", "deadline_seconds": 1e-6},
+                expect_error=True,
+            )
+            assert status == 504
+            assert body["error"] == "DeadlineExceeded"
+            assert body["deadline_seconds"] == 1e-6
+
+    def test_default_deadline_applies(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway(default_deadline=1e-6)
+            status, body = _get(
+                gateway.url + "/query?xpath=/bib", expect_error=True
+            )
+            assert status == 504 and body["error"] == "DeadlineExceeded"
+
+
+class TestGatewayDegradedModes:
+    def test_partial_mode_is_206(self, tmp_path):
+        policy = ShardFaultPolicy()
+        store, _ = _open(
+            tmp_path, on_shard_error="partial", fault_policy=policy
+        )
+        with store:
+            gateway = store.serve_gateway()
+            policy.fail_shard(1)
+            status, body = _get(
+                gateway.url + "/query?xpath=/bib/book/title",
+                expect_error=True,
+            )
+            assert status == 206
+            assert body["partial"]
+            assert [f["shard"] for f in body["failed_shards"]] == [1]
+            assert body["row_count"] > 0
+
+    def test_partial_mode_streams_shard_errors(self, tmp_path):
+        policy = ShardFaultPolicy()
+        store, _ = _open(
+            tmp_path, on_shard_error="partial", fault_policy=policy
+        )
+        with store:
+            gateway = store.serve_gateway()
+            policy.fail_shard(1)
+            events = _stream(
+                gateway.url + "/query",
+                {"xpath": "/bib/book/title", "stream": True},
+            )
+            kinds = [event["event"] for event in events]
+            assert "shard_error" in kinds
+            shard_errors = [
+                e for e in events if e["event"] == "shard_error"
+            ]
+            assert [e["shard"] for e in shard_errors] == [1]
+            assert events[-1]["event"] == "end"
+            assert events[-1]["outcome"] == "partial"
+            assert events[-1]["failed_shards"][0]["shard"] == 1
+            assert events[-1]["rows"] > 0
+
+    def test_fail_mode_is_502(self, tmp_path):
+        policy = ShardFaultPolicy()
+        store, _ = _open(
+            tmp_path, on_shard_error="fail", fault_policy=policy
+        )
+        with store:
+            gateway = store.serve_gateway()
+            policy.fail_shard(0)
+            status, body = _get(
+                gateway.url + "/query?xpath=/bib/book/title",
+                expect_error=True,
+            )
+            assert status == 502
+            assert body["error"] == "ShardError"
+            assert body["shard"] == 0
+
+
+# -- tracing + wide events ----------------------------------------------------
+
+
+class TestGatewayObservability:
+    def test_one_trace_tree_per_request(self, tmp_path):
+        store, _ = _open(tmp_path, tracer=Tracer(enabled=True))
+        with store:
+            gateway = store.serve_gateway()
+            _post(gateway.url + "/query", {"xpath": "/bib/book/title"})
+            roots = [
+                span for span in store.tracer.roots
+                if span.name == "gateway.request"
+            ]
+            assert len(roots) == 1
+            root = roots[0]
+            names = [span.name for span in root.walk()]
+            assert "gateway.parse" in names
+            assert "gateway.admit" in names
+            assert "serve.query" in names
+            assert "serve.shard" in names
+            # Executor spans joined the gateway tree instead of
+            # detaching into their own roots.
+            assert not any(
+                span.attributes.get("detached")
+                for span in root.walk()
+            )
+            serve_roots = [
+                span for span in store.tracer.roots
+                if span.name == "serve.query"
+            ]
+            assert serve_roots == []
+
+    def test_streamed_request_traces_one_tree(self, tmp_path):
+        store, _ = _open(tmp_path, tracer=Tracer(enabled=True))
+        with store:
+            gateway = store.serve_gateway()
+            _stream(
+                gateway.url + "/query",
+                {"xpath": "/bib/book/title", "stream": True},
+            )
+            roots = [
+                span for span in store.tracer.roots
+                if span.name == "gateway.request"
+            ]
+            assert len(roots) == 1
+            names = [span.name for span in roots[0].walk()]
+            assert "serve.query" in names and "serve.shard" in names
+
+    def test_http_wide_events_share_request_id(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway()
+            _post(gateway.url + "/query", {"xpath": "/bib/book/title"})
+            assert _wait_for(
+                lambda: any(
+                    e["event"] == "http"
+                    for e in store.executor.request_log.tail(10)
+                )
+            )
+            events = store.executor.request_log.tail(10)
+            http_events = [
+                e for e in events if e["event"] == "http"
+            ]
+            query_events = [
+                e for e in events if e["event"] == "query"
+            ]
+            assert len(http_events) == 1
+            assert len(query_events) == 1
+            # The gateway's request id flows into the executor's wide
+            # event: one id connects HTTP access log and query record.
+            assert (
+                http_events[0]["request_id"]
+                == query_events[0]["request_id"]
+            )
+            assert http_events[0]["status"] == 200
+            assert http_events[0]["route"] == "query"
+            assert http_events[0]["elapsed_seconds"] > 0
+
+    def test_gateway_metrics_populate(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway()
+            _post(gateway.url + "/query", {"xpath": "/bib"})
+            _get(gateway.url + "/healthz")
+            assert _wait_for(
+                lambda: store.metrics.counter("gateway.requests").value
+                == 2
+            )
+            snapshot = store.metrics.snapshot(prefix="gateway.")
+            assert snapshot["counters"]["gateway.requests"] == 2
+            assert snapshot["counters"]["gateway.status.200"] == 2
+            assert (
+                "gateway.route.query.seconds"
+                in snapshot["histograms"]
+            )
+
+    def test_top_renders_gateway_section(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            ops = store.serve_ops()
+            gateway = store.serve_gateway(quota_rate=1.0, quota_burst=1.0)
+            headers = {"X-Client-Id": "top-test"}
+            _post(gateway.url + "/query", {"xpath": "/bib"}, headers)
+            _post(
+                gateway.url + "/query", {"xpath": "/bib"}, headers,
+                expect_error=True,
+            )  # quota rejection
+            assert _wait_for(
+                lambda: store.metrics.counter(
+                    "gateway.status.429"
+                ).value == 1
+            )
+            status, snapshot = _get(ops.url + "/snapshot")
+            assert status == 200
+            frame = render_snapshot(snapshot)
+            assert "gateway (" in frame
+            assert "query" in frame
+            assert "quota_rejections=1" in frame
+            assert "statuses:" in frame
+            assert "429=1" in frame
+
+
+# -- satellite: concurrent /metrics scrapes during gateway load ---------------
+
+
+class TestConcurrentScrapes:
+    def test_metrics_scrapes_during_gateway_queries(self, tmp_path):
+        """Hammer ``/metrics`` from several threads while streamed and
+        materialized gateway queries are in flight.  Every scrape must
+        stay parseable and the run must stay lock-order clean (the CI
+        concurrency job reruns this under ``XMLREL_LOCK_HARNESS=1``)."""
+        store, _ = _open(tmp_path)
+        with store:
+            ops = store.serve_ops()
+            gateway = store.serve_gateway()
+            stop = threading.Event()
+            failures: list[str] = []
+            parsed_counts: list[int] = []
+
+            def scraper():
+                while not stop.is_set():
+                    try:
+                        with urllib.request.urlopen(
+                            ops.url + "/metrics", timeout=5
+                        ) as response:
+                            text = response.read().decode()
+                        parsed = parse_prometheus(text)
+                        parsed_counts.append(len(parsed["samples"]))
+                    except Exception as error:  # surfaced below
+                        failures.append(
+                            f"{type(error).__name__}: {error}"
+                        )
+                        return
+
+            threads = [
+                threading.Thread(
+                    target=scraper, name=f"scraper-{i}", daemon=True
+                )
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                for i in range(10):
+                    _post(
+                        gateway.url + "/query",
+                        {
+                            "xpath": "/bib/book/title",
+                            "stream": i % 2 == 0,
+                        },
+                    ) if i % 2 else _stream(
+                        gateway.url + "/query",
+                        {"xpath": "/bib/book/title", "stream": True},
+                    )
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=10)
+            assert not failures, failures
+            assert parsed_counts and all(n > 0 for n in parsed_counts)
+            # Gateway series made it into the exposition.
+            with urllib.request.urlopen(
+                ops.url + "/metrics", timeout=5
+            ) as response:
+                text = response.read().decode()
+            parsed = parse_prometheus(text)
+            names = {sample["name"] for sample in parsed["samples"]}
+            assert "xmlrel_gateway_requests_total" in names
+
+
+# -- the load generator -------------------------------------------------------
+
+
+class TestLoadgen:
+    def test_percentile(self):
+        assert percentile([], 0.5) is None
+        assert percentile([3.0], 0.99) == 3.0
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == pytest.approx(2.5)
+
+    def test_open_loop_against_live_gateway(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway()
+            report = run_load(
+                gateway.url,
+                xpath="/bib/book/title",
+                rate=40,
+                duration=0.5,
+            )
+            summary = report.to_dict()
+            assert summary["requests"] >= 20
+            assert summary["ok"] == summary["requests"]
+            assert summary["statuses"] == {
+                "200": summary["requests"]
+            }
+            assert summary["latency_seconds"]["p50"] > 0
+            assert summary["first_byte_seconds"]["p50"] > 0
+
+    def test_streamed_load_measures_first_row(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway()
+            report = run_load(
+                gateway.url,
+                xpath="/bib/book/title",
+                rate=20,
+                duration=0.5,
+                stream=True,
+            )
+            summary = report.to_dict()
+            assert summary["ok"] > 0
+            first_row = summary["first_row_seconds"]["p50"]
+            full = summary["latency_seconds"]["p50"]
+            assert first_row is not None and first_row <= full
+
+    def test_saturation_knee_detection(self):
+        def synthetic(rate, p99, shed=0, total=100):
+            report = LoadReport(
+                offered_rate=rate, duration_seconds=1.0
+            )
+            for i in range(total - shed):
+                report.samples.append(
+                    Sample(status=200, latency=p99)
+                )
+            for _ in range(shed):
+                report.samples.append(
+                    Sample(status=429, latency=0.001)
+                )
+            return report
+
+        healthy = [synthetic(50, 0.005), synthetic(100, 0.006)]
+        assert saturation_knee(healthy) is None
+        saturated = healthy + [synthetic(200, 0.005, shed=30)]
+        knee = saturation_knee(saturated)
+        assert knee is not None
+        assert knee["offered_rate"] == 200
+        assert "shed" in knee["reason"]
+        blown = healthy + [synthetic(400, 0.1)]
+        knee = saturation_knee(blown)
+        assert knee["offered_rate"] == 400
+        assert "p99" in knee["reason"]
+
+
+# -- lifecycle ----------------------------------------------------------------
+
+
+class TestGatewayLifecycle:
+    def test_serve_gateway_idempotent_and_closed_with_store(
+        self, tmp_path
+    ):
+        store, _ = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway()
+            assert store.serve_gateway() is gateway
+            port = gateway.port
+        # After close the socket is gone.
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=0.5)
+
+    def test_keep_alive_connection_reuse(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway()
+            raw = socket.create_connection(
+                ("127.0.0.1", gateway.port), timeout=5
+            )
+            try:
+                for _ in range(2):
+                    raw.sendall(
+                        b"GET /query?xpath=/bib HTTP/1.1\r\n"
+                        b"Host: x\r\n\r\n"
+                    )
+                    data = b""
+                    while b"\r\n\r\n" not in data:
+                        data += raw.recv(4096)
+                    head, _, rest = data.partition(b"\r\n\r\n")
+                    assert b"200 OK" in head
+                    assert b"Connection: keep-alive" in head
+                    length = int(
+                        [
+                            line.split(b":")[1]
+                            for line in head.split(b"\r\n")
+                            if line.lower().startswith(b"content-length")
+                        ][0]
+                    )
+                    while len(rest) < length:
+                        rest += raw.recv(4096)
+            finally:
+                raw.close()
+
+    def test_stream_after_stream_completes(self, tmp_path):
+        """A stream releases its admission slot at finish: back-to-back
+        streams on a max_in_flight=1 store must all succeed."""
+        store, _ = _open(tmp_path, max_in_flight=1)
+        with store:
+            gateway = store.serve_gateway()
+            for _ in range(3):
+                events = _stream(
+                    gateway.url + "/query",
+                    {"xpath": "/bib/book", "stream": True},
+                )
+                assert events[-1]["event"] == "end"
+            assert (
+                store.metrics.gauge("serve.in_flight").value == 0
+            )
