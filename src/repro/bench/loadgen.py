@@ -85,6 +85,12 @@ class LoadReport:
 
     offered_rate: float
     duration_seconds: float
+    #: The open-loop arrival window — first launch through the end of
+    #: the schedule.  ``duration_seconds`` additionally includes the
+    #: completion drain after the last arrival; measuring achieved rate
+    #: over the drain would let one slow straggler deflate it.  0 means
+    #: "unknown" (hand-built reports) and falls back to duration.
+    arrival_seconds: float = 0.0
     samples: list[Sample] = field(default_factory=list)
 
     @property
@@ -114,14 +120,18 @@ class LoadReport:
         first_rows = [
             s.first_row for s in ok if s.first_row is not None
         ]
+        window = self.arrival_seconds or self.duration_seconds
         achieved = (
-            len(self.samples) / self.duration_seconds
-            if self.duration_seconds > 0 else 0.0
+            len(self.completed) / window if window > 0 else 0.0
         )
         return {
             "offered_rate": self.offered_rate,
             "achieved_rate": achieved,
             "duration_seconds": self.duration_seconds,
+            "arrival_seconds": window,
+            "drain_seconds": max(
+                0.0, self.duration_seconds - window
+            ),
             "requests": len(self.samples),
             "ok": len(ok),
             "statuses": {
@@ -365,11 +375,17 @@ async def _open_loop(
                 fetch(host, port, "/query", body, client, timeout)
             )
         )
+    # The arrival window closes with the schedule (stretched if the
+    # launch loop slipped), not with the slowest completion — the
+    # gather() below drains in-flight tails and must not count against
+    # achieved rate.
+    arrival = max(total * interval, time.perf_counter() - start)
     samples = list(await asyncio.gather(*tasks))
     elapsed = time.perf_counter() - start
     report = LoadReport(
         offered_rate=rate,
         duration_seconds=elapsed,
+        arrival_seconds=arrival,
         samples=[
             Sample(
                 status=s.status,

@@ -399,6 +399,9 @@ class Gateway:
             )
         except (asyncio.TimeoutError, TimeoutError):
             return None
+        except ValueError:
+            # readline() raises ValueError past the stream limit.
+            raise ProtocolError("request line too long") from None
         if not line:
             return None
         parts = line.decode("latin-1").strip().split()
@@ -407,16 +410,32 @@ class Gateway:
         method, target = parts[0].upper(), parts[1]
         headers: dict[str, str] = {}
         while True:
-            line = await asyncio.wait_for(
-                reader.readline(), timeout=self.idle_timeout
-            )
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=self.idle_timeout
+                )
+            except ValueError:
+                raise ProtocolError("request header too long") from None
             if line in (b"\r\n", b"\n", b""):
                 break
             if len(headers) > 100:
                 raise ProtocolError("too many request headers")
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or 0)
+        raw_length = headers.get("content-length", "").strip()
+        if raw_length:
+            try:
+                length = int(raw_length)
+            except ValueError:
+                raise ProtocolError(
+                    f"invalid Content-Length: {raw_length!r}"
+                ) from None
+            if length < 0:
+                raise ProtocolError(
+                    f"negative Content-Length: {length}"
+                )
+        else:
+            length = 0
         if length > MAX_BODY_BYTES:
             raise ProtocolError(
                 f"request body exceeds {MAX_BODY_BYTES} bytes"
@@ -551,12 +570,15 @@ class Gateway:
                 # await.  Children attach via the captured context.
                 self.tracer.end_span(root)
             route = "query_stream" if spec.stream else "query"
+            if spec.stream:
+                # Streamed responses (short-circuit ones included) are
+                # chunked with Connection: close — never reuse.
+                close = True
             if short_circuit:
                 status, rows = await self._respond_short_circuit(
                     writer, spec, request_id, started, keep_alive
                 )
             elif spec.stream:
-                close = True  # streams are EOF-delimited; no reuse
                 status, first_byte, rows = await self._stream_query(
                     writer, spec, targets, ctx, request_id
                 )
@@ -669,30 +691,36 @@ class Gateway:
             read_from=spec.read_from,
             ctx=ctx,
         )
-        writer.write(self._head(200, NDJSON_CONTENT_TYPE, chunked=True))
-        await self._chunk(
-            writer,
-            ndjson_line(
-                {
-                    "event": "start",
-                    "request_id": stream.request_id,
-                    "shards": len(targets),
-                    "xpath": spec.xpath,
-                }
-            ),
-        )
-        first_byte = time.perf_counter()
-        pending = {}
-        for future in stream.futures:
-            wrapped = asyncio.wrap_future(future)
-            # Consume late results/exceptions so abandoned shard tasks
-            # never log "exception was never retrieved".
-            wrapped.add_done_callback(
-                lambda f: f.cancelled() or f.exception()
-            )
-            pending[wrapped] = future
+        # The stream owns an admission slot from here on: every write —
+        # including the head and the start event, where a client hangup
+        # raises — must sit under the try so finish() releases it.
+        first_byte = None
         rows_sent = 0
         try:
+            writer.write(
+                self._head(200, NDJSON_CONTENT_TYPE, chunked=True)
+            )
+            await self._chunk(
+                writer,
+                ndjson_line(
+                    {
+                        "event": "start",
+                        "request_id": stream.request_id,
+                        "shards": len(targets),
+                        "xpath": spec.xpath,
+                    }
+                ),
+            )
+            first_byte = time.perf_counter()
+            pending = {}
+            for future in stream.futures:
+                wrapped = asyncio.wrap_future(future)
+                # Consume late results/exceptions so abandoned shard
+                # tasks never log "exception was never retrieved".
+                wrapped.add_done_callback(
+                    lambda f: f.cancelled() or f.exception()
+                )
+                pending[wrapped] = future
             while pending:
                 done, _ = await asyncio.wait(
                     pending,
@@ -752,6 +780,8 @@ class Gateway:
             return http_status(error), first_byte, rows_sent
         except BaseException as error:
             # Client hangup / loop shutdown: still release the slot.
+            # finish() is idempotent, so a write failure after the
+            # happy-path merge cannot double-release.
             stream.finish(error)
             raise
 

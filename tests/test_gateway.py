@@ -1,6 +1,7 @@
 """Tests for the HTTP/JSON gateway: protocol, status mapping, quotas,
 streaming, tracing, and the ops-plane integration."""
 
+import asyncio
 import json
 import socket
 import threading
@@ -505,6 +506,79 @@ class TestGatewayDegradedModes:
             assert body["shard"] == 0
 
 
+# -- wire robustness: malformed requests over a raw socket --------------------
+
+
+class TestWireRobustness:
+    @staticmethod
+    def _raw(gateway, request: bytes) -> bytes:
+        """Send *request* raw and read to EOF (the error path and the
+        streaming path both close the connection)."""
+        raw = socket.create_connection(
+            ("127.0.0.1", gateway.port), timeout=5
+        )
+        try:
+            raw.sendall(request)
+            data = b""
+            while True:
+                chunk = raw.recv(4096)
+                if not chunk:
+                    break
+                data += chunk
+        finally:
+            raw.close()
+        return data
+
+    def test_non_numeric_content_length_is_400(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway()
+            data = self._raw(
+                gateway,
+                b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: banana\r\n\r\n",
+            )
+            assert data.startswith(b"HTTP/1.1 400")
+            body = json.loads(data.partition(b"\r\n\r\n")[2])
+            assert body["error"] == "ProtocolError"
+            assert "Content-Length" in body["message"]
+
+    def test_negative_content_length_is_400(self, tmp_path):
+        store, _ = _open(tmp_path)
+        with store:
+            gateway = store.serve_gateway()
+            data = self._raw(
+                gateway,
+                b"GET /query?xpath=/bib HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: -7\r\n\r\n",
+            )
+            assert data.startswith(b"HTTP/1.1 400")
+            body = json.loads(data.partition(b"\r\n\r\n")[2])
+            assert body["error"] == "ProtocolError"
+
+    def test_streamed_short_circuit_closes_connection(self, tmp_path):
+        """A short-circuited stream is chunked with Connection: close;
+        the handler must actually close instead of waiting for reuse."""
+        store, _ = _open(tmp_path)
+        with store:
+            analyzer = XPathAnalyzer.from_dtd(parse_dtd(BIB_DTD))
+            gateway = store.serve_gateway(analyzer=analyzer)
+            payload = json.dumps(
+                {"xpath": "/bib/magazine", "stream": True}
+            ).encode()
+            data = self._raw(
+                gateway,
+                b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(payload)}\r\n\r\n".encode()
+                + payload,
+            )
+            head = data.partition(b"\r\n\r\n")[0]
+            assert head.startswith(b"HTTP/1.1 200")
+            assert b"Connection: close" in head
+            assert b'"short_circuit"' in data
+
+
 # -- tracing + wide events ----------------------------------------------------
 
 
@@ -743,6 +817,38 @@ class TestLoadgen:
             full = summary["latency_seconds"]["p50"]
             assert first_row is not None and first_row <= full
 
+    def test_achieved_rate_excludes_completion_drain(self):
+        """One near-timeout straggler stretches duration_seconds but
+        must not deflate achieved_rate below the knee criterion."""
+        report = LoadReport(
+            offered_rate=100.0,
+            duration_seconds=11.0,  # 1s of arrivals + 10s of drain
+            arrival_seconds=1.0,
+        )
+        for _ in range(100):
+            report.samples.append(Sample(status=200, latency=0.01))
+        summary = report.to_dict()
+        assert summary["achieved_rate"] == pytest.approx(100.0)
+        assert summary["arrival_seconds"] == pytest.approx(1.0)
+        assert summary["drain_seconds"] == pytest.approx(10.0)
+        # An un-saturated server with one slow tail is not a knee.
+        assert saturation_knee([report]) is None
+
+    def test_achieved_rate_counts_only_completed(self):
+        report = LoadReport(
+            offered_rate=100.0,
+            duration_seconds=1.0,
+            arrival_seconds=1.0,
+        )
+        for _ in range(50):
+            report.samples.append(Sample(status=200, latency=0.01))
+        for _ in range(50):
+            report.samples.append(
+                Sample(status=0, latency=1.0, error="TimeoutError: x")
+            )
+        summary = report.to_dict()
+        assert summary["achieved_rate"] == pytest.approx(50.0)
+
     def test_saturation_knee_detection(self):
         def synthetic(rate, p99, shed=0, total=100):
             report = LoadReport(
@@ -833,3 +939,50 @@ class TestGatewayLifecycle:
             assert (
                 store.metrics.gauge("serve.in_flight").value == 0
             )
+
+    def test_stream_hangup_before_first_chunk_releases_slot(
+        self, tmp_path
+    ):
+        """A client that vanishes before even the start event reaches
+        the wire must not leak the admission slot: finish() runs on
+        every exit path, including a hangup during the head write."""
+        store, _ = _open(tmp_path, max_in_flight=1)
+        with store:
+            gateway = store.serve_gateway()
+
+            class HangupWriter:
+                def write(self, data):
+                    raise ConnectionResetError("client went away")
+
+                async def drain(self):
+                    pass
+
+            spec = parse_query_payload(
+                {"xpath": "/bib/book", "stream": True}
+            )
+            targets = {
+                shard: store.shard_map.docs_for_shard(shard)
+                for shard in store.pools
+            }
+
+            async def hangup():
+                with pytest.raises(ConnectionResetError):
+                    await gateway._stream_query(
+                        HangupWriter(),
+                        spec,
+                        targets,
+                        gateway.tracer.capture(),
+                        "req-hangup",
+                    )
+
+            # Pre-fix, the first hangup pinned the only slot forever
+            # and every later attempt died Overloaded.
+            for _ in range(3):
+                asyncio.run(hangup())
+            assert _wait_for(
+                lambda: store.metrics.gauge("serve.in_flight").value == 0
+            )
+            status, body = _post(
+                gateway.url + "/query", {"xpath": "/bib/book"}
+            )
+            assert status == 200 and body["row_count"] > 0
